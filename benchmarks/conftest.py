@@ -1,0 +1,39 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Each ``benchmarks/test_*`` module regenerates one table or figure of the
+paper.  Runs print the same rows/series the paper plots, store the rendered
+text under ``benchmarks/results/``, and attach the headline averages to the
+pytest-benchmark record (``--benchmark-only`` shows them in extra_info).
+
+Trace length: ``REPRO_REFS`` environment variable (default 60000 references
+per workload; see EXPERIMENTS.md for the scaling argument).
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_figure(benchmark):
+    """Run a figure function once, render it, persist it, annotate it."""
+
+    def run(figure_fn, shape_checks=None):
+        from repro.experiments.report import render_figure, series_average
+
+        result = benchmark.pedantic(figure_fn, rounds=1, iterations=1)
+        text = render_figure(result)
+        print()
+        print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        filename = result.figure_id.lower().replace(" ", "") + ".txt"
+        (RESULTS_DIR / filename).write_text(text + "\n")
+        for name, values in result.series.items():
+            benchmark.extra_info[f"avg_{name}"] = round(series_average(values), 4)
+        if shape_checks:
+            shape_checks(result)
+        return result
+
+    return run

@@ -1,0 +1,41 @@
+"""Ablation — direct encryption vs counter mode (Section 2's motivation).
+
+"Fast protection schemes based on counter mode were introduced ... as
+counter mode allows parallel execution of encrypted data fetching and
+decryption pad generation."  This bench quantifies the whole ladder:
+direct encryption (fully serialized) < CTR baseline (overlaps after the
+counter arrives) < CTR + prediction < oracle.
+"""
+
+from repro.experiments.report import series_average
+from repro.experiments.sweep import run_grid
+
+BENCHMARKS = ("swim", "mcf", "gzip")
+SCHEMES = ["oracle", "direct_encryption", "baseline", "pred_regular", "pred_context"]
+REFS = 20_000
+
+
+def run_ladder():
+    return run_grid(list(BENCHMARKS), SCHEMES, references=REFS)
+
+
+def test_ablation_direct_encryption(benchmark):
+    grid = benchmark.pedantic(run_ladder, rounds=1, iterations=1)
+    table = grid.table(None, normalize_to="oracle",
+                       title="normalized IPC ladder (oracle = 1.0)")
+    print()
+    print(f"{'scheme':<20}" + "".join(f"{b:>8}" for b in BENCHMARKS) + f"{'avg':>8}")
+    for scheme in SCHEMES[1:]:
+        row = f"{scheme:<20}"
+        for name in BENCHMARKS:
+            row += f"{table.series[scheme][name]:>8.3f}"
+        row += f"{series_average(table.series[scheme]):>8.3f}"
+        print(row)
+
+    for name in BENCHMARKS:
+        direct = table.series["direct_encryption"][name]
+        ctr = table.series["baseline"][name]
+        regular = table.series["pred_regular"][name]
+        context = table.series["pred_context"][name]
+        assert direct < ctr < regular < 1.0 + 1e-9, name
+        assert context > regular * 0.99, name

@@ -1,0 +1,69 @@
+"""Ablation — crypto-engine latency sensitivity (Section 3.1's assumption).
+
+The scheme's headline result assumes OTP generation latency is comparable
+to memory latency ("given that the OTP generation latency is less than the
+memory latency, we can support memory protection without loss of
+performance").  Sweeping the AES pipeline latency shows when that breaks:
+a slow engine leaves exposed decryption latency even with perfect
+prediction; a fast one makes even the baseline cheap.
+"""
+
+import dataclasses
+
+from repro.crypto.engine import CryptoEngine, CryptoEngineConfig
+from repro.crypto.rng import HardwareRng
+from repro.cpu.system import replay_miss_trace
+from repro.experiments.config import TABLE1_256K
+from repro.experiments.runner import apply_preseed, get_miss_trace
+from repro.secure.controller import SecureMemoryController
+from repro.secure.predictors import ContextOtpPredictor, NullPredictor
+from repro.secure.seqnum import PageSecurityTable
+
+BENCHMARK = "swim"
+LATENCIES_NS = (24, 48, 96, 192, 384)
+REFS = 20_000
+
+
+def _run(latency_ns, predicted):
+    miss_trace, preseed = get_miss_trace(BENCHMARK, TABLE1_256K, references=REFS)
+    engine_config = dataclasses.replace(
+        TABLE1_256K.engine, stage_latency_ns=latency_ns / 96.0
+    )
+    table = PageSecurityTable(rng=HardwareRng(1))
+    predictor = ContextOtpPredictor(table) if predicted else NullPredictor(table)
+    controller = SecureMemoryController(
+        engine=CryptoEngine(engine_config),
+        page_table=table,
+        predictor=predictor,
+    )
+    apply_preseed(controller, preseed)
+    return replay_miss_trace(miss_trace, controller, core=TABLE1_256K.core)
+
+
+def run_sweep():
+    return {
+        (latency, kind): _run(latency, kind == "context")
+        for latency in LATENCIES_NS
+        for kind in ("baseline", "context")
+    }
+
+
+def test_ablation_engine_latency(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print()
+    print(f"Ablation: AES pipeline latency ({BENCHMARK})")
+    print(f"{'ns':>5}{'baseline IPC':>14}{'context IPC':>13}{'gain':>8}")
+    for latency in LATENCIES_NS:
+        base = rows[(latency, 'baseline')].ipc
+        pred = rows[(latency, 'context')].ipc
+        print(f"{latency:>5}{base:>14.4f}{pred:>13.4f}{pred / base:>8.3f}")
+
+    gains = [
+        rows[(latency, "context")].ipc / rows[(latency, "baseline")].ipc
+        for latency in LATENCIES_NS
+    ]
+    # Prediction always helps...
+    assert all(gain > 1.0 for gain in gains)
+    # ...and matters more as the engine gets slower relative to memory
+    # (up to the point where the engine itself is the bottleneck).
+    assert gains[2] > gains[0]

@@ -1,0 +1,60 @@
+"""Ablation — prediction depth (Section 7.1).
+
+The paper profiles misprediction and finds that simply increasing the
+prediction depth "does not solve the problem as too many predictions will
+overload the crypto-engine".  This sweep reproduces both halves: hit rate
+saturates with depth while speculative engine load grows linearly.
+"""
+
+from repro.crypto.rng import HardwareRng
+from repro.cpu.system import replay_miss_trace
+from repro.experiments.config import TABLE1_256K
+from repro.experiments.runner import apply_preseed, get_miss_trace
+from repro.secure.controller import SecureMemoryController
+from repro.secure.predictors import RegularOtpPredictor
+from repro.secure.seqnum import PageSecurityTable
+
+BENCHMARKS = ("swim", "twolf")
+DEPTHS = (1, 3, 5, 8, 12, 16)
+REFS = 20_000
+
+
+def run_depth_sweep():
+    rows = {}
+    for benchmark in BENCHMARKS:
+        miss_trace, preseed = get_miss_trace(benchmark, TABLE1_256K, references=REFS)
+        for depth in DEPTHS:
+            table = PageSecurityTable(rng=HardwareRng(1))
+            controller = SecureMemoryController(
+                page_table=table,
+                predictor=RegularOtpPredictor(table, depth=depth),
+            )
+            apply_preseed(controller, preseed)
+            metrics = replay_miss_trace(
+                miss_trace, controller, core=TABLE1_256K.core, scheme=f"depth{depth}"
+            )
+            rows[(benchmark, depth)] = metrics
+    return rows
+
+
+def test_ablation_depth(benchmark):
+    rows = benchmark.pedantic(run_depth_sweep, rounds=1, iterations=1)
+    print()
+    print("Ablation: prediction depth (regular adaptive prediction)")
+    print(f"{'bench':<8}{'depth':>6}{'hit rate':>10}{'spec blocks':>13}{'IPC':>9}")
+    for (name, depth), metrics in rows.items():
+        print(
+            f"{name:<8}{depth:>6}{metrics.prediction_rate:>10.3f}"
+            f"{metrics.engine_speculative_blocks:>13}{metrics.ipc:>9.4f}"
+        )
+
+    for name in BENCHMARKS:
+        rates = [rows[(name, d)].prediction_rate for d in DEPTHS]
+        # Hit rate is non-decreasing in depth...
+        assert all(b >= a - 1e-9 for a, b in zip(rates, rates[1:]))
+        # ...but with diminishing returns: the last step adds less than the
+        # first one.
+        assert rates[1] - rates[0] >= rates[-1] - rates[-2] - 1e-9
+        # Engine load keeps growing linearly regardless.
+        loads = [rows[(name, d)].engine_speculative_blocks for d in DEPTHS]
+        assert loads[-1] > loads[0] * 3

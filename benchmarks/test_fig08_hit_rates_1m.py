@@ -1,0 +1,19 @@
+"""Figure 8 — sequence-number hit rates, 1MB L2, long window.
+
+Paper: prediction still wins with a fairly large L2 (~80% vs 57% for a
+128KB cache); sequence numbers have large working sets.
+"""
+
+from repro.experiments.report import series_average
+
+
+def test_figure8(record_figure):
+    from repro.experiments.figures import figure8
+
+    def check(result):
+        pred = series_average(result.series["Pred"])
+        cache_128 = series_average(result.series["128K_cache"])
+        assert pred > cache_128
+        assert pred > 0.6
+
+    record_figure(figure8, check)

@@ -1,0 +1,22 @@
+"""Figure 9 — breakdown of coverage with a 32KB cache + prediction.
+
+Paper: prediction uncovers opportunities the cache misses — the
+prediction-only share dwarfs the cache-only share.
+"""
+
+from repro.experiments.report import series_average
+
+
+def test_figure9(record_figure):
+    from repro.experiments.figures import figure9
+
+    def check(result):
+        pred_only = series_average(result.series["Pred_Hit"])
+        cache_only = series_average(result.series["Seq_Only"])
+        assert pred_only > cache_only * 3
+        # Stacked fractions of all fetches stay within [0, 1].
+        for benchmark in result.benchmarks():
+            total = sum(result.series[name][benchmark] for name in result.series)
+            assert 0.0 <= total <= 1.0
+
+    record_figure(figure9, check)

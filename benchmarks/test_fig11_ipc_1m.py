@@ -1,0 +1,20 @@
+"""Figure 11 — normalized IPC: caches vs prediction, 1MB L2.
+
+Paper: same ordering at 1MB, with a smaller average gain (+11%) because a
+larger L2 filters more misses.
+"""
+
+from repro.experiments.report import series_average
+
+
+def test_figure11(record_figure):
+    from repro.experiments.figures import figure11
+
+    def check(result):
+        pred = series_average(result.series["Pred"])
+        cache_128 = series_average(result.series["Seq_Cache_128K"])
+        assert pred > cache_128
+        for series in result.series.values():
+            assert all(v <= 1.0 + 1e-9 for v in series.values())
+
+    record_figure(figure11, check)

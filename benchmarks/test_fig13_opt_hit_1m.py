@@ -1,0 +1,19 @@
+"""Figure 13 — hit rates: two-level vs context vs regular, 1MB L2.
+
+Paper: ~95% (two-level) and near-perfect (context) persist at 1MB.
+"""
+
+from repro.experiments.report import series_average
+
+
+def test_figure13(record_figure):
+    from repro.experiments.figures import figure13
+
+    def check(result):
+        regular = series_average(result.series["Regular"])
+        two_level = series_average(result.series["Two_Level"])
+        context = series_average(result.series["Context"])
+        assert context > regular
+        assert two_level > regular
+
+    record_figure(figure13, check)

@@ -1,0 +1,23 @@
+"""Figure 14 — absolute number of predictions, 256KB vs 1MB L2.
+
+Paper: a larger L2 reduces memory traffic, so far fewer predictions are
+made with 1MB than with 256KB.
+"""
+
+from repro.experiments.report import series_average
+
+
+def test_figure14(record_figure):
+    from repro.experiments.figures import figure14
+
+    def check(result):
+        small = series_average(result.series["L2_256K"])
+        large = series_average(result.series["L2_1M"])
+        assert small > large
+        for benchmark in result.benchmarks():
+            assert (
+                result.series["L2_256K"][benchmark]
+                >= result.series["L2_1M"][benchmark]
+            ), benchmark
+
+    record_figure(figure14, check)

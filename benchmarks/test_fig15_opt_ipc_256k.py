@@ -1,0 +1,24 @@
+"""Figure 15 — normalized IPC: two-level vs context vs regular, 256KB L2.
+
+Paper: the optimizations add up to ~7% IPC on top of regular prediction
+for several benchmarks.
+"""
+
+from repro.experiments.report import series_average
+
+
+def test_figure15(record_figure):
+    from repro.experiments.figures import figure15
+
+    def check(result):
+        regular = series_average(result.series["Regular"])
+        two_level = series_average(result.series["Two_Level"])
+        context = series_average(result.series["Context"])
+        assert two_level > regular
+        assert context > regular
+        # The optimizations land within a few percent of the oracle.
+        assert context > 0.9
+        for series in result.series.values():
+            assert all(v <= 1.0 + 1e-9 for v in series.values())
+
+    record_figure(figure15, check)

@@ -1,0 +1,21 @@
+"""Figure 16 — normalized IPC: two-level vs context vs regular, 1MB L2.
+
+Paper: ~4% additional improvement for several benchmarks at 1MB.
+"""
+
+from repro.experiments.report import series_average
+
+
+def test_figure16(record_figure):
+    from repro.experiments.figures import figure16
+
+    def check(result):
+        regular = series_average(result.series["Regular"])
+        two_level = series_average(result.series["Two_Level"])
+        context = series_average(result.series["Context"])
+        assert two_level >= regular
+        assert context >= regular
+        for series in result.series.values():
+            assert all(v <= 1.0 + 1e-9 for v in series.values())
+
+    record_figure(figure16, check)

@@ -1,0 +1,30 @@
+"""Table 1 — processor model parameters.
+
+Prints the machine-parameter table and validates that the two evaluated
+configurations (256KB and 1MB L2) are wired exactly as the paper states.
+"""
+
+
+def test_table1(benchmark):
+    from repro.experiments.config import TABLE1_1M, TABLE1_256K
+    from repro.experiments.figures import table1
+
+    result = benchmark.pedantic(table1, rounds=1, iterations=1)
+    rows = result.metadata["rows"]
+    print()
+    width = max(len(name) for name, _ in rows)
+    print("Table 1: Processor model parameters")
+    print("=" * 40)
+    for name, value in rows:
+        print(f"{name:<{width}}  {value}")
+
+    # Cross-check the table against the live configurations.
+    assert TABLE1_256K.hierarchy.l2_size == 256 * 1024
+    assert TABLE1_1M.hierarchy.l2_size == 1024 * 1024
+    assert TABLE1_256K.engine.latency_ns == 96.0
+    assert TABLE1_256K.prediction.depth == 5
+    assert TABLE1_256K.prediction.swing == 3
+    assert TABLE1_256K.prediction.phv_bits == 16
+    assert TABLE1_256K.prediction.phv_threshold == 12
+    assert TABLE1_256K.dram.bus.bus_mhz == 200.0
+    assert TABLE1_256K.dram.bus.width_bytes == 8

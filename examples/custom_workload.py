@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Custom workloads: build, save, replay, and study your own access pattern.
+
+The 14 SPEC models cover the paper's evaluation, but the library is meant
+to be driven by *your* workloads too.  This example:
+
+1. composes a custom trace from the stream primitives (a tight loop over a
+   frequently-updated ring buffer plus a large read-mostly table scan),
+2. saves it to the compact binary trace format and loads it back,
+3. sweeps it over the security schemes, and
+4. shows where its sequence-number distances live (why each scheme
+   performs the way it does).
+
+Run:  python examples/custom_workload.py
+"""
+
+import tempfile
+from collections import Counter
+from pathlib import Path
+
+from repro.cpu.system import collect_miss_trace, replay_miss_trace
+from repro.cpu.tracefile import load_trace_file, save_trace_file
+from repro.crypto.rng import HardwareRng
+from repro.experiments import SCHEMES, apply_preseed, make_controller
+from repro.experiments.config import TABLE1_256K
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.workloads.synthetic import (
+    HotStream,
+    StaticStream,
+    StridedSweep,
+    interleave,
+    update_band,
+)
+
+REFERENCES = 12_000
+
+
+def build_custom_workload():
+    """A message-broker-ish pattern: hot ring buffer + big subscriber table."""
+    rng = HardwareRng(seed=2025)
+    streams = [
+        # The ring buffer: small, rewritten constantly -> large counter
+        # distances, the population regular prediction cannot reach.
+        (0.30, update_band(0x1000_0000, num_lines=3 * 1024, mean_gap=8)),
+        # The subscriber table: 2MB scanned in column order, mostly reads.
+        (0.35, StridedSweep(0x2000_0000, num_lines=64 * 1024,
+                            write_prob=0.2, mean_gap=9)),
+        # Code and hot locals.
+        (0.10, StaticStream(0x3000_0000, num_lines=8 * 1024, mean_gap=10)),
+        (0.25, HotStream(0x4000_0000, mean_gap=7)),
+    ]
+    preseed = {}
+    for _, stream in streams:
+        preseed.update(stream.preseed(rng))
+    return interleave(streams, REFERENCES, rng, burst_mean=12), preseed
+
+
+def main() -> None:
+    trace, preseed = build_custom_workload()
+    print(f"built a custom trace: {len(trace)} references, "
+          f"{len(preseed)} pre-seeded counters")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "broker.rtrc"
+        save_trace_file(path, trace)
+        print(f"saved to {path.name}: {path.stat().st_size} bytes "
+              f"({path.stat().st_size / len(trace):.1f} B/reference)")
+        trace = load_trace_file(path)
+
+    print("\ndistance distribution of the pre-seeded counters:")
+    buckets = Counter(min(d // 6, 4) for d in preseed.values())
+    labels = ["0-5 (regular's reach)", "6-11", "12-17", "18-23", "24+"]
+    for bucket, label in enumerate(labels):
+        share = buckets.get(bucket, 0) / max(1, len(preseed))
+        print(f"  {label:<22} {'#' * round(share * 40):<40} {share:.1%}")
+
+    print("\ncollecting the miss stream once, replaying every scheme:")
+    miss_trace = collect_miss_trace(
+        trace,
+        hierarchy=MemoryHierarchy(TABLE1_256K.hierarchy),
+        flush_interval_instructions=TABLE1_256K.flush_interval_instructions,
+    )
+    print(f"  {miss_trace.l2_misses} L2 misses "
+          f"({miss_trace.misses_per_kilo_instruction:.1f} per kilo-instruction)")
+
+    print(f"\n{'scheme':<20}{'pred rate':>10}{'norm IPC':>10}")
+    names = ["oracle", "direct_encryption", "baseline", "seqcache_128k",
+             "pred_regular", "pred_two_level", "pred_context"]
+    oracle = None
+    for name in names:
+        controller = make_controller(SCHEMES[name], TABLE1_256K)
+        apply_preseed(controller, preseed)
+        metrics = replay_miss_trace(
+            miss_trace, controller, core=TABLE1_256K.core, scheme=name
+        )
+        if name == "oracle":
+            oracle = metrics
+        print(f"{name:<20}{metrics.prediction_rate:>10.3f}"
+              f"{metrics.normalized_ipc(oracle):>10.3f}")
+
+    print("\nreading the table: the ring buffer's large distances defeat")
+    print("regular prediction, the range table and the LOR both track them —")
+    print("the same separation Figures 12/13 show for twolf and vpr.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: encrypted memory with OTP prediction in ~40 lines.
+
+Creates a counter-mode protected memory, stores and loads data through the
+full architectural model (AES pads, per-line counters, integrity tree), and
+shows the latency-hiding numbers the paper is about.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.secure import SecureMemory
+
+
+def main() -> None:
+    # A 256-bit process key, as held by the secure processor.
+    memory = SecureMemory(key=bytes(range(32)))
+
+    print("== storing data into untrusted RAM ==")
+    secret = b"counter mode + prediction = fast".ljust(64, b"\x00")
+    memory.store(0x1000, secret)
+    raw = memory.controller.backing.read_line(0x1000)
+    print(f"plaintext : {secret[:32].hex()}")
+    print(f"in RAM    : {raw.hex()}   <- ciphertext only")
+
+    print("\n== loading it back ==")
+    result = memory.load_line(0x1000)
+    assert result.plaintext == secret[:32]
+    print(f"decrypted : {result.plaintext.hex()}")
+    print(f"sequence number predicted: {result.predicted}")
+    print(f"line from DRAM at cycle {result.line_ready - result.issue_time}, "
+          f"pad ready at cycle {result.pad_ready - result.issue_time}, "
+          f"data usable at cycle {result.exposed_latency}")
+    print(f"decryption overhead beyond the raw fetch: "
+          f"{result.decryption_overhead} cycles")
+
+    print("\n== why prediction matters ==")
+    print("Touch 64 fresh lines; their counters sit at the page root, so")
+    print("the context predictor precomputes every pad during the fetch:")
+    for i in range(64):
+        memory.load_line(0x8000 + i * 32)
+    print(f"prediction rate: {memory.prediction_rate:.1%}")
+    stats = memory.controller.stats
+    print(f"fetches covered without serializing on the counter: "
+          f"{stats.coverage:.1%}")
+    print(f"mean exposed miss latency: {stats.mean_exposed_latency:.0f} cycles")
+
+
+if __name__ == "__main__":
+    main()

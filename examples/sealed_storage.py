@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Sealed storage: tamper-evident encrypted state in untrusted memory.
+
+Models the paper's motivating scenario (Section 1): a security system keeps
+"important information and dynamic data ... encrypted or sealed ... when
+they are stored in memory".  Here a toy digital-rights ledger lives in
+counter-mode-encrypted RAM under a Merkle MAC tree; every update advances
+the line counters, and any off-chip tampering — data flips, counter
+rollback, splicing — is detected on load.
+
+Run:  python examples/sealed_storage.py
+"""
+
+import json
+
+from repro.secure import IntegrityError, SecureMemory
+
+LEDGER_BASE = 0x10_0000
+LINE = 32
+
+
+def store_record(memory: SecureMemory, slot: int, record: dict) -> None:
+    """Serialize a record into one 64-byte (two-line) ledger slot."""
+    payload = json.dumps(record, separators=(",", ":")).encode()
+    if len(payload) > 2 * LINE:
+        raise ValueError("record too large for a ledger slot")
+    memory.store(LEDGER_BASE + slot * 2 * LINE, payload.ljust(2 * LINE, b"\x00"))
+
+
+def load_record(memory: SecureMemory, slot: int) -> dict:
+    raw = memory.load(LEDGER_BASE + slot * 2 * LINE, 2 * LINE)
+    return json.loads(raw.rstrip(b"\x00").decode())
+
+
+def main() -> None:
+    memory = SecureMemory(key=b"ledger-key".ljust(32, b"\x00"), integrity=True)
+
+    print("== writing license ledger to untrusted RAM ==")
+    licenses = [
+        {"user": "alice", "title": "song-417", "plays": 3},
+        {"user": "bob", "title": "film-042", "plays": 1},
+    ]
+    for slot, record in enumerate(licenses):
+        store_record(memory, slot, record)
+        print(f"slot {slot}: {record}")
+
+    print("\n== legitimate update (counters advance) ==")
+    licenses[0]["plays"] += 1
+    store_record(memory, 0, licenses[0])
+    seq = memory.controller.backing.read_seqnum(LEDGER_BASE)
+    print(f"updated slot 0; line counter in RAM is now {seq:#018x}")
+    print(f"read back: {load_record(memory, 0)}")
+    assert load_record(memory, 0)["plays"] == 4
+
+    print("\n== attack 1: flip bits in the ciphertext ==")
+    memory.controller.backing.tamper_line(LEDGER_BASE, b"\x00\x00\x00\x00\xff")
+    try:
+        load_record(memory, 0)
+        raise SystemExit("UNDETECTED TAMPERING — this must not happen")
+    except IntegrityError as error:
+        print(f"detected: {error}")
+
+    # Restore by rewriting the record through the legitimate path.
+    store_record(memory, 0, licenses[0])
+
+    print("\n== attack 2: roll the counter back (replay) ==")
+    backing = memory.controller.backing
+    old_counter = backing.read_seqnum(LEDGER_BASE)
+    licenses[0]["plays"] += 1
+    store_record(memory, 0, licenses[0])
+    backing.write_seqnum(LEDGER_BASE, old_counter)  # adversary rewinds
+    try:
+        load_record(memory, 0)
+        raise SystemExit("UNDETECTED REPLAY — this must not happen")
+    except IntegrityError as error:
+        print(f"detected: {error}")
+
+    print("\n== audit ==")
+    auditor = memory.controller.auditor
+    print(f"{auditor.seals} line encryptions, pad reuses: {auditor.reuses}")
+    assert auditor.clean
+    print("no (address, counter) pair was ever used to encrypt twice — the")
+    print("counter-mode security invariant held throughout.")
+
+
+if __name__ == "__main__":
+    main()

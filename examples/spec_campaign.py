@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Mini evaluation campaign: hit rates and normalized IPC on SPEC models.
+
+A scaled-down version of the paper's Figures 7/10/12 on a subset of the
+SPEC2000-like workloads — useful for quickly seeing the headline result
+(prediction beats large sequence-number caches; context prediction nearly
+closes the gap to the oracle) without running the full benchmark harness.
+
+Run:  python examples/spec_campaign.py [references]
+"""
+
+import sys
+
+from repro.experiments import run_benchmark
+from repro.experiments.report import series_average
+
+BENCHMARKS = ("swim", "mcf", "twolf", "applu", "gzip")
+SCHEMES = [
+    "oracle",
+    "baseline",
+    "seqcache_128k",
+    "seqcache_512k",
+    "pred_regular",
+    "pred_two_level",
+    "pred_context",
+]
+
+
+def main() -> None:
+    references = int(sys.argv[1]) if len(sys.argv) > 1 else 15_000
+    print(f"running {len(BENCHMARKS)} workloads x {len(SCHEMES)} schemes "
+          f"({references} references each)...\n")
+
+    hit_rates = {scheme: {} for scheme in SCHEMES}
+    norm_ipc = {scheme: {} for scheme in SCHEMES}
+    for benchmark in BENCHMARKS:
+        results = run_benchmark(benchmark, SCHEMES, references=references)
+        oracle = results["oracle"]
+        for scheme in SCHEMES:
+            metrics = results[scheme]
+            if scheme.startswith("pred"):
+                hit_rates[scheme][benchmark] = metrics.prediction_rate
+            elif scheme.startswith("seqcache"):
+                hit_rates[scheme][benchmark] = metrics.seqcache_hit_rate
+            norm_ipc[scheme][benchmark] = metrics.normalized_ipc(oracle)
+
+    print("sequence-number availability (hit rate at the L2 miss):")
+    print(f"{'scheme':<18}" + "".join(f"{b:>9}" for b in BENCHMARKS) + f"{'avg':>9}")
+    for scheme in SCHEMES:
+        if scheme in ("oracle", "baseline"):
+            continue
+        row = f"{scheme:<18}"
+        for benchmark in BENCHMARKS:
+            row += f"{hit_rates[scheme][benchmark]:>9.3f}"
+        row += f"{series_average(hit_rates[scheme]):>9.3f}"
+        print(row)
+
+    print("\nnormalized IPC (oracle = 1.0):")
+    print(f"{'scheme':<18}" + "".join(f"{b:>9}" for b in BENCHMARKS) + f"{'avg':>9}")
+    for scheme in SCHEMES:
+        row = f"{scheme:<18}"
+        for benchmark in BENCHMARKS:
+            row += f"{norm_ipc[scheme][benchmark]:>9.3f}"
+        row += f"{series_average(norm_ipc[scheme]):>9.3f}"
+        print(row)
+
+    baseline = series_average(norm_ipc["baseline"])
+    regular = series_average(norm_ipc["pred_regular"])
+    context = series_average(norm_ipc["pred_context"])
+    print(f"\nprediction recovers {regular / baseline - 1:+.1%} IPC over the "
+          f"unassisted baseline;")
+    print(f"context-based prediction adds {context / regular - 1:+.1%} more and "
+          f"reaches {context:.1%} of the oracle.")
+
+
+if __name__ == "__main__":
+    main()

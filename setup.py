@@ -1,0 +1,10 @@
+"""Legacy shim so `pip install -e . --no-use-pep517` works offline.
+
+The authoritative metadata lives in pyproject.toml; this file only exists
+because the offline environment lacks the `wheel` package required by the
+PEP-517 editable-install path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,124 @@
+"""Command-line interface: run experiments and figures from a shell.
+
+Examples::
+
+    python -m repro list                      # benchmarks, schemes, figures
+    python -m repro table1
+    python -m repro figure figure7 --refs 20000
+    python -m repro run swim pred_context --refs 20000
+    python -m repro run mcf oracle baseline pred_regular --l2 1M
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.config import TABLE1_1M, TABLE1_256K, table1_rows
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.report import render_figure
+from repro.experiments.runner import SCHEMES, run_benchmark
+from repro.workloads.spec import SPEC_BENCHMARKS
+
+__all__ = ["main"]
+
+_MACHINES = {"256K": TABLE1_256K, "1M": TABLE1_1M}
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("benchmarks:", ", ".join(SPEC_BENCHMARKS))
+    print("schemes:   ", ", ".join(sorted(SCHEMES)))
+    print("figures:   ", ", ".join(sorted(ALL_FIGURES)))
+    return 0
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    rows = table1_rows()
+    width = max(len(name) for name, _ in rows)
+    print("Table 1: Processor model parameters")
+    for name, value in rows:
+        print(f"{name:<{width}}  {value}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    figure_fn = ALL_FIGURES.get(args.name)
+    if figure_fn is None:
+        print(f"unknown figure {args.name!r}; choose from "
+              f"{', '.join(sorted(ALL_FIGURES))}", file=sys.stderr)
+        return 2
+    if args.name == "table1":
+        return _cmd_table1(args)
+    result = figure_fn(references=args.refs, seed=args.seed)
+    print(render_figure(result))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    unknown = [s for s in args.schemes if s not in SCHEMES]
+    if unknown:
+        print(f"unknown scheme(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    if args.benchmark not in SPEC_BENCHMARKS:
+        print(f"unknown benchmark {args.benchmark!r}", file=sys.stderr)
+        return 2
+    machine = _MACHINES[args.l2]
+    results = run_benchmark(
+        args.benchmark, args.schemes, machine=machine,
+        references=args.refs, seed=args.seed,
+    )
+    oracle = results.get("oracle")
+    header = (
+        f"{'scheme':<22}{'IPC':>9}{'pred':>8}{'seq$':>8}"
+        f"{'exposed':>9}" + ("" if oracle is None else f"{'norm':>8}")
+    )
+    print(f"{args.benchmark} on {machine.name} ({args.refs or 'default'} refs)")
+    print(header)
+    for scheme, metrics in results.items():
+        row = (
+            f"{scheme:<22}{metrics.ipc:>9.4f}{metrics.prediction_rate:>8.3f}"
+            f"{metrics.seqcache_hit_rate:>8.3f}{metrics.mean_exposed_latency:>9.1f}"
+        )
+        if oracle is not None:
+            row += f"{metrics.normalized_ipc(oracle):>8.3f}"
+        print(row)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Counter-mode security architecture reproduction (ISCA 2005)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks, schemes and figures").set_defaults(
+        func=_cmd_list
+    )
+    sub.add_parser("table1", help="print Table 1").set_defaults(func=_cmd_table1)
+
+    figure = sub.add_parser("figure", help="reproduce one figure")
+    figure.add_argument("name", help="e.g. figure7 .. figure16")
+    figure.add_argument("--refs", type=int, default=None, help="trace length")
+    figure.add_argument("--seed", type=int, default=1)
+    figure.set_defaults(func=_cmd_figure)
+
+    run = sub.add_parser("run", help="run schemes on one benchmark")
+    run.add_argument("benchmark")
+    run.add_argument("schemes", nargs="+")
+    run.add_argument("--refs", type=int, default=None)
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--l2", choices=sorted(_MACHINES), default="256K")
+    run.set_defaults(func=_cmd_run)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,26 @@
+"""Trace-driven CPU timing model and full-system simulator."""
+
+from repro.cpu.core import CoreConfig, RunMetrics
+from repro.cpu.system import (
+    FunctionalMismatchError,
+    MissEvent,
+    MissTrace,
+    SecureSystem,
+    collect_miss_trace,
+    replay_miss_trace,
+)
+from repro.cpu.trace import MemoryAccess, TraceSummary, summarize_trace
+
+__all__ = [
+    "CoreConfig",
+    "RunMetrics",
+    "FunctionalMismatchError",
+    "MissEvent",
+    "MissTrace",
+    "SecureSystem",
+    "collect_miss_trace",
+    "replay_miss_trace",
+    "MemoryAccess",
+    "TraceSummary",
+    "summarize_trace",
+]

@@ -1,0 +1,93 @@
+"""Simplified superscalar core timing model.
+
+The paper runs SimpleScalar's out-of-order Alpha model; reproducing that at
+cycle level in Python is infeasible for billions of instructions (see
+DESIGN.md Section 2), so this module substitutes the standard trace-driven
+abstraction:
+
+* instructions between memory events retire at the issue width;
+* L2 hits charge their access latency;
+* L2 misses charge the *exposed* latency reported by the secure memory
+  controller (fetch + decryption path), discounted by a memory-level-
+  parallelism factor that stands in for the out-of-order window's ability
+  to overlap independent work with an outstanding miss.
+
+Because every scheme (baseline / sequence-number cache / OTP prediction /
+oracle) is replayed through the identical model on the identical miss
+stream, normalized IPC — the paper's metric — depends only on how well each
+scheme hides decryption latency, which is exactly what is under study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CoreConfig", "RunMetrics"]
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Core parameters (Table 1: 8-wide fetch/issue/commit)."""
+
+    issue_width: int = 8
+    l2_hit_penalty: int = 4
+    miss_overlap: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.issue_width <= 0:
+            raise ValueError(f"issue_width must be positive, got {self.issue_width}")
+        if self.l2_hit_penalty < 0:
+            raise ValueError(
+                f"l2_hit_penalty must be non-negative, got {self.l2_hit_penalty}"
+            )
+        if not 0.0 <= self.miss_overlap < 1.0:
+            raise ValueError(
+                f"miss_overlap must be in [0, 1), got {self.miss_overlap}"
+            )
+
+
+@dataclass
+class RunMetrics:
+    """Everything a figure needs from one (workload, scheme) run."""
+
+    scheme: str
+    cycles: float
+    instructions: int
+    l2_misses: int
+    fetches: int
+    writebacks: int
+    prediction_lookups: int
+    prediction_hits: int
+    guesses_issued: int
+    seqcache_lookups: int
+    seqcache_hits: int
+    class_both: int
+    class_pred_only: int
+    class_cache_only: int
+    class_neither: int
+    mean_exposed_latency: float
+    engine_demand_blocks: int
+    engine_speculative_blocks: int
+    root_resets: int
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def prediction_rate(self) -> float:
+        if not self.prediction_lookups:
+            return 0.0
+        return self.prediction_hits / self.prediction_lookups
+
+    @property
+    def seqcache_hit_rate(self) -> float:
+        if not self.seqcache_lookups:
+            return 0.0
+        return self.seqcache_hits / self.seqcache_lookups
+
+    def normalized_ipc(self, oracle: "RunMetrics") -> float:
+        """IPC normalized to the oracle run (the paper's Figures 10-16)."""
+        if not self.cycles:
+            return 0.0
+        return oracle.cycles / self.cycles

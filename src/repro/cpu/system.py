@@ -1,0 +1,305 @@
+"""Full-system simulation: core + cache hierarchy + secure memory controller.
+
+Two ways to run a workload:
+
+* **Single-phase** (:class:`SecureSystem`) — drive every access through the
+  hierarchy and controller in lock-step.  Supports *functional* mode, where
+  line data really is encrypted/decrypted and checked against a plaintext
+  shadow image on every fetch (the strongest end-to-end correctness check).
+* **Two-phase** (:func:`collect_miss_trace` then :func:`replay_miss_trace`)
+  — simulate the cache hierarchy once per (workload, L2 size) to extract
+  the scheme-independent L2 miss/write-back stream, then replay that stream
+  through each security scheme.  This is exact for our models (no scheme
+  changes the miss stream — OTP prediction adds no memory traffic, one of
+  its selling points over pre-decryption, Section 9.2) and is what makes the
+  14-benchmark x many-scheme sweeps of the paper's figures tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.core import CoreConfig, RunMetrics
+from repro.cpu.trace import MemoryAccess
+from repro.memory.address import AddressMap, DEFAULT_ADDRESS_MAP
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.secure.controller import FetchClass, SecureMemoryController
+
+__all__ = [
+    "MissEvent",
+    "MissTrace",
+    "collect_miss_trace",
+    "replay_miss_trace",
+    "FunctionalMismatchError",
+    "SecureSystem",
+]
+
+
+@dataclass(frozen=True)
+class MissEvent:
+    """One L2-boundary event: optional fetches plus resulting write-backs."""
+
+    gap_instructions: int
+    gap_l2_hits: int
+    fetch_addresses: tuple[int, ...]
+    writeback_addresses: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class MissTrace:
+    """The scheme-independent stream of off-chip events for one workload."""
+
+    events: tuple[MissEvent, ...]
+    total_instructions: int
+    total_references: int
+    l1_hits: int
+    l2_hits: int
+    l2_misses: int
+
+    @property
+    def miss_rate(self) -> float:
+        if not self.total_references:
+            return 0.0
+        return self.l2_misses / self.total_references
+
+    @property
+    def misses_per_kilo_instruction(self) -> float:
+        if not self.total_instructions:
+            return 0.0
+        return 1000.0 * self.l2_misses / self.total_instructions
+
+
+def collect_miss_trace(
+    trace: list[MemoryAccess],
+    hierarchy: MemoryHierarchy | None = None,
+    hierarchy_config: HierarchyConfig | None = None,
+    flush_interval_instructions: int | None = None,
+) -> MissTrace:
+    """Run ``trace`` through the cache hierarchy, recording off-chip events.
+
+    ``flush_interval_instructions`` models the periodic OS-induced dirty
+    flush of Section 5.1 (the paper flushes every 25M cycles; we key the
+    interval off instructions so the event stream stays scheme-independent).
+    """
+    if hierarchy is None:
+        hierarchy = MemoryHierarchy(hierarchy_config)
+    events: list[MissEvent] = []
+    gap_instructions = 0
+    gap_l2_hits = 0
+    total_instructions = 0
+    total_references = 0
+    l1_hits = 0
+    l2_hits = 0
+    l2_misses = 0
+    next_flush = flush_interval_instructions or 0
+
+    for access in trace:
+        gap_instructions += access.gap_instructions
+        total_instructions += access.gap_instructions
+        total_references += 1
+
+        if flush_interval_instructions and total_instructions >= next_flush:
+            next_flush += flush_interval_instructions
+            flushed = tuple(hierarchy.flush_dirty())
+            if flushed:
+                events.append(
+                    MissEvent(
+                        gap_instructions=gap_instructions,
+                        gap_l2_hits=gap_l2_hits,
+                        fetch_addresses=(),
+                        writeback_addresses=flushed,
+                    )
+                )
+                gap_instructions = 0
+                gap_l2_hits = 0
+
+        outcome = hierarchy.access(
+            access.address,
+            is_write=access.is_write,
+            is_instruction=access.is_instruction,
+        )
+        if outcome.l1_hit:
+            l1_hits += 1
+            continue
+        if outcome.l2_hit:
+            l2_hits += 1
+            gap_l2_hits += 1
+            continue
+        l2_misses += 1
+        events.append(
+            MissEvent(
+                gap_instructions=gap_instructions,
+                gap_l2_hits=gap_l2_hits,
+                fetch_addresses=outcome.fetched_lines,
+                writeback_addresses=outcome.writeback_lines,
+            )
+        )
+        gap_instructions = 0
+        gap_l2_hits = 0
+
+    return MissTrace(
+        events=tuple(events),
+        total_instructions=total_instructions,
+        total_references=total_references,
+        l1_hits=l1_hits,
+        l2_hits=l2_hits,
+        l2_misses=l2_misses,
+    )
+
+
+def replay_miss_trace(
+    miss_trace: MissTrace,
+    controller: SecureMemoryController,
+    core: CoreConfig | None = None,
+    scheme: str = "unnamed",
+) -> RunMetrics:
+    """Replay an off-chip event stream through one security scheme."""
+    core = core or CoreConfig()
+    cycle = 0.0
+    width = float(core.issue_width)
+    hidden = 1.0 - core.miss_overlap
+
+    for event in miss_trace.events:
+        cycle += event.gap_instructions / width
+        cycle += event.gap_l2_hits * core.l2_hit_penalty
+        for address in event.fetch_addresses:
+            result = controller.fetch_line(int(cycle), address)
+            stall = (result.data_ready - cycle) * hidden
+            if stall > 0:
+                cycle += stall
+        for address in event.writeback_addresses:
+            controller.writeback_line(int(cycle), address)
+
+    # Drain trailing computation so IPC reflects the whole trace.
+    cycle += 1.0  # avoid zero-cycle degenerate traces
+
+    stats = controller.stats
+    predictor_stats = controller.predictor.stats
+    return RunMetrics(
+        scheme=scheme,
+        cycles=cycle,
+        instructions=miss_trace.total_instructions,
+        l2_misses=miss_trace.l2_misses,
+        fetches=stats.fetches,
+        writebacks=stats.writebacks,
+        prediction_lookups=predictor_stats.lookups,
+        prediction_hits=predictor_stats.hits,
+        guesses_issued=predictor_stats.guesses_issued,
+        seqcache_lookups=(
+            controller.seqcache.demand_lookups if controller.seqcache else 0
+        ),
+        seqcache_hits=(
+            controller.seqcache.demand_hits if controller.seqcache else 0
+        ),
+        class_both=stats.class_counts[FetchClass.BOTH],
+        class_pred_only=stats.class_counts[FetchClass.PRED_ONLY],
+        class_cache_only=stats.class_counts[FetchClass.CACHE_ONLY],
+        class_neither=stats.class_counts[FetchClass.NEITHER],
+        mean_exposed_latency=stats.mean_exposed_latency,
+        engine_demand_blocks=controller.engine.stats.demand_blocks,
+        engine_speculative_blocks=controller.engine.stats.speculative_blocks,
+        root_resets=controller.page_table.total_resets,
+    )
+
+
+class FunctionalMismatchError(Exception):
+    """Decrypted line data did not match the plaintext shadow image."""
+
+
+class SecureSystem:
+    """Single-phase simulator (optionally with real end-to-end crypto).
+
+    In functional mode the system maintains a plaintext *shadow image* of
+    memory: every CPU store deterministically rewrites its line's image, the
+    dirty-eviction path encrypts the image through the real AES pipeline,
+    and every L2 miss decrypts what is in the untrusted backing store and
+    compares it against the image.  A single bit of state mishandled
+    anywhere — counters, roots, pads, MAC tree — surfaces as a
+    :class:`FunctionalMismatchError` or an integrity failure.
+    """
+
+    def __init__(
+        self,
+        controller: SecureMemoryController | None = None,
+        hierarchy: MemoryHierarchy | None = None,
+        core: CoreConfig | None = None,
+        functional_key: bytes | None = None,
+        address_map: AddressMap = DEFAULT_ADDRESS_MAP,
+    ):
+        self.address_map = address_map
+        if controller is None:
+            controller = SecureMemoryController(
+                key=functional_key, address_map=address_map
+            )
+        self.controller = controller
+        self.hierarchy = hierarchy or MemoryHierarchy(address_map=address_map)
+        self.core = core or CoreConfig()
+        self.cycle = 0.0
+        self._image: dict[int, bytes] = {}
+        self._write_serial = 0
+
+    @property
+    def functional(self) -> bool:
+        """True when real crypto + shadow-image checking is active."""
+        return self.controller.functional
+
+    def _image_line(self, line: int) -> bytes:
+        return self._image.get(line, bytes(self.address_map.line_bytes))
+
+    def _mutate_image(self, line: int) -> None:
+        """Deterministically rewrite a line's plaintext on a CPU store."""
+        self._write_serial += 1
+        seed = (line * 0x9E3779B97F4A7C15 + self._write_serial) & ((1 << 64) - 1)
+        pattern = seed.to_bytes(8, "big")
+        repeats = self.address_map.line_bytes // 8
+        self._image[line] = pattern * repeats
+
+    def access(self, access: MemoryAccess):
+        """Run one access end-to-end; returns the hierarchy outcome."""
+        self.cycle += access.gap_instructions / self.core.issue_width
+        line = self.address_map.line_address(access.address)
+        outcome = self.hierarchy.access(
+            access.address,
+            is_write=access.is_write,
+            is_instruction=access.is_instruction,
+        )
+        if not outcome.l1_hit:
+            if outcome.l2_hit:
+                self.cycle += self.core.l2_hit_penalty
+            else:
+                for address in outcome.fetched_lines:
+                    result = self.controller.fetch_line(int(self.cycle), address)
+                    if self.functional:
+                        # Write-allocate: the fill must match the image as it
+                        # was *before* this store merges its new data.
+                        expected = self._image_line(address)
+                        if result.plaintext != expected:
+                            raise FunctionalMismatchError(
+                                f"line {address:#x}: decrypted data does not "
+                                f"match the shadow image (seqnum {result.seqnum})"
+                            )
+                    stall = (result.data_ready - self.cycle) * (
+                        1.0 - self.core.miss_overlap
+                    )
+                    if stall > 0:
+                        self.cycle += stall
+                for address in outcome.writeback_lines:
+                    plaintext = self._image_line(address) if self.functional else None
+                    self.controller.writeback_line(int(self.cycle), address, plaintext)
+        if self.functional and access.is_write:
+            self._mutate_image(line)
+        return outcome
+
+    def run(self, trace: list[MemoryAccess]) -> "SecureSystem":
+        """Run a whole trace; returns self for chaining."""
+        for access in trace:
+            self.access(access)
+        return self
+
+    def flush(self) -> int:
+        """Flush all dirty lines through the encrypted write-back path."""
+        lines = self.hierarchy.flush_dirty()
+        for address in lines:
+            plaintext = self._image_line(address) if self.functional else None
+            self.controller.writeback_line(int(self.cycle), address, plaintext)
+        return len(lines)

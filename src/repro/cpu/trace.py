@@ -1,0 +1,77 @@
+"""Memory-access trace representation.
+
+A *trace* is the interface between workloads and the simulator: an iterable
+of :class:`MemoryAccess` records, each carrying the byte address, the access
+kind, and the number of instructions the core executed since the previous
+record (so the timing model can interleave computation with memory events
+without simulating every instruction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemoryAccess", "TraceSummary", "summarize_trace"]
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One memory reference emitted by a workload."""
+
+    address: int
+    is_write: bool = False
+    is_instruction: bool = False
+    gap_instructions: int = 8
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError(f"address must be non-negative, got {self.address}")
+        if self.gap_instructions < 0:
+            raise ValueError(
+                f"gap_instructions must be non-negative, got {self.gap_instructions}"
+            )
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregate shape of a trace (for tests and workload calibration)."""
+
+    references: int
+    instructions: int
+    writes: int
+    unique_lines: int
+    unique_pages: int
+    footprint_bytes: int
+
+    @property
+    def write_fraction(self) -> float:
+        return self.writes / self.references if self.references else 0.0
+
+    @property
+    def references_per_kilo_instruction(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.references / self.instructions
+
+
+def summarize_trace(
+    trace: list[MemoryAccess], line_bytes: int = 32, page_bytes: int = 4096
+) -> TraceSummary:
+    """Compute the aggregate statistics of ``trace``."""
+    lines = set()
+    pages = set()
+    writes = 0
+    instructions = 0
+    for access in trace:
+        lines.add(access.address // line_bytes)
+        pages.add(access.address // page_bytes)
+        writes += access.is_write
+        instructions += access.gap_instructions
+    return TraceSummary(
+        references=len(trace),
+        instructions=instructions,
+        writes=writes,
+        unique_lines=len(lines),
+        unique_pages=len(pages),
+        footprint_bytes=len(lines) * line_bytes,
+    )

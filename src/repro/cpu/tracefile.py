@@ -1,0 +1,135 @@
+"""Compact binary trace files.
+
+Workload traces can be saved and replayed so expensive generation (or an
+externally captured trace — e.g. from a binary-instrumentation tool) can
+feed the simulator directly.  The format is delta/varint encoded: typical
+traces compress to ~3 bytes per reference.
+
+Layout::
+
+    magic  b"RTRC"            4 bytes
+    version u8                currently 1
+    count   varint            number of records
+    records:
+        flags  u8             bit0 write, bit1 instruction
+        delta  zigzag varint  address - previous address
+        gap    varint         gap_instructions
+
+All integers little-endian base-128 varints.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.cpu.trace import MemoryAccess
+
+__all__ = ["TraceFormatError", "dump_trace", "load_trace", "save_trace_file", "load_trace_file"]
+
+_MAGIC = b"RTRC"
+_VERSION = 1
+
+
+class TraceFormatError(Exception):
+    """Raised for corrupt or unsupported trace files."""
+
+
+def _write_varint(out: io.BytesIO, value: int) -> None:
+    if value < 0:
+        raise ValueError(f"varint must be non-negative, got {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.write(bytes([byte | 0x80]))
+        else:
+            out.write(bytes([byte]))
+            return
+
+
+def _read_varint(data: bytes, offset: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise TraceFormatError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 70:
+            raise TraceFormatError("varint too long")
+
+
+def _zigzag(value: int) -> int:
+    return (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) if not value & 1 else -((value + 1) >> 1)
+
+
+def dump_trace(trace: list[MemoryAccess]) -> bytes:
+    """Serialize a trace to bytes."""
+    out = io.BytesIO()
+    out.write(_MAGIC)
+    out.write(bytes([_VERSION]))
+    _write_varint(out, len(trace))
+    previous_address = 0
+    for access in trace:
+        flags = (1 if access.is_write else 0) | (2 if access.is_instruction else 0)
+        out.write(bytes([flags]))
+        _write_varint(out, _zigzag(access.address - previous_address))
+        _write_varint(out, access.gap_instructions)
+        previous_address = access.address
+    return out.getvalue()
+
+
+def load_trace(data: bytes) -> list[MemoryAccess]:
+    """Deserialize a trace from bytes."""
+    if data[:4] != _MAGIC:
+        raise TraceFormatError("not a trace file (bad magic)")
+    if len(data) < 5:
+        raise TraceFormatError("truncated header")
+    if data[4] != _VERSION:
+        raise TraceFormatError(f"unsupported version {data[4]}")
+    count, offset = _read_varint(data, 5)
+    trace: list[MemoryAccess] = []
+    previous_address = 0
+    for _ in range(count):
+        if offset >= len(data):
+            raise TraceFormatError("truncated record")
+        flags = data[offset]
+        offset += 1
+        if flags & ~0x03:
+            raise TraceFormatError(f"unknown flags {flags:#x}")
+        delta, offset = _read_varint(data, offset)
+        gap, offset = _read_varint(data, offset)
+        address = previous_address + _unzigzag(delta)
+        if address < 0:
+            raise TraceFormatError("negative address after delta decode")
+        trace.append(
+            MemoryAccess(
+                address=address,
+                is_write=bool(flags & 1),
+                is_instruction=bool(flags & 2),
+                gap_instructions=gap,
+            )
+        )
+        previous_address = address
+    if offset != len(data):
+        raise TraceFormatError(f"{len(data) - offset} trailing bytes")
+    return trace
+
+
+def save_trace_file(path: str | Path, trace: list[MemoryAccess]) -> None:
+    """Write a trace to ``path``."""
+    Path(path).write_bytes(dump_trace(trace))
+
+
+def load_trace_file(path: str | Path) -> list[MemoryAccess]:
+    """Read a trace from ``path``."""
+    return load_trace(Path(path).read_bytes())

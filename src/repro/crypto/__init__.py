@@ -1,0 +1,33 @@
+"""Cryptographic substrate: AES, SHA-256, MACs, CTR mode, RNG, engine model.
+
+Everything in this package is implemented from scratch (no external crypto
+libraries).  The functional primitives (:class:`~repro.crypto.aes.AES`,
+:class:`~repro.crypto.ctr.CtrMode`, the MACs) encrypt real bytes; the
+:class:`~repro.crypto.engine.CryptoEngine` models *when* a pipelined hardware
+implementation would deliver those results.
+"""
+
+from repro.crypto.aes import AES, BLOCK_SIZE, KEY_SIZES
+from repro.crypto.ctr import CtrMode, make_counter_block, xor_bytes
+from repro.crypto.engine import CryptoEngine, CryptoEngineConfig, CryptoEngineStats
+from repro.crypto.mac import CbcMac, HmacSha256, constant_time_equal
+from repro.crypto.rng import HardwareRng
+from repro.crypto.sha256 import Sha256, sha256
+
+__all__ = [
+    "AES",
+    "BLOCK_SIZE",
+    "KEY_SIZES",
+    "CtrMode",
+    "make_counter_block",
+    "xor_bytes",
+    "CryptoEngine",
+    "CryptoEngineConfig",
+    "CryptoEngineStats",
+    "CbcMac",
+    "HmacSha256",
+    "constant_time_equal",
+    "HardwareRng",
+    "Sha256",
+    "sha256",
+]

@@ -1,0 +1,345 @@
+"""From-scratch AES (FIPS-197) block cipher.
+
+This module implements the Advanced Encryption Standard for all three key
+sizes (128/192/256 bits) with no external dependencies.  It is the block
+cipher ``E`` used throughout the counter-mode security architecture: the
+one-time pad for a memory block is ``E(key, vaddr || seqnum)``.
+
+The implementation follows the standard structure described in Section 5.2
+of the paper (sub-bytes, shift-rows, mix-columns, add-round-key) but fuses
+the first three stages into four precomputed 32-bit lookup tables
+("T-tables") for the encryption direction, which is the classic software
+realization of the round function.  Decryption uses the equivalent inverse
+cipher with inverse tables.
+
+All table contents are *derived* at import time from GF(2^8) arithmetic
+rather than pasted in as magic constants, so the full derivation of the
+cipher lives in this file.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AES", "BLOCK_SIZE", "KEY_SIZES"]
+
+BLOCK_SIZE = 16
+KEY_SIZES = (16, 24, 32)
+
+# ---------------------------------------------------------------------------
+# GF(2^8) arithmetic and table derivation
+# ---------------------------------------------------------------------------
+
+_AES_POLY = 0x11B  # x^8 + x^4 + x^3 + x + 1, the Rijndael field polynomial
+
+
+def _xtime(value: int) -> int:
+    """Multiply by x (i.e. 2) in GF(2^8)."""
+    value <<= 1
+    if value & 0x100:
+        value ^= _AES_POLY
+    return value
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8) modulo the Rijndael polynomial."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> tuple[list[int], list[int]]:
+    """Derive the S-box from multiplicative inverses plus the affine map."""
+    # Build the inverse table via exponentiation with generator 3.
+    exp = [0] * 256
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x = _gf_mul(x, 3)
+    exp[255] = exp[0]
+
+    def inverse(v: int) -> int:
+        if v == 0:
+            return 0
+        return exp[255 - log[v]]
+
+    sbox = [0] * 256
+    inv_sbox = [0] * 256
+    for value in range(256):
+        inv = inverse(value)
+        # Affine transformation over GF(2): b ^ rotl(b,1..4) ^ 0x63.
+        b = inv
+        result = 0x63
+        for shift in range(5):
+            result ^= ((b << shift) | (b >> (8 - shift))) & 0xFF
+        sbox[value] = result
+    for value, substituted in enumerate(sbox):
+        inv_sbox[substituted] = value
+    return sbox, inv_sbox
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+
+
+def _build_enc_tables() -> list[list[int]]:
+    """Fused SubBytes+ShiftRows+MixColumns tables for encryption."""
+    t0 = [0] * 256
+    for value in range(256):
+        s = _SBOX[value]
+        # MixColumns column for input byte: (2s, s, s, 3s).
+        t0[value] = (
+            (_gf_mul(s, 2) << 24)
+            | (s << 16)
+            | (s << 8)
+            | _gf_mul(s, 3)
+        )
+    tables = [t0]
+    for rotation in (1, 2, 3):
+        tables.append(
+            [((w >> (8 * rotation)) | (w << (32 - 8 * rotation))) & 0xFFFFFFFF for w in t0]
+        )
+    return tables
+
+
+def _build_dec_tables() -> list[list[int]]:
+    """Fused InvSubBytes+InvShiftRows+InvMixColumns tables for decryption."""
+    d0 = [0] * 256
+    for value in range(256):
+        s = _INV_SBOX[value]
+        d0[value] = (
+            (_gf_mul(s, 0x0E) << 24)
+            | (_gf_mul(s, 0x09) << 16)
+            | (_gf_mul(s, 0x0D) << 8)
+            | _gf_mul(s, 0x0B)
+        )
+    tables = [d0]
+    for rotation in (1, 2, 3):
+        tables.append(
+            [((w >> (8 * rotation)) | (w << (32 - 8 * rotation))) & 0xFFFFFFFF for w in d0]
+        )
+    return tables
+
+
+_TE0, _TE1, _TE2, _TE3 = _build_enc_tables()
+_TD0, _TD1, _TD2, _TD3 = _build_dec_tables()
+
+_RCON = [0x01]
+while len(_RCON) < 14:
+    _RCON.append(_xtime(_RCON[-1]))
+
+
+def _sub_word(word: int) -> int:
+    return (
+        (_SBOX[(word >> 24) & 0xFF] << 24)
+        | (_SBOX[(word >> 16) & 0xFF] << 16)
+        | (_SBOX[(word >> 8) & 0xFF] << 8)
+        | _SBOX[word & 0xFF]
+    )
+
+
+def _rot_word(word: int) -> int:
+    return ((word << 8) | (word >> 24)) & 0xFFFFFFFF
+
+
+def _inv_mix_word(word: int) -> int:
+    """InvMixColumns on a single 32-bit column (used for decrypt key schedule)."""
+    b0 = (word >> 24) & 0xFF
+    b1 = (word >> 16) & 0xFF
+    b2 = (word >> 8) & 0xFF
+    b3 = word & 0xFF
+    return (
+        ((_gf_mul(b0, 0x0E) ^ _gf_mul(b1, 0x0B) ^ _gf_mul(b2, 0x0D) ^ _gf_mul(b3, 0x09)) << 24)
+        | ((_gf_mul(b0, 0x09) ^ _gf_mul(b1, 0x0E) ^ _gf_mul(b2, 0x0B) ^ _gf_mul(b3, 0x0D)) << 16)
+        | ((_gf_mul(b0, 0x0D) ^ _gf_mul(b1, 0x09) ^ _gf_mul(b2, 0x0E) ^ _gf_mul(b3, 0x0B)) << 8)
+        | (_gf_mul(b0, 0x0B) ^ _gf_mul(b1, 0x0D) ^ _gf_mul(b2, 0x09) ^ _gf_mul(b3, 0x0E))
+    )
+
+
+class AES:
+    """AES block cipher with a fixed key.
+
+    Parameters
+    ----------
+    key:
+        16, 24, or 32 bytes selecting AES-128/192/256 (10/12/14 rounds).
+
+    Examples
+    --------
+    >>> cipher = AES(bytes(range(16)))
+    >>> block = bytes(range(16, 32))
+    >>> cipher.decrypt_block(cipher.encrypt_block(block)) == block
+    True
+    """
+
+    def __init__(self, key: bytes):
+        if not isinstance(key, (bytes, bytearray, memoryview)):
+            raise TypeError(f"key must be bytes-like, got {type(key).__name__}")
+        key = bytes(key)
+        if len(key) not in KEY_SIZES:
+            raise ValueError(
+                f"key must be 16, 24, or 32 bytes, got {len(key)}"
+            )
+        self.key_size = len(key)
+        self.rounds = {16: 10, 24: 12, 32: 14}[self.key_size]
+        self._enc_keys = self._expand_key(key)
+        self._dec_keys = self._invert_key_schedule(self._enc_keys)
+
+    # -- key schedule -------------------------------------------------------
+
+    def _expand_key(self, key: bytes) -> list[int]:
+        nk = self.key_size // 4
+        total_words = 4 * (self.rounds + 1)
+        words = [int.from_bytes(key[4 * i: 4 * i + 4], "big") for i in range(nk)]
+        for i in range(nk, total_words):
+            temp = words[i - 1]
+            if i % nk == 0:
+                temp = _sub_word(_rot_word(temp)) ^ (_RCON[i // nk - 1] << 24)
+            elif nk > 6 and i % nk == 4:
+                temp = _sub_word(temp)
+            words.append(words[i - nk] ^ temp)
+        return words
+
+    def _invert_key_schedule(self, enc_keys: list[int]) -> list[int]:
+        """Round keys for the equivalent inverse cipher (reversed, inv-mixed)."""
+        rounds = self.rounds
+        dec = [0] * len(enc_keys)
+        for round_index in range(rounds + 1):
+            src = 4 * (rounds - round_index)
+            for col in range(4):
+                word = enc_keys[src + col]
+                if 0 < round_index < rounds:
+                    word = _inv_mix_word(word)
+                dec[4 * round_index + col] = word
+        return dec
+
+    # -- block operations ----------------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt a single 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        keys = self._enc_keys
+        s0 = int.from_bytes(block[0:4], "big") ^ keys[0]
+        s1 = int.from_bytes(block[4:8], "big") ^ keys[1]
+        s2 = int.from_bytes(block[8:12], "big") ^ keys[2]
+        s3 = int.from_bytes(block[12:16], "big") ^ keys[3]
+
+        te0, te1, te2, te3 = _TE0, _TE1, _TE2, _TE3
+        offset = 4
+        for _ in range(self.rounds - 1):
+            t0 = (
+                te0[(s0 >> 24) & 0xFF]
+                ^ te1[(s1 >> 16) & 0xFF]
+                ^ te2[(s2 >> 8) & 0xFF]
+                ^ te3[s3 & 0xFF]
+                ^ keys[offset]
+            )
+            t1 = (
+                te0[(s1 >> 24) & 0xFF]
+                ^ te1[(s2 >> 16) & 0xFF]
+                ^ te2[(s3 >> 8) & 0xFF]
+                ^ te3[s0 & 0xFF]
+                ^ keys[offset + 1]
+            )
+            t2 = (
+                te0[(s2 >> 24) & 0xFF]
+                ^ te1[(s3 >> 16) & 0xFF]
+                ^ te2[(s0 >> 8) & 0xFF]
+                ^ te3[s1 & 0xFF]
+                ^ keys[offset + 2]
+            )
+            t3 = (
+                te0[(s3 >> 24) & 0xFF]
+                ^ te1[(s0 >> 16) & 0xFF]
+                ^ te2[(s1 >> 8) & 0xFF]
+                ^ te3[s2 & 0xFF]
+                ^ keys[offset + 3]
+            )
+            s0, s1, s2, s3 = t0, t1, t2, t3
+            offset += 4
+
+        sbox = _SBOX
+        out = bytearray(BLOCK_SIZE)
+        for col, state in enumerate(
+            (
+                (s0, s1, s2, s3),
+                (s1, s2, s3, s0),
+                (s2, s3, s0, s1),
+                (s3, s0, s1, s2),
+            )
+        ):
+            word = (
+                (sbox[(state[0] >> 24) & 0xFF] << 24)
+                | (sbox[(state[1] >> 16) & 0xFF] << 16)
+                | (sbox[(state[2] >> 8) & 0xFF] << 8)
+                | sbox[state[3] & 0xFF]
+            ) ^ keys[offset + col]
+            out[4 * col: 4 * col + 4] = word.to_bytes(4, "big")
+        return bytes(out)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt a single 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        keys = self._dec_keys
+        s0 = int.from_bytes(block[0:4], "big") ^ keys[0]
+        s1 = int.from_bytes(block[4:8], "big") ^ keys[1]
+        s2 = int.from_bytes(block[8:12], "big") ^ keys[2]
+        s3 = int.from_bytes(block[12:16], "big") ^ keys[3]
+
+        td0, td1, td2, td3 = _TD0, _TD1, _TD2, _TD3
+        offset = 4
+        for _ in range(self.rounds - 1):
+            t0 = (
+                td0[(s0 >> 24) & 0xFF]
+                ^ td1[(s3 >> 16) & 0xFF]
+                ^ td2[(s2 >> 8) & 0xFF]
+                ^ td3[s1 & 0xFF]
+                ^ keys[offset]
+            )
+            t1 = (
+                td0[(s1 >> 24) & 0xFF]
+                ^ td1[(s0 >> 16) & 0xFF]
+                ^ td2[(s3 >> 8) & 0xFF]
+                ^ td3[s2 & 0xFF]
+                ^ keys[offset + 1]
+            )
+            t2 = (
+                td0[(s2 >> 24) & 0xFF]
+                ^ td1[(s1 >> 16) & 0xFF]
+                ^ td2[(s0 >> 8) & 0xFF]
+                ^ td3[s3 & 0xFF]
+                ^ keys[offset + 2]
+            )
+            t3 = (
+                td0[(s3 >> 24) & 0xFF]
+                ^ td1[(s2 >> 16) & 0xFF]
+                ^ td2[(s1 >> 8) & 0xFF]
+                ^ td3[s0 & 0xFF]
+                ^ keys[offset + 3]
+            )
+            s0, s1, s2, s3 = t0, t1, t2, t3
+            offset += 4
+
+        inv_sbox = _INV_SBOX
+        out = bytearray(BLOCK_SIZE)
+        for col, state in enumerate(
+            (
+                (s0, s3, s2, s1),
+                (s1, s0, s3, s2),
+                (s2, s1, s0, s3),
+                (s3, s2, s1, s0),
+            )
+        ):
+            word = (
+                (inv_sbox[(state[0] >> 24) & 0xFF] << 24)
+                | (inv_sbox[(state[1] >> 16) & 0xFF] << 16)
+                | (inv_sbox[(state[2] >> 8) & 0xFF] << 8)
+                | inv_sbox[state[3] & 0xFF]
+            ) ^ keys[offset + col]
+            out[4 * col: 4 * col + 4] = word.to_bytes(4, "big")
+        return bytes(out)

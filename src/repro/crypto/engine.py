@@ -1,0 +1,134 @@
+"""Timing model of the pipelined AES crypto engine.
+
+Table 1 of the paper specifies the engine: AES-256 (14 rounds plus an
+initial and a final round), each round split into 6 pipeline stages of 1ns,
+for a 96ns end-to-end latency.  Because the engine is *fully pipelined*, a
+new 128-bit block can enter every stage-cycle; the whole point of OTP
+prediction is to fill those otherwise-idle issue slots with speculative pad
+computations while the memory fetch is in flight.
+
+This module models exactly that: an issue port with a configurable initiation
+interval and a fixed pipeline depth.  It does not perform cryptography (the
+functional path lives in :mod:`repro.crypto.aes`); it accounts for *when*
+pads become available and how speculative work steals slots from demand work.
+
+All times are in CPU cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CryptoEngineConfig", "CryptoEngineStats", "CryptoEngine"]
+
+
+@dataclass(frozen=True)
+class CryptoEngineConfig:
+    """Static parameters of the crypto engine.
+
+    Defaults reproduce Table 1: 16 rounds x 6 stages x 1ns = 96ns at a
+    1 GHz core clock (96 cycles), one block issued per cycle.
+    """
+
+    rounds: int = 16          # 14 AES-256 rounds + initial + final
+    stages_per_round: int = 6
+    stage_latency_ns: float = 1.0
+    cpu_ghz: float = 1.0
+    issue_interval: int = 1   # cycles between successive block issues
+
+    @property
+    def latency_ns(self) -> float:
+        """End-to-end pipeline latency in nanoseconds."""
+        return self.rounds * self.stages_per_round * self.stage_latency_ns
+
+    @property
+    def latency_cycles(self) -> int:
+        """End-to-end pipeline latency in CPU cycles."""
+        return max(1, round(self.latency_ns * self.cpu_ghz))
+
+
+@dataclass
+class CryptoEngineStats:
+    """Counters accumulated by the engine over a run."""
+
+    demand_blocks: int = 0
+    speculative_blocks: int = 0
+    queue_delay_cycles: int = 0
+    busy_cycles: int = 0
+    last_issue_time: int = field(default=0, repr=False)
+
+    @property
+    def total_blocks(self) -> int:
+        """All blocks issued, demand plus speculative."""
+        return self.demand_blocks + self.speculative_blocks
+
+    def utilization(self, elapsed_cycles: int) -> float:
+        """Fraction of issue slots used over ``elapsed_cycles``."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / elapsed_cycles)
+
+
+class CryptoEngine:
+    """Fully pipelined block-cipher engine with a single issue port.
+
+    The engine keeps one piece of dynamic state: the earliest cycle at which
+    the issue port is free.  Issuing a batch of ``count`` blocks at time
+    ``now`` occupies ``count`` consecutive issue slots starting no earlier
+    than ``now``; block *i* of the batch completes ``latency`` cycles after
+    its own issue slot.
+    """
+
+    def __init__(self, config: CryptoEngineConfig | None = None):
+        self.config = config or CryptoEngineConfig()
+        self.stats = CryptoEngineStats()
+        self._port_free_at = 0
+
+    def reset(self) -> None:
+        """Clear dynamic state and statistics."""
+        self.stats = CryptoEngineStats()
+        self._port_free_at = 0
+
+    @property
+    def latency(self) -> int:
+        """Pipeline latency in cycles."""
+        return self.config.latency_cycles
+
+    def issue(self, now: int, count: int, speculative: bool = False) -> list[int]:
+        """Issue ``count`` pad computations at cycle ``now``.
+
+        Returns the completion cycle of each block, in issue order.  Blocks
+        queue behind whatever is already occupying the issue port.
+        """
+        if count <= 0:
+            return []
+        interval = self.config.issue_interval
+        start = max(now, self._port_free_at)
+        self.stats.queue_delay_cycles += start - now
+        completions = []
+        for i in range(count):
+            slot = start + i * interval
+            completions.append(slot + self.latency)
+        self._port_free_at = start + count * interval
+        self.stats.busy_cycles += count * interval
+        self.stats.last_issue_time = self._port_free_at
+        if speculative:
+            self.stats.speculative_blocks += count
+        else:
+            self.stats.demand_blocks += count
+        return completions
+
+    def next_free_slot(self, now: int) -> int:
+        """Cycle at which a request issued at ``now`` would enter the pipe."""
+        return max(now, self._port_free_at)
+
+    def idle_slots_before(self, deadline: int, now: int) -> int:
+        """How many speculative issues fit between ``now`` and ``deadline``.
+
+        This is the budget the predictor has for free speculation: slots the
+        engine would otherwise spend idle while a memory fetch is in flight.
+        """
+        start = self.next_free_slot(now)
+        if deadline <= start:
+            return 0
+        return (deadline - start) // self.config.issue_interval

@@ -1,0 +1,85 @@
+"""Deterministic model of the processor's hardware random number generator.
+
+The architecture assigns a fresh random *root sequence number* to every
+virtual page when it is mapped (and again whenever the adaptive predictor
+resets a page).  The real design uses a hardware RNG; for reproducible
+simulation we substitute a seeded xoshiro256** generator, which has the same
+distributional properties that matter to the mechanism (uniform, independent
+64-bit values) while making every experiment replayable.
+
+The substitution is recorded in DESIGN.md Section 2.
+"""
+
+from __future__ import annotations
+
+__all__ = ["HardwareRng"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _rotl(value: int, amount: int) -> int:
+    return ((value << amount) | (value >> (64 - amount))) & _MASK64
+
+
+def _splitmix64(state: int) -> tuple[int, int]:
+    """One step of splitmix64; returns (new_state, output)."""
+    state = (state + 0x9E3779B97F4A7C15) & _MASK64
+    z = state
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return state, z ^ (z >> 31)
+
+
+class HardwareRng:
+    """xoshiro256** seeded from splitmix64, mirroring the reference code."""
+
+    def __init__(self, seed: int = 0x5EC0_12005):
+        state = seed & _MASK64
+        self._s = []
+        for _ in range(4):
+            state, word = _splitmix64(state)
+            self._s.append(word)
+
+    def next_u64(self) -> int:
+        """Return the next uniform 64-bit value."""
+        s0, s1, s2, s3 = self._s
+        result = (_rotl((s1 * 5) & _MASK64, 7) * 9) & _MASK64
+        t = (s1 << 17) & _MASK64
+        s2 ^= s0
+        s3 ^= s1
+        s1 ^= s2
+        s0 ^= s3
+        s2 ^= t
+        s3 = _rotl(s3, 45)
+        self._s = [s0, s1, s2, s3]
+        return result
+
+    def next_bits(self, bits: int) -> int:
+        """Return a uniform value in ``[0, 2**bits)`` for ``1 <= bits <= 64``."""
+        if not 1 <= bits <= 64:
+            raise ValueError(f"bits must be in [1, 64], got {bits}")
+        return self.next_u64() >> (64 - bits)
+
+    def next_below(self, bound: int) -> int:
+        """Return a uniform value in ``[0, bound)`` via rejection sampling."""
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        bits = bound.bit_length()
+        while True:
+            candidate = self.next_bits(min(bits, 64))
+            if candidate < bound:
+                return candidate
+
+    def next_bytes(self, count: int) -> bytes:
+        """Return ``count`` uniform random bytes."""
+        chunks = []
+        remaining = count
+        while remaining > 0:
+            chunk = self.next_u64().to_bytes(8, "big")
+            chunks.append(chunk[:remaining])
+            remaining -= 8
+        return b"".join(chunks)
+
+    def next_float(self) -> float:
+        """Return a uniform float in [0, 1) with 53 bits of precision."""
+        return self.next_bits(53) / (1 << 53)

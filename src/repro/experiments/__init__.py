@@ -1,0 +1,68 @@
+"""Experiment harness: machine configs, scheme runner, figures, reporting."""
+
+from repro.experiments.config import (
+    MachineConfig,
+    PredictionConfig,
+    TABLE1_1M,
+    TABLE1_256K,
+    table1_rows,
+)
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.paper_data import PAPER_AVERAGES, PAPER_CLAIMS, check_claims
+from repro.experiments.report import (
+    FigureResult,
+    compare_to_paper,
+    geometric_mean,
+    render_bars,
+    render_figure,
+    series_average,
+)
+from repro.experiments.stats import (
+    METRICS,
+    SeedSummary,
+    metric_across_seeds,
+    summarize,
+)
+from repro.experiments.sweep import SweepResult, run_grid
+from repro.experiments.runner import (
+    SCHEMES,
+    SchemeSpec,
+    apply_preseed,
+    default_references,
+    get_miss_trace,
+    make_controller,
+    run_benchmark,
+    run_scheme,
+)
+
+__all__ = [
+    "MachineConfig",
+    "PredictionConfig",
+    "TABLE1_1M",
+    "TABLE1_256K",
+    "table1_rows",
+    "ALL_FIGURES",
+    "PAPER_AVERAGES",
+    "PAPER_CLAIMS",
+    "check_claims",
+    "FigureResult",
+    "compare_to_paper",
+    "geometric_mean",
+    "render_bars",
+    "render_figure",
+    "series_average",
+    "METRICS",
+    "SeedSummary",
+    "metric_across_seeds",
+    "summarize",
+    "SweepResult",
+    "run_grid",
+    "SCHEMES",
+    "SchemeSpec",
+    "apply_preseed",
+    "default_references",
+    "get_miss_trace",
+    "make_controller",
+    "run_benchmark",
+    "run_scheme",
+]

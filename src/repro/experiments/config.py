@@ -1,0 +1,110 @@
+"""Machine configurations — Table 1 of the paper.
+
+Two evaluated machines differ only in the unified L2 (256KB @ 4 cycles vs
+1MB @ 8 cycles).  Everything else is shared: 8-wide core, direct-mapped 8KB
+L1s with 32-byte lines, 4-way 256-entry TLBs, 200MHz x 8B memory bus, and a
+fully pipelined AES-256 engine with 96ns latency (16 rounds x 6 stages x
+1ns).  Prediction parameters: depth 5, swing 3, 16-bit PHV with threshold 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.core import CoreConfig
+from repro.crypto.engine import CryptoEngineConfig
+from repro.memory.bus import BusConfig
+from repro.memory.dram import DramConfig
+from repro.memory.hierarchy import HierarchyConfig
+from repro.memory.tlb import TlbConfig
+
+__all__ = [
+    "PredictionConfig",
+    "MachineConfig",
+    "TABLE1_256K",
+    "TABLE1_1M",
+    "table1_rows",
+]
+
+
+@dataclass(frozen=True)
+class PredictionConfig:
+    """Prediction-mechanism parameters from Table 1."""
+
+    depth: int = 5
+    swing: int = 3
+    phv_bits: int = 16
+    phv_threshold: int = 12
+    range_entries: int = 64
+    range_bits: int = 4
+    root_history_depth: int = 0
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """One column of Table 1, fully wired."""
+
+    name: str
+    hierarchy: HierarchyConfig
+    core: CoreConfig
+    engine: CryptoEngineConfig
+    dram: DramConfig
+    tlb: TlbConfig
+    prediction: PredictionConfig
+    flush_interval_instructions: int = 400_000
+
+    @property
+    def l2_kb(self) -> int:
+        return self.hierarchy.l2_size // 1024
+
+
+_BUS = BusConfig(width_bytes=8, bus_mhz=200.0, cpu_ghz=1.0)
+_DRAM = DramConfig(bus=_BUS)
+_ENGINE = CryptoEngineConfig(
+    rounds=16, stages_per_round=6, stage_latency_ns=1.0, cpu_ghz=1.0
+)
+_TLB = TlbConfig(entries=256, associativity=4)
+_PREDICTION = PredictionConfig()
+
+TABLE1_256K = MachineConfig(
+    name="table1-256K",
+    hierarchy=HierarchyConfig(l2_size=256 * 1024, l2_latency=4),
+    core=CoreConfig(issue_width=8, l2_hit_penalty=4),
+    engine=_ENGINE,
+    dram=_DRAM,
+    tlb=_TLB,
+    prediction=_PREDICTION,
+)
+
+TABLE1_1M = MachineConfig(
+    name="table1-1M",
+    hierarchy=HierarchyConfig(l2_size=1024 * 1024, l2_latency=8),
+    core=CoreConfig(issue_width=8, l2_hit_penalty=8),
+    engine=_ENGINE,
+    dram=_DRAM,
+    tlb=_TLB,
+    prediction=_PREDICTION,
+)
+
+
+def table1_rows() -> list[tuple[str, str]]:
+    """The printable parameter table (validated by the Table-1 benchmark)."""
+    machine = TABLE1_256K
+    return [
+        ("Fetch/Decode width", str(machine.core.issue_width)),
+        ("Issue/Commit width", str(machine.core.issue_width)),
+        ("L1 I-Cache", "DM, 8KB, 32B line"),
+        ("L1 D-Cache", "DM, 8KB, 32B line"),
+        ("L2 Cache", "4way, Unified, 32B line, Writeback, 256KB and 1MB"),
+        ("L1 Latency", "1 cycle"),
+        ("L2 Latency", "4 cycles (256KB), 8 cycles (1MB)"),
+        ("I-TLB", "4-way, 256 entries"),
+        ("D-TLB", "4-way, 256 entries"),
+        ("Memory Bus", "200MHz, 8B wide"),
+        ("AES latency", "16 rounds, 6 stages of 1ns each: 96ns"),
+        ("Sequence number cache", "4KB, 128KB, 512KB (32B line)"),
+        ("Prediction History Vector", "16 bit"),
+        ("PHV threshold", "12"),
+        ("Prediction depth", "5"),
+        ("Prediction swing (context-based only)", "3"),
+    ]

@@ -1,0 +1,278 @@
+"""One entry point per table/figure of the paper's evaluation.
+
+Each ``figure*`` function sweeps the 14 SPEC2000-like workloads through the
+schemes that figure compares and returns a
+:class:`~repro.experiments.report.FigureResult` whose series mirror the
+paper's bars:
+
+========  ===========================================================
+Fig 7/8   Sequence-number hit rates: 128K/512K caches vs prediction
+Fig 9     Hit breakdown with a 32KB cache + prediction combined
+Fig 10/11 Normalized IPC: 4K/128K/512K caches vs prediction
+Fig 12/13 Hit rates: two-level vs context vs regular prediction
+Fig 14    Absolute number of predictions, 256KB vs 1MB L2
+Fig 15/16 Normalized IPC: two-level vs context vs regular
+========  ===========================================================
+
+Figures ending in an even number (8/11/13/16 companions) use the 1MB-L2
+machine of Table 1; the others the 256KB machine.  ``references`` scales
+the trace length (the paper's 8-billion-instruction windows are scaled to
+trace-driven windows; see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import MachineConfig, TABLE1_1M, TABLE1_256K, table1_rows
+from repro.experiments.report import FigureResult
+from repro.experiments.runner import run_benchmark, run_scheme
+from repro.workloads.spec import SPEC_BENCHMARKS
+
+__all__ = [
+    "table1",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+    "figure15",
+    "figure16",
+    "ALL_FIGURES",
+]
+
+
+def table1() -> FigureResult:
+    """Table 1 — machine parameters (configuration, not an experiment)."""
+    rows = table1_rows()
+    return FigureResult(
+        figure_id="Table 1",
+        title="Processor model parameters",
+        series={},
+        unit="text",
+        metadata={"rows": rows},
+    )
+
+
+def _hit_rate_figure(
+    figure_id: str, machine: MachineConfig, references: int | None, seed: int
+) -> FigureResult:
+    series: dict[str, dict[str, float]] = {
+        "128K_cache": {},
+        "512K_cache": {},
+        "Pred": {},
+    }
+    for benchmark in SPEC_BENCHMARKS:
+        results = run_benchmark(
+            benchmark,
+            ["seqcache_128k", "seqcache_512k", "pred_regular"],
+            machine=machine,
+            references=references,
+            seed=seed,
+        )
+        series["128K_cache"][benchmark] = results["seqcache_128k"].seqcache_hit_rate
+        series["512K_cache"][benchmark] = results["seqcache_512k"].seqcache_hit_rate
+        series["Pred"][benchmark] = results["pred_regular"].prediction_rate
+    return FigureResult(
+        figure_id=figure_id,
+        title=f"Sequence number hit rates, {machine.l2_kb}KB L2",
+        series=series,
+        notes="Pred = adaptive regular OTP prediction rate",
+    )
+
+
+def figure7(references: int | None = None, seed: int = 1) -> FigureResult:
+    """Fig. 7 — sequence-number hit rates, 256KB L2, long window."""
+    return _hit_rate_figure("Figure 7", TABLE1_256K, references, seed)
+
+
+def figure8(references: int | None = None, seed: int = 1) -> FigureResult:
+    """Fig. 8 — sequence-number hit rates, 1MB L2, long window."""
+    return _hit_rate_figure("Figure 8", TABLE1_1M, references, seed)
+
+
+def figure9(references: int | None = None, seed: int = 1) -> FigureResult:
+    """Fig. 9 — breakdown of hits: 32KB sequence-number cache + prediction.
+
+    Stacks, per benchmark, the fraction of fetches covered by prediction
+    only, by the cache only, and by both (as fractions of all fetches).
+    """
+    series: dict[str, dict[str, float]] = {
+        "Pred_Hit": {},
+        "Seq_Only": {},
+        "Both_Hit": {},
+    }
+    for benchmark in SPEC_BENCHMARKS:
+        metrics = run_scheme(
+            benchmark,
+            "pred_plus_cache_32k",
+            machine=TABLE1_256K,
+            references=references,
+            seed=seed,
+        )
+        fetches = max(1, metrics.fetches)
+        series["Pred_Hit"][benchmark] = metrics.class_pred_only / fetches
+        series["Seq_Only"][benchmark] = metrics.class_cache_only / fetches
+        series["Both_Hit"][benchmark] = metrics.class_both / fetches
+    return FigureResult(
+        figure_id="Figure 9",
+        title="Breakdown of sequence-number coverage, 32KB cache + prediction",
+        series=series,
+        notes="fractions of all L2-miss fetches",
+    )
+
+
+_IPC_CACHE_SCHEMES = [
+    "oracle",
+    "seqcache_4k",
+    "seqcache_128k",
+    "seqcache_512k",
+    "pred_regular",
+]
+
+
+def _ipc_cache_figure(
+    figure_id: str, machine: MachineConfig, references: int | None, seed: int
+) -> FigureResult:
+    series: dict[str, dict[str, float]] = {
+        "Seq_Cache_4K": {},
+        "Seq_Cache_128K": {},
+        "Seq_Cache_512K": {},
+        "Pred": {},
+    }
+    for benchmark in SPEC_BENCHMARKS:
+        results = run_benchmark(
+            benchmark, _IPC_CACHE_SCHEMES, machine=machine,
+            references=references, seed=seed,
+        )
+        oracle = results["oracle"]
+        series["Seq_Cache_4K"][benchmark] = results["seqcache_4k"].normalized_ipc(oracle)
+        series["Seq_Cache_128K"][benchmark] = results["seqcache_128k"].normalized_ipc(oracle)
+        series["Seq_Cache_512K"][benchmark] = results["seqcache_512k"].normalized_ipc(oracle)
+        series["Pred"][benchmark] = results["pred_regular"].normalized_ipc(oracle)
+    return FigureResult(
+        figure_id=figure_id,
+        title=f"Normalized IPC: sequence-number caches vs OTP prediction, {machine.l2_kb}KB L2",
+        series=series,
+        unit="normalized IPC (oracle = 1.0)",
+    )
+
+
+def figure10(references: int | None = None, seed: int = 1) -> FigureResult:
+    """Fig. 10 — normalized IPC, caches vs prediction, 256KB L2."""
+    return _ipc_cache_figure("Figure 10", TABLE1_256K, references, seed)
+
+
+def figure11(references: int | None = None, seed: int = 1) -> FigureResult:
+    """Fig. 11 — normalized IPC, caches vs prediction, 1MB L2."""
+    return _ipc_cache_figure("Figure 11", TABLE1_1M, references, seed)
+
+
+_OPT_SCHEMES = ["pred_regular", "pred_two_level", "pred_context"]
+
+
+def _opt_hit_figure(
+    figure_id: str, machine: MachineConfig, references: int | None, seed: int
+) -> FigureResult:
+    series: dict[str, dict[str, float]] = {
+        "Regular": {},
+        "Two_Level": {},
+        "Context": {},
+    }
+    for benchmark in SPEC_BENCHMARKS:
+        results = run_benchmark(
+            benchmark, _OPT_SCHEMES, machine=machine,
+            references=references, seed=seed,
+        )
+        series["Regular"][benchmark] = results["pred_regular"].prediction_rate
+        series["Two_Level"][benchmark] = results["pred_two_level"].prediction_rate
+        series["Context"][benchmark] = results["pred_context"].prediction_rate
+    return FigureResult(
+        figure_id=figure_id,
+        title=f"Hit rate: two-level vs context-based vs regular, {machine.l2_kb}KB L2",
+        series=series,
+    )
+
+
+def figure12(references: int | None = None, seed: int = 1) -> FigureResult:
+    """Fig. 12 — optimized prediction hit rates, 256KB L2."""
+    return _opt_hit_figure("Figure 12", TABLE1_256K, references, seed)
+
+
+def figure13(references: int | None = None, seed: int = 1) -> FigureResult:
+    """Fig. 13 — optimized prediction hit rates, 1MB L2."""
+    return _opt_hit_figure("Figure 13", TABLE1_1M, references, seed)
+
+
+def figure14(references: int | None = None, seed: int = 1) -> FigureResult:
+    """Fig. 14 — absolute number of predictions, 256KB vs 1MB L2.
+
+    Larger L2s filter more misses, so fewer predictions are made (the
+    paper's explanation for why prediction *rates* can look lower at 1MB
+    while absolute mispredictions shrink).
+    """
+    series: dict[str, dict[str, float]] = {"L2_256K": {}, "L2_1M": {}}
+    for benchmark in SPEC_BENCHMARKS:
+        for label, machine in (("L2_256K", TABLE1_256K), ("L2_1M", TABLE1_1M)):
+            metrics = run_scheme(
+                benchmark, "pred_regular", machine=machine,
+                references=references, seed=seed,
+            )
+            series[label][benchmark] = float(metrics.prediction_lookups)
+    return FigureResult(
+        figure_id="Figure 14",
+        title="Number of predictions, 256KB vs 1MB L2",
+        series=series,
+        unit="count",
+    )
+
+
+def _opt_ipc_figure(
+    figure_id: str, machine: MachineConfig, references: int | None, seed: int
+) -> FigureResult:
+    series: dict[str, dict[str, float]] = {
+        "Regular": {},
+        "Two_Level": {},
+        "Context": {},
+    }
+    for benchmark in SPEC_BENCHMARKS:
+        results = run_benchmark(
+            benchmark, ["oracle"] + _OPT_SCHEMES, machine=machine,
+            references=references, seed=seed,
+        )
+        oracle = results["oracle"]
+        series["Regular"][benchmark] = results["pred_regular"].normalized_ipc(oracle)
+        series["Two_Level"][benchmark] = results["pred_two_level"].normalized_ipc(oracle)
+        series["Context"][benchmark] = results["pred_context"].normalized_ipc(oracle)
+    return FigureResult(
+        figure_id=figure_id,
+        title=f"Normalized IPC: two-level vs context vs regular, {machine.l2_kb}KB L2",
+        series=series,
+        unit="normalized IPC (oracle = 1.0)",
+    )
+
+
+def figure15(references: int | None = None, seed: int = 1) -> FigureResult:
+    """Fig. 15 — normalized IPC of the optimizations, 256KB L2."""
+    return _opt_ipc_figure("Figure 15", TABLE1_256K, references, seed)
+
+
+def figure16(references: int | None = None, seed: int = 1) -> FigureResult:
+    """Fig. 16 — normalized IPC of the optimizations, 1MB L2."""
+    return _opt_ipc_figure("Figure 16", TABLE1_1M, references, seed)
+
+
+ALL_FIGURES = {
+    "table1": table1,
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure9": figure9,
+    "figure10": figure10,
+    "figure11": figure11,
+    "figure12": figure12,
+    "figure13": figure13,
+    "figure14": figure14,
+    "figure15": figure15,
+    "figure16": figure16,
+}

@@ -1,0 +1,131 @@
+"""The paper's reported numbers, as data.
+
+Everything the evaluation text states quantitatively, keyed so the
+benchmark harness can print paper-vs-measured deltas mechanically (the
+per-benchmark bar heights are not recoverable from the text, so this
+module carries the averages and the qualitative claims the text commits
+to).  Sections refer to the ISCA 2005 paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PAPER_AVERAGES", "PaperClaim", "PAPER_CLAIMS", "check_claims"]
+
+#: figure id -> series -> paper's average value (fractions).
+PAPER_AVERAGES: dict[str, dict[str, float]] = {
+    # Section 6.1: "The average prediction rate is 82%" (256KB L2, 8B instr)
+    "Figure 7": {"Pred": 0.82},
+    # "The average prediction rate is 80% compared to 57% for a 128KB
+    # sequence number cache" (1MB L2)
+    "Figure 8": {"Pred": 0.80, "128K_cache": 0.57},
+    # Section 8: "The average prediction rate of two-level prediction is
+    # almost 96% with a 256KB L2 and 95% with 1MB"; context approaches 99%.
+    "Figure 12": {"Regular": 0.82, "Two_Level": 0.96, "Context": 0.99},
+    "Figure 13": {"Regular": 0.80, "Two_Level": 0.95, "Context": 0.99},
+}
+
+
+@dataclass(frozen=True)
+class PaperClaim:
+    """A qualitative, checkable statement from the evaluation text."""
+
+    section: str
+    text: str
+    check: str  # name of the checker in _CHECKERS
+
+
+PAPER_CLAIMS = (
+    PaperClaim(
+        "6.1",
+        "prediction rate higher than that of a 128KB or a 512KB sequence "
+        "number cache (256KB L2)",
+        "pred_beats_caches_fig7",
+    ),
+    PaperClaim(
+        "6.2",
+        "for every benchmark, OTP prediction outperforms a 128KB sequence "
+        "number cache (normalized IPC)",
+        "pred_beats_128k_everywhere_fig10",
+    ),
+    PaperClaim(
+        "6.2",
+        "for average IPC, OTP prediction even performs better than a very "
+        "large 512KB sequence number cache",
+        "pred_beats_512k_average_fig10",
+    ),
+    PaperClaim(
+        "8",
+        "for most benchmarks, context-based prediction outperforms "
+        "two-level prediction",
+        "context_beats_two_level_mostly_fig12",
+    ),
+    PaperClaim(
+        "8",
+        "the prediction rate using a large L2 is often smaller than with a "
+        "small L2, but the absolute number of predictions is lower",
+        "fewer_predictions_at_1m_fig14",
+    ),
+)
+
+
+def _avg(series: dict[str, float]) -> float:
+    return sum(series.values()) / len(series) if series else 0.0
+
+
+def _pred_beats_caches_fig7(figures) -> bool:
+    series = figures["Figure 7"].series
+    pred = _avg(series["Pred"])
+    return pred > _avg(series["128K_cache"]) and pred > _avg(series["512K_cache"])
+
+
+def _pred_beats_128k_everywhere_fig10(figures) -> bool:
+    series = figures["Figure 10"].series
+    return all(
+        series["Pred"][b] > series["Seq_Cache_128K"][b] for b in series["Pred"]
+    )
+
+
+def _pred_beats_512k_average_fig10(figures) -> bool:
+    series = figures["Figure 10"].series
+    return _avg(series["Pred"]) > _avg(series["Seq_Cache_512K"])
+
+
+def _context_beats_two_level_mostly_fig12(figures) -> bool:
+    series = figures["Figure 12"].series
+    wins = sum(
+        series["Context"][b] >= series["Two_Level"][b] for b in series["Context"]
+    )
+    return wins > len(series["Context"]) / 2
+
+
+def _fewer_predictions_at_1m_fig14(figures) -> bool:
+    series = figures["Figure 14"].series
+    return _avg(series["L2_1M"]) < _avg(series["L2_256K"])
+
+
+_CHECKERS = {
+    "pred_beats_caches_fig7": _pred_beats_caches_fig7,
+    "pred_beats_128k_everywhere_fig10": _pred_beats_128k_everywhere_fig10,
+    "pred_beats_512k_average_fig10": _pred_beats_512k_average_fig10,
+    "context_beats_two_level_mostly_fig12": _context_beats_two_level_mostly_fig12,
+    "fewer_predictions_at_1m_fig14": _fewer_predictions_at_1m_fig14,
+}
+
+
+def check_claims(figures: dict) -> list[tuple[PaperClaim, bool]]:
+    """Evaluate every claim against measured figure results.
+
+    ``figures`` maps figure ids ("Figure 7", ...) to
+    :class:`~repro.experiments.report.FigureResult` objects; claims whose
+    figures are missing are skipped.
+    """
+    outcomes = []
+    for claim in PAPER_CLAIMS:
+        checker = _CHECKERS[claim.check]
+        try:
+            outcomes.append((claim, bool(checker(figures))))
+        except KeyError:
+            continue
+    return outcomes

@@ -1,0 +1,130 @@
+"""Rendering and comparison helpers for experiment results.
+
+Every figure function in :mod:`repro.experiments.figures` returns a
+:class:`FigureResult`: named series over the 14 benchmarks plus an average
+column, mirroring the bar charts in the paper.  :func:`render_figure`
+prints the same rows the paper plots; :func:`compare_to_paper` computes the
+deltas EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FigureResult",
+    "render_figure",
+    "render_bars",
+    "series_average",
+    "geometric_mean",
+    "compare_to_paper",
+]
+
+
+@dataclass
+class FigureResult:
+    """One reproduced table/figure: series-name -> benchmark -> value."""
+
+    figure_id: str
+    title: str
+    series: dict[str, dict[str, float]]
+    unit: str = "rate"
+    notes: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def benchmarks(self) -> list[str]:
+        names: list[str] = []
+        for values in self.series.values():
+            for name in values:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def average(self, series_name: str) -> float:
+        return series_average(self.series[series_name])
+
+
+def series_average(values: dict[str, float]) -> float:
+    """Arithmetic mean over benchmarks (what the paper's Average bar shows)."""
+    if not values:
+        return 0.0
+    return sum(values.values()) / len(values)
+
+
+def geometric_mean(values: dict[str, float]) -> float:
+    """Geometric mean (robust for normalized-IPC style ratios)."""
+    if not values:
+        return 0.0
+    positives = [v for v in values.values() if v > 0]
+    if not positives:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positives) / len(positives))
+
+
+def render_figure(result: FigureResult, width: int = 9) -> str:
+    """ASCII rendering: benchmarks as rows, series as columns."""
+    series_names = list(result.series)
+    header = f"{result.figure_id}: {result.title}"
+    lines = [header, "=" * len(header)]
+    name_width = max([len(b) for b in result.benchmarks()] + [len("Average"), 9])
+    column_headers = "".join(f"{name[:width]:>{width + 1}}" for name in series_names)
+    lines.append(f"{'benchmark':<{name_width}}{column_headers}")
+    for benchmark in result.benchmarks():
+        row = f"{benchmark:<{name_width}}"
+        for name in series_names:
+            value = result.series[name].get(benchmark)
+            row += f"{value:>{width + 1}.3f}" if value is not None else " " * (width + 1)
+        lines.append(row)
+    average_row = f"{'Average':<{name_width}}"
+    for name in series_names:
+        average_row += f"{result.average(name):>{width + 1}.3f}"
+    lines.append(average_row)
+    if result.notes:
+        lines.append(f"note: {result.notes}")
+    return "\n".join(lines)
+
+
+def render_bars(result: FigureResult, width: int = 40) -> str:
+    """ASCII bar chart: one row per (benchmark, series) pair.
+
+    Mirrors the grouped-bar presentation of the paper's figures in a
+    terminal, scaled to the largest value in the result.
+    """
+    peak = max(
+        (value for values in result.series.values() for value in values.values()),
+        default=0.0,
+    )
+    if peak <= 0:
+        peak = 1.0
+    name_width = max(
+        [len(b) for b in result.benchmarks()] + [1]
+    )
+    series_width = max([len(s) for s in result.series] + [1])
+    lines = [f"{result.figure_id}: {result.title}"]
+    for benchmark in result.benchmarks():
+        for index, (series_name, values) in enumerate(result.series.items()):
+            value = values.get(benchmark)
+            if value is None:
+                continue
+            bar = "#" * max(0, round(value / peak * width))
+            label = benchmark if index == 0 else ""
+            lines.append(
+                f"{label:<{name_width}} {series_name:<{series_width}} "
+                f"|{bar:<{width}}| {value:.3f}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def compare_to_paper(
+    measured: dict[str, float], paper: dict[str, float]
+) -> list[tuple[str, float, float, float]]:
+    """Rows of (label, paper value, measured value, delta) for EXPERIMENTS.md."""
+    rows = []
+    for label, expected in paper.items():
+        actual = measured.get(label)
+        if actual is None:
+            continue
+        rows.append((label, expected, actual, actual - expected))
+    return rows

@@ -1,0 +1,235 @@
+"""Experiment runner: (benchmark x scheme x machine) -> metrics.
+
+The heavy step — simulating a workload through the cache hierarchy — is
+scheme-independent (OTP prediction adds no memory traffic), so miss traces
+are collected once per (benchmark, machine, length, seed) and memoized;
+every security scheme then replays the same stream through a fresh
+controller.  This is the exact-decomposition argument of
+:mod:`repro.cpu.system` and is what makes the paper's multi-scheme sweeps
+tractable in Python.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.cpu.core import RunMetrics
+from repro.cpu.system import MissTrace, collect_miss_trace, replay_miss_trace
+from repro.crypto.engine import CryptoEngine
+from repro.crypto.rng import HardwareRng
+from repro.experiments.config import MachineConfig, TABLE1_256K
+from repro.memory.dram import Dram
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.secure.controller import SecureMemoryController
+from repro.secure.direct import DirectEncryptionController
+from repro.secure.predecrypt import PredecryptingController
+from repro.secure.predictors import (
+    ContextOtpPredictor,
+    NullPredictor,
+    OtpPredictor,
+    RangePredictionTable,
+    RegularOtpPredictor,
+    TwoLevelOtpPredictor,
+)
+from repro.secure.seqcache import SequenceNumberCache
+from repro.secure.seqnum import PageSecurityTable
+from repro.workloads.spec import build_workload
+
+__all__ = [
+    "SchemeSpec",
+    "SCHEMES",
+    "default_references",
+    "get_miss_trace",
+    "make_controller",
+    "apply_preseed",
+    "run_scheme",
+    "run_benchmark",
+]
+
+_MASK64 = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """One point in the paper's scheme space."""
+
+    name: str
+    predictor: str | None = None      # None | regular | two_level | context
+    seqcache_kb: int | None = None
+    oracle: bool = False
+    adaptive: bool = True
+    root_history: bool = False
+    predecrypt: bool = False          # Section 9.2 comparison / hybrid
+    direct: bool = False              # pre-CTR direct-encryption baseline
+
+
+SCHEMES: dict[str, SchemeSpec] = {
+    spec.name: spec
+    for spec in (
+        SchemeSpec("oracle", oracle=True),
+        SchemeSpec("baseline"),
+        SchemeSpec("seqcache_4k", seqcache_kb=4),
+        SchemeSpec("seqcache_32k", seqcache_kb=32),
+        SchemeSpec("seqcache_128k", seqcache_kb=128),
+        SchemeSpec("seqcache_512k", seqcache_kb=512),
+        SchemeSpec("pred_regular", predictor="regular"),
+        SchemeSpec("pred_regular_static", predictor="regular", adaptive=False),
+        SchemeSpec("pred_regular_history", predictor="regular", root_history=True),
+        SchemeSpec("pred_two_level", predictor="two_level"),
+        SchemeSpec("pred_context", predictor="context"),
+        SchemeSpec("pred_plus_cache_32k", predictor="regular", seqcache_kb=32),
+        SchemeSpec("predecrypt", predecrypt=True),
+        SchemeSpec("hybrid_predecrypt", predictor="regular", predecrypt=True),
+        SchemeSpec("direct_encryption", direct=True),
+    )
+}
+
+
+def default_references() -> int:
+    """Trace length for figure runs (override with ``REPRO_REFS``)."""
+    return int(os.environ.get("REPRO_REFS", "60000"))
+
+
+# -- miss-trace memoization ----------------------------------------------------
+
+_MISS_TRACE_CACHE: dict[tuple, tuple[MissTrace, dict[int, int]]] = {}
+
+
+def get_miss_trace(
+    benchmark: str,
+    machine: MachineConfig = TABLE1_256K,
+    references: int | None = None,
+    seed: int = 1,
+) -> tuple[MissTrace, dict[int, int]]:
+    """Miss trace + fast-forward preseed for one (benchmark, machine)."""
+    references = references or default_references()
+    key = (benchmark, machine.name, references, seed)
+    cached = _MISS_TRACE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    workload = build_workload(benchmark, references=references, seed=seed)
+    hierarchy = MemoryHierarchy(machine.hierarchy)
+    miss_trace = collect_miss_trace(
+        workload.trace,
+        hierarchy=hierarchy,
+        flush_interval_instructions=machine.flush_interval_instructions,
+    )
+    _MISS_TRACE_CACHE[key] = (miss_trace, workload.preseed)
+    return miss_trace, workload.preseed
+
+
+# -- controller construction -----------------------------------------------------
+
+
+def _make_predictor(
+    spec: SchemeSpec, machine: MachineConfig, table: PageSecurityTable
+) -> OtpPredictor:
+    prediction = machine.prediction
+    if spec.predictor is None:
+        return NullPredictor(table)
+    if spec.predictor == "regular":
+        return RegularOtpPredictor(
+            table,
+            depth=prediction.depth,
+            adaptive=spec.adaptive,
+            use_root_history=spec.root_history,
+        )
+    if spec.predictor == "two_level":
+        return TwoLevelOtpPredictor(
+            table,
+            depth=prediction.depth,
+            adaptive=spec.adaptive,
+            use_root_history=spec.root_history,
+            range_table=RangePredictionTable(
+                entries=prediction.range_entries,
+                range_bits=prediction.range_bits,
+            ),
+        )
+    if spec.predictor == "context":
+        return ContextOtpPredictor(
+            table,
+            depth=prediction.depth,
+            swing=prediction.swing,
+            adaptive=spec.adaptive,
+            use_root_history=spec.root_history,
+        )
+    raise ValueError(f"unknown predictor kind {spec.predictor!r}")
+
+
+def make_controller(
+    spec: SchemeSpec, machine: MachineConfig = TABLE1_256K, seed: int = 1
+) -> SecureMemoryController:
+    """Fresh controller implementing one scheme on one machine."""
+    history_depth = machine.prediction.root_history_depth
+    if spec.root_history and not history_depth:
+        history_depth = 1
+    table = PageSecurityTable(
+        rng=HardwareRng(seed),
+        phv_bits=machine.prediction.phv_bits,
+        phv_threshold=machine.prediction.phv_threshold,
+        history_depth=history_depth,
+    )
+    seqcache = (
+        SequenceNumberCache(spec.seqcache_kb * 1024) if spec.seqcache_kb else None
+    )
+    if spec.direct and spec.predecrypt:
+        raise ValueError("direct encryption cannot be combined with predecryption")
+    if spec.direct:
+        controller_class = DirectEncryptionController
+    elif spec.predecrypt:
+        controller_class = PredecryptingController
+    else:
+        controller_class = SecureMemoryController
+    return controller_class(
+        engine=CryptoEngine(machine.engine),
+        dram=Dram(machine.dram),
+        page_table=table,
+        predictor=_make_predictor(spec, machine, table),
+        seqcache=seqcache,
+        oracle=spec.oracle,
+    )
+
+
+def apply_preseed(
+    controller: SecureMemoryController, preseed: dict[int, int]
+) -> None:
+    """Install fast-forward counter state (line distances) into RAM."""
+    table = controller.page_table
+    address_map = controller.address_map
+    backing = controller.backing
+    for line, distance in preseed.items():
+        page = address_map.page_number(line)
+        root = table.state(page).mapping_root
+        backing.write_seqnum(line, (root + distance) & _MASK64)
+
+
+def run_scheme(
+    benchmark: str,
+    scheme: str | SchemeSpec,
+    machine: MachineConfig = TABLE1_256K,
+    references: int | None = None,
+    seed: int = 1,
+) -> RunMetrics:
+    """Run one (benchmark, scheme, machine) point."""
+    spec = SCHEMES[scheme] if isinstance(scheme, str) else scheme
+    miss_trace, preseed = get_miss_trace(benchmark, machine, references, seed)
+    controller = make_controller(spec, machine, seed)
+    apply_preseed(controller, preseed)
+    return replay_miss_trace(
+        miss_trace, controller, core=machine.core, scheme=spec.name
+    )
+
+
+def run_benchmark(
+    benchmark: str,
+    schemes: list[str],
+    machine: MachineConfig = TABLE1_256K,
+    references: int | None = None,
+    seed: int = 1,
+) -> dict[str, RunMetrics]:
+    """Run several schemes on one benchmark's shared miss trace."""
+    return {
+        scheme: run_scheme(benchmark, scheme, machine, references, seed)
+        for scheme in schemes
+    }

@@ -1,0 +1,98 @@
+"""Multi-seed statistics for experiment results.
+
+Single-seed runs are deterministic, but workload models are stochastic by
+seed; this module quantifies how much a reported number moves across seeds
+(the reproduction analogue of the paper's SimPoint-region choice).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cpu.core import RunMetrics
+from repro.experiments.config import MachineConfig, TABLE1_256K
+from repro.experiments.runner import run_scheme
+
+__all__ = ["SeedSummary", "summarize", "metric_across_seeds", "METRICS"]
+
+#: Named metric extractors usable with :func:`metric_across_seeds`.
+METRICS = {
+    "ipc": lambda m: m.ipc,
+    "prediction_rate": lambda m: m.prediction_rate,
+    "seqcache_hit_rate": lambda m: m.seqcache_hit_rate,
+    "mean_exposed_latency": lambda m: m.mean_exposed_latency,
+    "l2_misses": lambda m: float(m.l2_misses),
+}
+
+
+@dataclass(frozen=True)
+class SeedSummary:
+    """Aggregate of one metric over several seeds."""
+
+    values: tuple[float, ...]
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        if not self.values:
+            return 0.0
+        return sum(self.values) / len(self.values)
+
+    @property
+    def stdev(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        mean = self.mean
+        variance = sum((v - mean) ** 2 for v in self.values) / (len(self.values) - 1)
+        return math.sqrt(variance)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    @property
+    def stderr(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        return self.stdev / math.sqrt(len(self.values))
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI around the mean."""
+        margin = z * self.stderr
+        return self.mean - margin, self.mean + margin
+
+
+def summarize(values: list[float]) -> SeedSummary:
+    """Wrap raw values in a :class:`SeedSummary`."""
+    return SeedSummary(values=tuple(float(v) for v in values))
+
+
+def metric_across_seeds(
+    benchmark: str,
+    scheme: str,
+    metric: str,
+    seeds: list[int],
+    machine: MachineConfig = TABLE1_256K,
+    references: int | None = None,
+) -> SeedSummary:
+    """Run one (benchmark, scheme) point under several seeds."""
+    extractor = METRICS.get(metric)
+    if extractor is None:
+        raise ValueError(
+            f"unknown metric {metric!r}; choose from {', '.join(sorted(METRICS))}"
+        )
+    values = []
+    for seed in seeds:
+        metrics: RunMetrics = run_scheme(
+            benchmark, scheme, machine=machine, references=references, seed=seed
+        )
+        values.append(extractor(metrics))
+    return summarize(values)

@@ -1,0 +1,89 @@
+"""Grid sweeps over (benchmark x scheme) with tabular extraction.
+
+The figure functions in :mod:`repro.experiments.figures` hard-wire the
+paper's comparisons; this module is the general tool behind custom studies
+(used by the ablation benches and the CLI): run a full grid once, then
+slice any metric out of it as a :class:`~repro.experiments.report.FigureResult`
+ready for rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.core import RunMetrics
+from repro.experiments.config import MachineConfig, TABLE1_256K
+from repro.experiments.report import FigureResult
+from repro.experiments.runner import run_benchmark
+
+__all__ = ["SweepResult", "run_grid"]
+
+
+@dataclass
+class SweepResult:
+    """All metrics of a (benchmark x scheme) grid."""
+
+    machine: str
+    references: int | None
+    results: dict[tuple[str, str], RunMetrics] = field(repr=False, default_factory=dict)
+
+    def benchmarks(self) -> list[str]:
+        seen: list[str] = []
+        for benchmark, _ in self.results:
+            if benchmark not in seen:
+                seen.append(benchmark)
+        return seen
+
+    def schemes(self) -> list[str]:
+        seen: list[str] = []
+        for _, scheme in self.results:
+            if scheme not in seen:
+                seen.append(scheme)
+        return seen
+
+    def metrics(self, benchmark: str, scheme: str) -> RunMetrics:
+        return self.results[(benchmark, scheme)]
+
+    def table(
+        self, metric, title: str = "", normalize_to: str | None = None
+    ) -> FigureResult:
+        """Slice one metric into a renderable table.
+
+        ``metric`` is a callable taking :class:`RunMetrics`; with
+        ``normalize_to`` set to a scheme name, values are expressed as
+        normalized IPC relative to that scheme's run (the paper's usual
+        presentation, with ``normalize_to="oracle"``).
+        """
+        series: dict[str, dict[str, float]] = {}
+        for (benchmark, scheme), metrics in self.results.items():
+            if normalize_to is not None:
+                if scheme == normalize_to:
+                    continue
+                reference = self.results[(benchmark, normalize_to)]
+                value = metrics.normalized_ipc(reference)
+            else:
+                value = metric(metrics)
+            series.setdefault(scheme, {})[benchmark] = value
+        return FigureResult(
+            figure_id="sweep",
+            title=title or f"{self.machine} sweep",
+            series=series,
+        )
+
+
+def run_grid(
+    benchmarks: list[str],
+    schemes: list[str],
+    machine: MachineConfig = TABLE1_256K,
+    references: int | None = None,
+    seed: int = 1,
+) -> SweepResult:
+    """Run every (benchmark, scheme) combination, sharing miss traces."""
+    sweep = SweepResult(machine=machine.name, references=references)
+    for benchmark in benchmarks:
+        per_scheme = run_benchmark(
+            benchmark, schemes, machine=machine, references=references, seed=seed
+        )
+        for scheme, metrics in per_scheme.items():
+            sweep.results[(benchmark, scheme)] = metrics
+    return sweep

@@ -1,0 +1,31 @@
+"""Memory-system substrate: addresses, caches, TLB, bus, DRAM, backing store."""
+
+from repro.memory.address import AddressMap, DEFAULT_ADDRESS_MAP
+from repro.memory.backing import BackingStore
+from repro.memory.bus import BusConfig, BusStats, MemoryBus
+from repro.memory.cache import Cache, CacheAccessResult, CacheConfig, CacheStats
+from repro.memory.dram import Dram, DramConfig, DramStats, LineFetchTiming
+from repro.memory.hierarchy import AccessOutcome, HierarchyConfig, MemoryHierarchy
+from repro.memory.tlb import Tlb, TlbConfig
+
+__all__ = [
+    "AddressMap",
+    "DEFAULT_ADDRESS_MAP",
+    "BackingStore",
+    "BusConfig",
+    "BusStats",
+    "MemoryBus",
+    "Cache",
+    "CacheAccessResult",
+    "CacheConfig",
+    "CacheStats",
+    "Dram",
+    "DramConfig",
+    "DramStats",
+    "LineFetchTiming",
+    "AccessOutcome",
+    "HierarchyConfig",
+    "MemoryHierarchy",
+    "Tlb",
+    "TlbConfig",
+]

@@ -1,0 +1,68 @@
+"""Address arithmetic shared by every memory-system component.
+
+The architecture works on 32-byte cache lines inside 4KB virtual pages
+(Table 1 / Section 7.2 of the paper: 4KB pages, 32-byte lines, 128 lines per
+page).  All simulator components address memory by *byte virtual address*
+and convert with the helpers here, so line/page geometry is defined exactly
+once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AddressMap", "DEFAULT_ADDRESS_MAP"]
+
+
+def _check_power_of_two(value: int, name: str) -> None:
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{name} must be a positive power of two, got {value}")
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Geometry of the address space: line size and page size in bytes."""
+
+    line_bytes: int = 32
+    page_bytes: int = 4096
+
+    def __post_init__(self) -> None:
+        _check_power_of_two(self.line_bytes, "line_bytes")
+        _check_power_of_two(self.page_bytes, "page_bytes")
+        if self.page_bytes % self.line_bytes:
+            raise ValueError("page_bytes must be a multiple of line_bytes")
+
+    @property
+    def line_shift(self) -> int:
+        return self.line_bytes.bit_length() - 1
+
+    @property
+    def page_shift(self) -> int:
+        return self.page_bytes.bit_length() - 1
+
+    @property
+    def lines_per_page(self) -> int:
+        return self.page_bytes // self.line_bytes
+
+    def line_address(self, address: int) -> int:
+        """Byte address of the start of the line containing ``address``."""
+        return address & ~(self.line_bytes - 1)
+
+    def line_index(self, address: int) -> int:
+        """Global line number of ``address``."""
+        return address >> self.line_shift
+
+    def page_number(self, address: int) -> int:
+        """Virtual page number of ``address``."""
+        return address >> self.page_shift
+
+    def page_base(self, address: int) -> int:
+        """Byte address of the start of the page containing ``address``."""
+        return address & ~(self.page_bytes - 1)
+
+    def line_in_page(self, address: int) -> int:
+        """Index of the line within its page (0..lines_per_page-1)."""
+        return (address >> self.line_shift) & (self.lines_per_page - 1)
+
+
+DEFAULT_ADDRESS_MAP = AddressMap()

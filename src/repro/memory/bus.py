@@ -1,0 +1,74 @@
+"""Front-side memory bus occupancy model.
+
+Table 1: 200 MHz bus, 8 bytes wide.  At a 1 GHz core clock every bus beat
+costs 5 CPU cycles, so moving a 32-byte line takes 4 beats = 20 cycles, and
+the 8-byte sequence number rides in one extra beat.  The bus serializes
+transfers; back-to-back misses queue behind each other, which is one of the
+ways aggressive speculation schemes (pre-decryption, Section 9.2) hurt and
+OTP prediction — which never adds bus traffic — does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BusConfig", "BusStats", "MemoryBus"]
+
+
+@dataclass(frozen=True)
+class BusConfig:
+    """Static bus parameters (Table 1 defaults at a 1 GHz core)."""
+
+    width_bytes: int = 8
+    bus_mhz: float = 200.0
+    cpu_ghz: float = 1.0
+
+    @property
+    def cycles_per_beat(self) -> int:
+        """CPU cycles per bus beat."""
+        return max(1, round(self.cpu_ghz * 1000.0 / self.bus_mhz))
+
+    def transfer_cycles(self, num_bytes: int) -> int:
+        """CPU cycles to move ``num_bytes`` across the bus."""
+        beats = -(-num_bytes // self.width_bytes)  # ceil division
+        return beats * self.cycles_per_beat
+
+
+@dataclass
+class BusStats:
+    """Occupancy counters."""
+
+    transfers: int = 0
+    bytes_moved: int = 0
+    busy_cycles: int = 0
+    queue_delay_cycles: int = 0
+
+
+class MemoryBus:
+    """Single shared bus; transfers are serialized in arrival order."""
+
+    def __init__(self, config: BusConfig | None = None):
+        self.config = config or BusConfig()
+        self.stats = BusStats()
+        self._free_at = 0
+
+    def reset(self) -> None:
+        """Clear occupancy state and statistics."""
+        self.stats = BusStats()
+        self._free_at = 0
+
+    def transfer(self, now: int, num_bytes: int) -> int:
+        """Schedule a transfer of ``num_bytes`` at cycle ``now``.
+
+        Returns the cycle at which the last byte arrives.
+        """
+        if num_bytes <= 0:
+            return now
+        start = max(now, self._free_at)
+        duration = self.config.transfer_cycles(num_bytes)
+        self._free_at = start + duration
+        self.stats.transfers += 1
+        self.stats.bytes_moved += num_bytes
+        self.stats.busy_cycles += duration
+        self.stats.queue_delay_cycles += start - now
+        return self._free_at

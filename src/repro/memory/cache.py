@@ -1,0 +1,193 @@
+"""Set-associative write-back cache model.
+
+Used for the L1 instruction/data caches and the unified L2 of Table 1, and
+reused (with a different payload interpretation) by the sequence-number
+cache in :mod:`repro.secure.seqcache`.
+
+The model tracks tags, LRU state, and dirty bits — it does not store data
+(the functional backing store lives in :mod:`repro.memory.backing`).  Every
+access returns a :class:`CacheAccessResult` describing the hit/miss and any
+victim the caller must handle (dirty victims trigger the encrypted
+write-back path in the secure controller).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheConfig", "CacheStats", "CacheAccessResult", "Cache"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Static cache geometry."""
+
+    size_bytes: int
+    line_bytes: int = 32
+    associativity: int = 4
+    name: str = "cache"
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"size_bytes must be positive, got {self.size_bytes}")
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise ValueError(f"line_bytes must be a power of two, got {self.line_bytes}")
+        if self.associativity <= 0:
+            raise ValueError(f"associativity must be positive, got {self.associativity}")
+        if self.size_bytes % (self.line_bytes * self.associativity):
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"line_bytes*associativity = {self.line_bytes * self.associativity}"
+            )
+        num_sets = self.size_bytes // (self.line_bytes * self.associativity)
+        if num_sets & (num_sets - 1):
+            raise ValueError(f"{self.name}: number of sets {num_sets} must be a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    writes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+@dataclass(frozen=True)
+class CacheAccessResult:
+    """Outcome of one cache access.
+
+    ``victim_address``/``victim_dirty`` describe the line evicted to make
+    room on a miss (``None`` if an empty way was available or on a hit).
+    """
+
+    hit: bool
+    address: int
+    victim_address: int | None = None
+    victim_dirty: bool = False
+
+
+class Cache:
+    """LRU set-associative cache tracking tags and dirty bits only."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.stats = CacheStats()
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._set_mask = config.num_sets - 1
+        # Each set maps tag -> [lru_stamp, dirty]; small dicts keep lookups O(1).
+        self._sets: list[dict[int, list]] = [dict() for _ in range(config.num_sets)]
+        self._clock = 0
+
+    def _locate(self, address: int) -> tuple[dict[int, list], int]:
+        line = address >> self._line_shift
+        return self._sets[line & self._set_mask], line
+
+    def access(self, address: int, is_write: bool = False) -> CacheAccessResult:
+        """Look up ``address``; on a miss, allocate and report the victim."""
+        self.stats.accesses += 1
+        if is_write:
+            self.stats.writes += 1
+        self._clock += 1
+        cache_set, tag = self._locate(address)
+        entry = cache_set.get(tag)
+        if entry is not None:
+            self.stats.hits += 1
+            entry[0] = self._clock
+            if is_write:
+                entry[1] = True
+            return CacheAccessResult(hit=True, address=address)
+
+        self.stats.misses += 1
+        victim_address = None
+        victim_dirty = False
+        if len(cache_set) >= self.config.associativity:
+            victim_tag = min(cache_set, key=lambda t: cache_set[t][0])
+            victim_dirty = cache_set[victim_tag][1]
+            del cache_set[victim_tag]
+            victim_address = victim_tag << self._line_shift
+            self.stats.evictions += 1
+            if victim_dirty:
+                self.stats.dirty_evictions += 1
+        cache_set[tag] = [self._clock, is_write]
+        return CacheAccessResult(
+            hit=False,
+            address=address,
+            victim_address=victim_address,
+            victim_dirty=victim_dirty,
+        )
+
+    def probe(self, address: int) -> bool:
+        """True if ``address`` is resident; does not update LRU or stats."""
+        cache_set, tag = self._locate(address)
+        return tag in cache_set
+
+    def mark_dirty(self, address: int) -> bool:
+        """Set the dirty bit on a resident line; returns residency."""
+        cache_set, tag = self._locate(address)
+        entry = cache_set.get(tag)
+        if entry is None:
+            return False
+        entry[1] = True
+        return True
+
+    def invalidate(self, address: int) -> bool:
+        """Drop a line without write-back; returns True if it was resident."""
+        cache_set, tag = self._locate(address)
+        return cache_set.pop(tag, None) is not None
+
+    def pop_line(self, address: int) -> tuple[bool, bool]:
+        """Remove a line, reporting ``(was_resident, was_dirty)``.
+
+        Used for back-invalidation in an inclusive hierarchy, where a dirty
+        L1 copy being dropped must still reach the write-back path.
+        """
+        cache_set, tag = self._locate(address)
+        entry = cache_set.pop(tag, None)
+        if entry is None:
+            return False, False
+        return True, entry[1]
+
+    def flush_dirty(self) -> list[int]:
+        """Clean every dirty line, returning their addresses.
+
+        Models the periodic OS-induced flush of Section 5.1 ("dirty lines of
+        caches are flushed every 25 million cycles").  Lines stay resident
+        but become clean; the caller encrypts and writes them back.
+        """
+        flushed = []
+        for cache_set in self._sets:
+            for tag, entry in cache_set.items():
+                if entry[1]:
+                    entry[1] = False
+                    flushed.append(tag << self._line_shift)
+        return flushed
+
+    def resident_lines(self) -> list[int]:
+        """Addresses of all resident lines (diagnostics / integration tests)."""
+        lines = []
+        for cache_set in self._sets:
+            lines.extend(tag << self._line_shift for tag in cache_set)
+        return lines
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)

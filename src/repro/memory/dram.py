@@ -1,0 +1,141 @@
+"""Banked SDRAM timing model.
+
+Section 5.1 of the paper integrates "an accurate DRAM model [Gries/Romer]
+... in which bank conflicts, page miss, row miss are all modeled following
+the PC SDRAM specification".  This module reproduces that first-order
+structure:
+
+* multiple banks, each with at most one open row (open-page policy);
+* three access classes — row hit (CAS only), row empty (RCD+CAS), and row
+  conflict (precharge + RCD + CAS);
+* data movement serialized over the shared :class:`~repro.memory.bus.MemoryBus`.
+
+Each cache-line-sized memory block has its sequence number stored alongside
+it in RAM (Figure 2), so an encrypted-line fetch returns *two* timestamps:
+when the 8-byte sequence number is on-chip and when the full 32-byte line
+is.  The gap between them is exactly the window the crypto engine has to
+finish a demand pad computation after a prediction miss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.bus import BusConfig, MemoryBus
+
+__all__ = ["DramConfig", "DramStats", "LineFetchTiming", "Dram"]
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """SDRAM geometry and timing (bus-clock units, PC SDRAM class)."""
+
+    num_banks: int = 4
+    row_bytes: int = 2048
+    t_cas: int = 2          # column access, bus clocks
+    t_rcd: int = 2          # row activate, bus clocks
+    t_rp: int = 2           # precharge, bus clocks
+    controller_cycles: int = 40  # CPU cycles: queueing, chipset, wire delay
+    bus: BusConfig = BusConfig()
+
+    def __post_init__(self) -> None:
+        if self.num_banks <= 0 or self.num_banks & (self.num_banks - 1):
+            raise ValueError(f"num_banks must be a power of two, got {self.num_banks}")
+        if self.row_bytes <= 0 or self.row_bytes & (self.row_bytes - 1):
+            raise ValueError(f"row_bytes must be a power of two, got {self.row_bytes}")
+
+
+@dataclass
+class DramStats:
+    """Access-class counters."""
+
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_empties: int = 0
+    row_conflicts: int = 0
+    bank_queue_cycles: int = 0
+
+
+@dataclass(frozen=True)
+class LineFetchTiming:
+    """Timestamps produced by a combined line+seqnum fetch."""
+
+    issue: int
+    seqnum_ready: int
+    line_ready: int
+
+
+class Dram:
+    """Open-page banked SDRAM behind a shared bus."""
+
+    def __init__(self, config: DramConfig | None = None):
+        self.config = config or DramConfig()
+        self.bus = MemoryBus(self.config.bus)
+        self.stats = DramStats()
+        self._open_rows: list[int | None] = [None] * self.config.num_banks
+        self._bank_free_at = [0] * self.config.num_banks
+        self._row_shift = self.config.row_bytes.bit_length() - 1
+        self._bank_mask = self.config.num_banks - 1
+
+    def reset(self) -> None:
+        """Close all rows and clear statistics."""
+        self.bus.reset()
+        self.stats = DramStats()
+        self._open_rows = [None] * self.config.num_banks
+        self._bank_free_at = [0] * self.config.num_banks
+
+    def _bank_and_row(self, address: int) -> tuple[int, int]:
+        row = address >> self._row_shift
+        return row & self._bank_mask, row >> (self._bank_mask.bit_length())
+
+    def _access_bank(self, now: int, address: int) -> int:
+        """Open the right row; returns the cycle data can start moving."""
+        bank, row = self._bank_and_row(address)
+        per_beat = self.config.bus.cycles_per_beat
+        start = max(now, self._bank_free_at[bank])
+        self.stats.bank_queue_cycles += start - now
+
+        open_row = self._open_rows[bank]
+        if open_row == row:
+            self.stats.row_hits += 1
+            latency = self.config.t_cas * per_beat
+        elif open_row is None:
+            self.stats.row_empties += 1
+            latency = (self.config.t_rcd + self.config.t_cas) * per_beat
+        else:
+            self.stats.row_conflicts += 1
+            latency = (self.config.t_rp + self.config.t_rcd + self.config.t_cas) * per_beat
+        self._open_rows[bank] = row
+        ready = start + latency
+        self._bank_free_at[bank] = ready
+        return ready
+
+    def fetch_line_with_seqnum(
+        self, now: int, address: int, line_bytes: int, seqnum_bytes: int = 8
+    ) -> LineFetchTiming:
+        """Fetch a line and its co-located sequence number, pipelined.
+
+        The memory controller returns the sequence number first (critical
+        word for decryption), then streams the line.
+        """
+        self.stats.reads += 1
+        issue = now + self.config.controller_cycles
+        data_start = self._access_bank(issue, address)
+        seqnum_ready = self.bus.transfer(data_start, seqnum_bytes)
+        line_ready = self.bus.transfer(seqnum_ready, line_bytes)
+        return LineFetchTiming(issue=issue, seqnum_ready=seqnum_ready, line_ready=line_ready)
+
+    def read(self, now: int, address: int, num_bytes: int) -> int:
+        """Plain read; returns completion cycle."""
+        self.stats.reads += 1
+        issue = now + self.config.controller_cycles
+        data_start = self._access_bank(issue, address)
+        return self.bus.transfer(data_start, num_bytes)
+
+    def write(self, now: int, address: int, num_bytes: int) -> int:
+        """Posted write (line write-back plus its sequence-number update)."""
+        self.stats.writes += 1
+        issue = now + self.config.controller_cycles
+        data_start = self._access_bank(issue, address)
+        return self.bus.transfer(data_start, num_bytes)

@@ -1,0 +1,148 @@
+"""Two-level cache hierarchy (L1 I/D + unified write-back L2).
+
+Mirrors Table 1: direct-mapped 8KB L1s with 32-byte lines and a 4-way
+unified L2 (256KB or 1MB).  The hierarchy produces the two event streams
+the secure memory controller cares about:
+
+* *fetches* — L2 misses that must bring an encrypted line (and its sequence
+  number) in from RAM;
+* *write-backs* — dirty L2 victims that must be encrypted under a fresh
+  sequence number before leaving the protected domain (Figure 2).
+
+The L2 is treated as inclusive of the L1s; a dirty L1 victim therefore just
+marks its L2 copy dirty instead of generating a separate external write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.address import AddressMap, DEFAULT_ADDRESS_MAP
+from repro.memory.cache import Cache, CacheConfig
+
+__all__ = ["HierarchyConfig", "AccessOutcome", "MemoryHierarchy"]
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Cache geometry for the whole on-chip hierarchy (Table 1 defaults)."""
+
+    l1i_size: int = 8 * 1024
+    l1d_size: int = 8 * 1024
+    l1_associativity: int = 1      # direct-mapped per Table 1
+    l2_size: int = 256 * 1024
+    l2_associativity: int = 4
+    line_bytes: int = 32
+    l1_latency: int = 1
+    l2_latency: int = 4            # 4 cycles (256KB) / 8 cycles (1MB)
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """What one CPU access did to the hierarchy."""
+
+    address: int
+    is_write: bool
+    l1_hit: bool
+    l2_hit: bool | None = None
+    fetched_lines: tuple[int, ...] = ()
+    writeback_lines: tuple[int, ...] = ()
+
+    @property
+    def l2_miss(self) -> bool:
+        return self.l2_hit is False
+
+
+class MemoryHierarchy:
+    """L1I + L1D + unified L2, write-back write-allocate throughout."""
+
+    def __init__(
+        self,
+        config: HierarchyConfig | None = None,
+        address_map: AddressMap = DEFAULT_ADDRESS_MAP,
+    ):
+        self.config = config or HierarchyConfig()
+        if self.config.line_bytes != address_map.line_bytes:
+            raise ValueError(
+                f"hierarchy line size {self.config.line_bytes} does not match "
+                f"address map line size {address_map.line_bytes}"
+            )
+        self.address_map = address_map
+        self.l1i = Cache(
+            CacheConfig(
+                size_bytes=self.config.l1i_size,
+                line_bytes=self.config.line_bytes,
+                associativity=self.config.l1_associativity,
+                name="l1i",
+            )
+        )
+        self.l1d = Cache(
+            CacheConfig(
+                size_bytes=self.config.l1d_size,
+                line_bytes=self.config.line_bytes,
+                associativity=self.config.l1_associativity,
+                name="l1d",
+            )
+        )
+        self.l2 = Cache(
+            CacheConfig(
+                size_bytes=self.config.l2_size,
+                line_bytes=self.config.line_bytes,
+                associativity=self.config.l2_associativity,
+                name="l2",
+            )
+        )
+
+    def access(
+        self, address: int, is_write: bool = False, is_instruction: bool = False
+    ) -> AccessOutcome:
+        """Run one access through L1 and (if needed) L2."""
+        line = self.address_map.line_address(address)
+        l1 = self.l1i if is_instruction else self.l1d
+        l1_result = l1.access(line, is_write=is_write)
+        if l1_result.hit:
+            return AccessOutcome(address=address, is_write=is_write, l1_hit=True)
+
+        fetched: list[int] = []
+        writebacks: list[int] = []
+
+        # A dirty L1 victim folds into its (inclusive) L2 copy.
+        if l1_result.victim_dirty and l1_result.victim_address is not None:
+            if not self.l2.mark_dirty(l1_result.victim_address):
+                refill = self.l2.access(l1_result.victim_address, is_write=True)
+                if not refill.hit:
+                    fetched.append(l1_result.victim_address)
+                if refill.victim_dirty and refill.victim_address is not None:
+                    writebacks.append(refill.victim_address)
+
+        l2_result = self.l2.access(line, is_write=is_write)
+        if not l2_result.hit:
+            fetched.append(line)
+            victim = l2_result.victim_address
+            if victim is not None:
+                # Inclusion: anything leaving L2 must leave the L1s too, and
+                # a dirty L1 copy makes the departing line dirty even if the
+                # L2 copy itself was clean.
+                self.l1i.invalidate(victim)
+                _, l1d_dirty = self.l1d.pop_line(victim)
+                if l2_result.victim_dirty or l1d_dirty:
+                    writebacks.append(victim)
+
+        return AccessOutcome(
+            address=address,
+            is_write=is_write,
+            l1_hit=False,
+            l2_hit=l2_result.hit,
+            fetched_lines=tuple(fetched),
+            writeback_lines=tuple(writebacks),
+        )
+
+    def flush_dirty(self) -> list[int]:
+        """Clean all dirty lines (periodic OS flush); returns L2 write-backs."""
+        stragglers = []
+        for line in self.l1d.flush_dirty():
+            if not self.l2.mark_dirty(line):
+                # Inclusion should make this unreachable, but never lose a
+                # dirty line if the invariant is ever relaxed.
+                stragglers.append(line)
+        return self.l2.flush_dirty() + stragglers

@@ -1,0 +1,64 @@
+"""TLB model with per-page security context.
+
+Figure 5 of the paper tags each TLB entry with the page's *root sequence
+number*; the prediction logic reads it straight from the TLB on a miss.
+Here the TLB is a timing/residency structure: the authoritative per-page
+security state (root sequence number, prediction history vector, old-root
+history) lives in :class:`repro.secure.seqnum.PageSecurityTable`, which the
+trusted kernel would preserve across TLB evictions and context switches
+(Section 2.2's "proper management" assumption).  The TLB caches a view of
+that state and counts how often the prediction logic finds it on-chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.cache import Cache, CacheConfig
+
+__all__ = ["TlbConfig", "Tlb"]
+
+
+@dataclass(frozen=True)
+class TlbConfig:
+    """Static TLB geometry (Table 1: 4-way, 256 entries)."""
+
+    entries: int = 256
+    associativity: int = 4
+    page_bytes: int = 4096
+
+
+class Tlb:
+    """Set-associative TLB built on the generic cache tag array."""
+
+    def __init__(self, config: TlbConfig | None = None):
+        self.config = config or TlbConfig()
+        cache_config = CacheConfig(
+            size_bytes=self.config.entries * self.config.page_bytes,
+            line_bytes=self.config.page_bytes,
+            associativity=self.config.associativity,
+            name="tlb",
+        )
+        self._tags = Cache(cache_config)
+
+    @property
+    def stats(self):
+        """Hit/miss counters of the underlying tag array."""
+        return self._tags.stats
+
+    def access(self, address: int) -> bool:
+        """Translate ``address``; returns True on a TLB hit.
+
+        On a miss the entry is filled (the page walk itself is assumed to be
+        covered by the same latency window as the L2 miss it accompanies).
+        """
+        return self._tags.access(address).hit
+
+    def resident(self, address: int) -> bool:
+        """True if the page of ``address`` currently has a TLB entry."""
+        return self._tags.probe(address)
+
+    def flush(self) -> None:
+        """Invalidate all entries (context switch)."""
+        for line in self._tags.resident_lines():
+            self._tags.invalidate(line)

@@ -1,0 +1,86 @@
+"""The paper's contribution: counter-mode security with OTP prediction.
+
+Public surface:
+
+* :class:`~repro.secure.api.SecureMemory` — sealed encrypted memory for
+  applications.
+* :class:`~repro.secure.controller.SecureMemoryController` — the
+  architectural model (fetch/write-back paths, timing + functional modes).
+* Predictors (:mod:`repro.secure.predictors`) — regular/adaptive, two-level,
+  context-based.
+* :class:`~repro.secure.seqcache.SequenceNumberCache` — the prior-art
+  baseline the paper compares against.
+* :class:`~repro.secure.integrity.IntegrityTree` and
+  :mod:`repro.secure.threat` — the assumed integrity substrate and security
+  self-checks.
+"""
+
+from repro.secure.api import SecureMemory
+from repro.secure.controller import (
+    ControllerStats,
+    FetchClass,
+    FetchResult,
+    SecureMemoryController,
+    WritebackResult,
+)
+from repro.secure.integrity import IntegrityError, IntegrityTree
+from repro.secure.direct import DirectEncryptionController
+from repro.secure.otp import OtpGenerator, blocks_per_line
+from repro.secure.predecrypt import PredecryptingController, PredecryptStats
+from repro.secure.process import ProcessContext, SecureProcessManager
+from repro.secure.predictors import (
+    ContextOtpPredictor,
+    NullPredictor,
+    OtpPredictor,
+    PredictorStats,
+    RangePredictionTable,
+    RegularOtpPredictor,
+    TwoLevelOtpPredictor,
+)
+from repro.secure.seqcache import SequenceNumberCache
+from repro.secure.seqnum import (
+    DISTANCE_WINDOW,
+    PageSecurityState,
+    PageSecurityTable,
+    seqnum_distance,
+)
+from repro.secure.threat import (
+    PadReuseAuditor,
+    PadReuseError,
+    malleability_demo,
+    pads_are_unique,
+)
+
+__all__ = [
+    "SecureMemory",
+    "ControllerStats",
+    "FetchClass",
+    "FetchResult",
+    "SecureMemoryController",
+    "WritebackResult",
+    "IntegrityError",
+    "IntegrityTree",
+    "DirectEncryptionController",
+    "OtpGenerator",
+    "blocks_per_line",
+    "PredecryptingController",
+    "PredecryptStats",
+    "ProcessContext",
+    "SecureProcessManager",
+    "ContextOtpPredictor",
+    "NullPredictor",
+    "OtpPredictor",
+    "PredictorStats",
+    "RangePredictionTable",
+    "RegularOtpPredictor",
+    "TwoLevelOtpPredictor",
+    "SequenceNumberCache",
+    "DISTANCE_WINDOW",
+    "PageSecurityState",
+    "PageSecurityTable",
+    "seqnum_distance",
+    "PadReuseAuditor",
+    "PadReuseError",
+    "malleability_demo",
+    "pads_are_unique",
+]

@@ -1,0 +1,102 @@
+"""High-level sealed-memory facade over the secure controller.
+
+:class:`SecureMemory` is the friendly entry point for applications that just
+want counter-mode-protected storage with integrity: ``store`` encrypts a
+line-aligned buffer out to untrusted RAM (advancing counters exactly as the
+hardware write-back path would), ``load`` fetches and decrypts it (with the
+same prediction machinery deciding how much latency a real processor would
+have exposed).
+
+The quickstart and sealed-storage examples are built on this class; the
+cycle-accurate experiments use :class:`repro.cpu.system.SecureSystem`
+directly.
+"""
+
+from __future__ import annotations
+
+from repro.memory.address import AddressMap, DEFAULT_ADDRESS_MAP
+from repro.secure.controller import FetchResult, SecureMemoryController
+from repro.secure.predictors import ContextOtpPredictor, OtpPredictor
+from repro.secure.seqnum import PageSecurityTable
+
+__all__ = ["SecureMemory"]
+
+
+class SecureMemory:
+    """Line-granular encrypted memory with transparent counter management.
+
+    Parameters
+    ----------
+    key:
+        Process encryption key (16/24/32 bytes).
+    predictor_factory:
+        Callable building the OTP predictor from the page table; defaults to
+        the paper's best scheme (context-based prediction).
+    integrity:
+        Attach the Merkle MAC tree; tampering then raises
+        :class:`repro.secure.integrity.IntegrityError` on load.
+    """
+
+    def __init__(
+        self,
+        key: bytes,
+        predictor_factory=None,
+        integrity: bool = True,
+        address_map: AddressMap = DEFAULT_ADDRESS_MAP,
+    ):
+        page_table = PageSecurityTable()
+        if predictor_factory is None:
+            predictor: OtpPredictor = ContextOtpPredictor(page_table)
+        else:
+            predictor = predictor_factory(page_table)
+        self.controller = SecureMemoryController(
+            page_table=page_table,
+            predictor=predictor,
+            key=key,
+            integrity=integrity,
+            address_map=address_map,
+        )
+        self.address_map = address_map
+        self._clock = 0
+
+    @property
+    def clock(self) -> int:
+        """Current simulated cycle (advanced by every operation)."""
+        return self._clock
+
+    def store(self, address: int, data: bytes) -> None:
+        """Encrypt ``data`` (any multiple of the line size) out to RAM."""
+        line_bytes = self.address_map.line_bytes
+        if address % line_bytes:
+            raise ValueError(f"address must be {line_bytes}-byte aligned")
+        if not data or len(data) % line_bytes:
+            raise ValueError(f"data length must be a positive multiple of {line_bytes}")
+        for offset in range(0, len(data), line_bytes):
+            result = self.controller.writeback_line(
+                self._clock, address + offset, data[offset: offset + line_bytes]
+            )
+            self._clock = result.completion_time
+
+    def load(self, address: int, length: int) -> bytes:
+        """Fetch and decrypt ``length`` bytes (line-aligned, line-multiple)."""
+        line_bytes = self.address_map.line_bytes
+        if address % line_bytes:
+            raise ValueError(f"address must be {line_bytes}-byte aligned")
+        if length <= 0 or length % line_bytes:
+            raise ValueError(f"length must be a positive multiple of {line_bytes}")
+        chunks = []
+        for offset in range(0, length, line_bytes):
+            result = self.load_line(address + offset)
+            chunks.append(result.plaintext)
+        return b"".join(chunks)
+
+    def load_line(self, address: int) -> FetchResult:
+        """Fetch one line, returning full timing detail with the plaintext."""
+        result = self.controller.fetch_line(self._clock, address)
+        self._clock = result.data_ready
+        return result
+
+    @property
+    def prediction_rate(self) -> float:
+        """Fraction of loads whose sequence number was predicted."""
+        return self.controller.predictor.stats.hit_rate

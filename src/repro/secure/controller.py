@@ -1,0 +1,365 @@
+"""Secure memory controller: the protected-domain boundary of Figure 2.
+
+Every L2 miss and every dirty L2 eviction crosses this controller.  It owns
+the whole decryption-latency story the paper is about:
+
+* **fetch** — issue the pipelined (sequence number, encrypted line) DRAM
+  read; meanwhile either (a) do nothing (baseline), (b) probe the
+  sequence-number cache (prior art), or (c) push speculative pad
+  computations for the predictor's guesses through the idle crypto engine
+  (this paper).  When the true sequence number lands, a matching guess means
+  the pad is already (or nearly) ready and decryption is one XOR.
+* **write-back** — advance the line's sequence number (increment, or rebase
+  onto the current root after a reset, Section 3.2's distance test),
+  generate the fresh pad, encrypt, and update counter + MAC tree in RAM.
+
+The controller runs in one of two modes sharing the identical control path:
+*timing-only* (no key) tracks when data would be ready; *functional* (with a
+key) additionally performs real AES pad generation, line encryption,
+integrity verification, and pad-reuse auditing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.crypto.engine import CryptoEngine
+from repro.memory.address import AddressMap, DEFAULT_ADDRESS_MAP
+from repro.memory.backing import BackingStore
+from repro.memory.dram import Dram
+from repro.secure.integrity import IntegrityTree
+from repro.secure.otp import OtpGenerator, blocks_per_line
+from repro.secure.predictors import NullPredictor, OtpPredictor
+from repro.secure.seqcache import SequenceNumberCache
+from repro.secure.seqnum import PageSecurityTable
+from repro.secure.threat import PadReuseAuditor
+
+__all__ = [
+    "FetchClass",
+    "FetchResult",
+    "WritebackResult",
+    "ControllerStats",
+    "SecureMemoryController",
+]
+
+_MASK64 = (1 << 64) - 1
+
+
+class FetchClass(enum.Enum):
+    """Fig. 9 classification of how a fetch's sequence number was covered."""
+
+    BOTH = "both"              # in the seqnum cache AND predictable
+    PRED_ONLY = "pred_only"    # missed the cache but predicted
+    CACHE_ONLY = "cache_only"  # cached but not predictable
+    NEITHER = "neither"
+
+
+@dataclass(frozen=True)
+class FetchResult:
+    """Timing and (in functional mode) data outcome of one line fetch."""
+
+    address: int
+    seqnum: int
+    issue_time: int
+    seqnum_ready: int
+    line_ready: int
+    pad_ready: int
+    data_ready: int
+    predicted: bool
+    seqcache_hit: bool
+    fetch_class: FetchClass
+    plaintext: bytes | None = None
+
+    @property
+    def exposed_latency(self) -> int:
+        """Cycles from issue until the decrypted line is usable."""
+        return self.data_ready - self.issue_time
+
+    @property
+    def decryption_overhead(self) -> int:
+        """Cycles the crypto path added beyond the raw memory fetch."""
+        return self.data_ready - self.line_ready
+
+
+@dataclass(frozen=True)
+class WritebackResult:
+    """Outcome of one encrypted write-back."""
+
+    address: int
+    seqnum: int
+    completion_time: int
+    rebased: bool
+
+
+@dataclass
+class ControllerStats:
+    """Controller-level counters (predictor/cache substructures keep their own)."""
+
+    fetches: int = 0
+    writebacks: int = 0
+    rebased_writebacks: int = 0
+    covered_fetches: int = 0          # pad path overlapped with the fetch
+    class_counts: dict = field(
+        default_factory=lambda: {kind: 0 for kind in FetchClass}
+    )
+    total_exposed_latency: int = 0
+    total_decryption_overhead: int = 0
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of fetches whose pad generation overlapped the fetch."""
+        return self.covered_fetches / self.fetches if self.fetches else 0.0
+
+    @property
+    def mean_exposed_latency(self) -> float:
+        """Average cycles from miss issue to usable data."""
+        return self.total_exposed_latency / self.fetches if self.fetches else 0.0
+
+
+class SecureMemoryController:
+    """Counter-mode memory encryption engine-room.
+
+    Parameters
+    ----------
+    predictor:
+        An :class:`~repro.secure.predictors.OtpPredictor`; defaults to the
+        never-speculating :class:`~repro.secure.predictors.NullPredictor`.
+    seqcache:
+        Optional :class:`~repro.secure.seqcache.SequenceNumberCache` (prior
+        art); may be combined with a predictor (Section 6.1 / Fig. 9).
+    oracle:
+        If True, pretend every sequence number is on-chip (the
+        normalization target of the IPC figures).
+    key:
+        Enable functional mode: real AES pads, encryption of line data in
+        the backing store, integrity tree, pad-reuse auditing.
+    pad_buffer_entries:
+        Capacity of the precomputed-pad table of Figure 5, in AES blocks.
+        Guess lists that would overflow it are truncated.
+    """
+
+    def __init__(
+        self,
+        engine: CryptoEngine | None = None,
+        dram: Dram | None = None,
+        page_table: PageSecurityTable | None = None,
+        predictor: OtpPredictor | None = None,
+        seqcache: SequenceNumberCache | None = None,
+        oracle: bool = False,
+        address_map: AddressMap = DEFAULT_ADDRESS_MAP,
+        key: bytes | None = None,
+        integrity: bool = False,
+        pad_buffer_entries: int = 64,
+        backing: BackingStore | None = None,
+    ):
+        self.engine = engine if engine is not None else CryptoEngine()
+        self.dram = dram if dram is not None else Dram()
+        # `is not None` rather than `or`: several of these types define
+        # __len__, so freshly built (empty) instances are falsy.
+        self.page_table = (
+            page_table if page_table is not None else PageSecurityTable()
+        )
+        self.predictor = (
+            predictor if predictor is not None else NullPredictor(self.page_table)
+        )
+        if self.predictor.table is not self.page_table:
+            raise ValueError("predictor must share the controller's page table")
+        self.seqcache = seqcache
+        self.oracle = oracle
+        self.address_map = address_map
+        self.backing = backing if backing is not None else BackingStore(address_map)
+        self.stats = ControllerStats()
+        self.blocks = blocks_per_line(address_map.line_bytes)
+        if pad_buffer_entries < self.blocks:
+            raise ValueError(
+                f"pad buffer must hold at least one line's pads "
+                f"({self.blocks} blocks), got {pad_buffer_entries}"
+            )
+        self.max_guesses = pad_buffer_entries // self.blocks
+
+        self.functional = key is not None
+        self.otp: OtpGenerator | None = None
+        self.integrity_tree: IntegrityTree | None = None
+        self.auditor: PadReuseAuditor | None = None
+        if self.functional:
+            self.otp = OtpGenerator(key, line_bytes=address_map.line_bytes)
+            self.auditor = PadReuseAuditor()
+            if integrity:
+                # Domain-separate the MAC key from the encryption key.
+                self.integrity_tree = IntegrityTree(
+                    key + b"integrity", address_map=address_map
+                )
+        elif integrity:
+            raise ValueError("integrity tree requires functional mode (a key)")
+
+    # -- sequence-number state -------------------------------------------------
+
+    def current_seqnum(self, line_address: int) -> int:
+        """The counter RAM currently holds for this line.
+
+        A line never written back still holds the value installed at page
+        mapping: the page's mapping-time root.
+        """
+        stored = self.backing.read_seqnum(line_address)
+        if stored is not None:
+            return stored
+        page = self.address_map.page_number(line_address)
+        return self.page_table.state(page).mapping_root
+
+    # -- fetch path --------------------------------------------------------------
+
+    def fetch_line(self, now: int, address: int) -> FetchResult:
+        """Handle an L2 miss: fetch, (maybe) speculate, decrypt."""
+        line = self.address_map.line_address(address)
+        page = self.address_map.page_number(line)
+        timing = self.dram.fetch_line_with_seqnum(
+            now, line, self.address_map.line_bytes
+        )
+        actual = self.current_seqnum(line)
+
+        cache_hit = self.seqcache.lookup(line) if self.seqcache else False
+
+        predicted = False
+        guesses: list[int] = []
+        if not self.oracle and not isinstance(self.predictor, NullPredictor):
+            guesses = self.predictor.predict(page, line)[: self.max_guesses]
+            predicted = self.predictor.record(guesses, actual)
+
+        pad_ready = self._schedule_pads(
+            now, timing.seqnum_ready, cache_hit, guesses, actual
+        )
+
+        if not self.oracle:
+            self.predictor.observe_fetch(page, line, actual, predicted)
+        if self.seqcache and not cache_hit:
+            self.seqcache.fill(line)
+
+        data_ready = max(timing.line_ready, pad_ready, timing.seqnum_ready)
+        plaintext = self._decrypt(line, actual) if self.functional else None
+
+        fetch_class = self._classify(cache_hit, predicted)
+        self.stats.fetches += 1
+        self.stats.class_counts[fetch_class] += 1
+        # "Covered" = pad generation overlapped the fetch instead of
+        # serializing behind the sequence number's arrival (Figure 4).
+        if pad_ready < timing.seqnum_ready + self.engine.latency:
+            self.stats.covered_fetches += 1
+        self.stats.total_exposed_latency += data_ready - now
+        self.stats.total_decryption_overhead += data_ready - timing.line_ready
+
+        return FetchResult(
+            address=line,
+            seqnum=actual,
+            issue_time=now,
+            seqnum_ready=timing.seqnum_ready,
+            line_ready=timing.line_ready,
+            pad_ready=pad_ready,
+            data_ready=data_ready,
+            predicted=predicted,
+            seqcache_hit=cache_hit,
+            fetch_class=fetch_class,
+            plaintext=plaintext,
+        )
+
+    def _schedule_pads(
+        self,
+        now: int,
+        seqnum_ready: int,
+        cache_hit: bool,
+        guesses: list[int],
+        actual: int,
+    ) -> int:
+        """Drive the crypto engine; returns when the correct pad is ready."""
+        blocks = self.blocks
+        if self.oracle or cache_hit:
+            # Sequence number known on-chip: demand pad generation starts
+            # immediately and overlaps the whole memory fetch (Figure 4c,
+            # hit case).
+            return self.engine.issue(now, blocks, speculative=False)[-1]
+        if guesses:
+            completions = self.engine.issue(
+                now, blocks * len(guesses), speculative=True
+            )
+            if actual in guesses:
+                index = guesses.index(actual)
+                return completions[blocks * (index + 1) - 1]
+            # All speculation wasted; fall through to the demand path once
+            # the true sequence number has arrived (Figure 4b, miss case).
+        return self.engine.issue(seqnum_ready, blocks, speculative=False)[-1]
+
+    def _classify(self, cache_hit: bool, predicted: bool) -> FetchClass:
+        if cache_hit and predicted:
+            return FetchClass.BOTH
+        if predicted:
+            return FetchClass.PRED_ONLY
+        if cache_hit:
+            return FetchClass.CACHE_ONLY
+        return FetchClass.NEITHER
+
+    def _decrypt(self, line: int, seqnum: int) -> bytes:
+        assert self.otp is not None
+        if not self.backing.has_line(line):
+            # Fresh (never written) line: defined to read as zeros.
+            return bytes(self.address_map.line_bytes)
+        ciphertext = self.backing.read_line(line)
+        if self.integrity_tree is not None:
+            self.integrity_tree.verify(line, seqnum, ciphertext)
+        return self.otp.open(line, seqnum, ciphertext)
+
+    # -- write-back path -----------------------------------------------------------
+
+    def writeback_line(
+        self, now: int, address: int, plaintext: bytes | None = None
+    ) -> WritebackResult:
+        """Handle a dirty L2 eviction: advance counter, encrypt, post write."""
+        line = self.address_map.line_address(address)
+        page = self.address_map.page_number(line)
+        state = self.page_table.state(page)
+        old = self.current_seqnum(line)
+
+        if self.page_table.counts_from_current_root(page, old):
+            new_seqnum = (old + 1) & _MASK64
+            rebased = False
+        else:
+            # Distance test failed: the line still counts from a pre-reset
+            # root; rebase it onto the current root (Section 3.2).
+            new_seqnum = state.root
+            rebased = True
+
+        self.backing.write_seqnum(line, new_seqnum)
+        if self.seqcache:
+            self.seqcache.update(line)
+        self.predictor.observe_writeback(page, line, new_seqnum)
+
+        # The write-back is always encrypted under a *new* pad based on the
+        # current root (Section 7.3) — demand work on the engine.
+        pad_done = self.engine.issue(now, self.blocks, speculative=False)[-1]
+        completion = self.dram.write(
+            pad_done, line, self.address_map.line_bytes + 8
+        )
+
+        if self.functional:
+            if plaintext is None:
+                raise ValueError("functional mode write-back requires plaintext")
+            if len(plaintext) != self.address_map.line_bytes:
+                raise ValueError(
+                    f"plaintext must be {self.address_map.line_bytes} bytes, "
+                    f"got {len(plaintext)}"
+                )
+            assert self.otp is not None and self.auditor is not None
+            self.auditor.on_seal(line, new_seqnum)
+            ciphertext = self.otp.seal(line, new_seqnum, plaintext)
+            self.backing.write_line(line, ciphertext)
+            if self.integrity_tree is not None:
+                self.integrity_tree.update(line, new_seqnum, ciphertext)
+
+        self.stats.writebacks += 1
+        if rebased:
+            self.stats.rebased_writebacks += 1
+        return WritebackResult(
+            address=line,
+            seqnum=new_seqnum,
+            completion_time=completion,
+            rebased=rebased,
+        )

@@ -1,0 +1,117 @@
+"""Direct (non-counter-mode) memory encryption — the pre-CTR baseline.
+
+Section 2.2 motivates counter mode against "other regular block cipher
+based direct memory encryption schemes that serialize line fetching and
+decryption": with the cache line itself as the cipher input, decryption
+cannot begin until the data has arrived, so every miss pays the full AES
+pipeline latency *after* the memory latency — there is nothing to overlap
+and nothing to predict.
+
+:class:`DirectEncryptionController` models exactly that scheme (XEX-style
+tweakable block encryption, tweak derived from the line address so
+identical plaintexts at different addresses differ).  It needs no
+counters: fetches skip the sequence-number transfer, write-backs skip the
+counter update.  The ``direct_encryption`` scheme in the experiment runner
+lets the figures show how far even the *unassisted* counter-mode baseline
+has already come before prediction enters.
+
+Security note: unlike counter mode, deterministic direct encryption leaks
+equality of a line's values over time (no per-write freshness).  That is
+one of the reasons the field moved to counters; the class exists as a
+performance comparison point, not a recommendation.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import BLOCK_SIZE
+from repro.crypto.ctr import make_counter_block, xor_bytes
+from repro.secure.controller import (
+    FetchClass,
+    FetchResult,
+    SecureMemoryController,
+    WritebackResult,
+)
+
+__all__ = ["DirectEncryptionController"]
+
+
+class DirectEncryptionController(SecureMemoryController):
+    """Serializing direct-encryption memory protection."""
+
+    def fetch_line(self, now: int, address: int) -> FetchResult:
+        """Fetch, then decrypt serially — nothing can overlap."""
+        line = self.address_map.line_address(address)
+        # No counter to fetch: the line is the only payload.
+        line_ready = self.dram.read(now, line, self.address_map.line_bytes)
+        # Decryption starts only once the ciphertext is on-chip.
+        pad_ready = self.engine.issue(line_ready, self.blocks, speculative=False)[-1]
+        data_ready = pad_ready
+
+        plaintext = self._decrypt_direct(line) if self.functional else None
+
+        self.stats.fetches += 1
+        self.stats.class_counts[FetchClass.NEITHER] += 1
+        self.stats.total_exposed_latency += data_ready - now
+        self.stats.total_decryption_overhead += data_ready - line_ready
+        return FetchResult(
+            address=line,
+            seqnum=0,
+            issue_time=now,
+            seqnum_ready=line_ready,
+            line_ready=line_ready,
+            pad_ready=pad_ready,
+            data_ready=data_ready,
+            predicted=False,
+            seqcache_hit=False,
+            fetch_class=FetchClass.NEITHER,
+            plaintext=plaintext,
+        )
+
+    def writeback_line(
+        self, now: int, address: int, plaintext: bytes | None = None
+    ) -> WritebackResult:
+        """Encrypt and post the write; no counters are involved."""
+        line = self.address_map.line_address(address)
+        pad_done = self.engine.issue(now, self.blocks, speculative=False)[-1]
+        completion = self.dram.write(pad_done, line, self.address_map.line_bytes)
+
+        if self.functional:
+            if plaintext is None:
+                raise ValueError("functional mode write-back requires plaintext")
+            self.backing.write_line(line, self._encrypt_direct(line, plaintext))
+
+        self.stats.writebacks += 1
+        return WritebackResult(
+            address=line, seqnum=0, completion_time=completion, rebased=False
+        )
+
+    # -- functional XEX-style encryption ---------------------------------------
+
+    def _tweak(self, block_address: int) -> bytes:
+        assert self.otp is not None
+        return self.otp._cipher.encrypt_block(make_counter_block(block_address, 0))
+
+    def _encrypt_direct(self, line: int, plaintext: bytes) -> bytes:
+        assert self.otp is not None
+        cipher = self.otp._cipher
+        out = []
+        for index in range(self.blocks):
+            start = index * BLOCK_SIZE
+            tweak = self._tweak(line + start)
+            block = xor_bytes(plaintext[start: start + BLOCK_SIZE], tweak)
+            out.append(xor_bytes(cipher.encrypt_block(block), tweak))
+        return b"".join(out)
+
+    def _decrypt_direct(self, line: int) -> bytes:
+        assert self.otp is not None
+        if not self.backing.has_line(line):
+            return bytes(self.address_map.line_bytes)
+        cipher = self.otp._cipher
+        ciphertext = self.backing.read_line(line)
+        out = []
+        for index in range(self.blocks):
+            start = index * BLOCK_SIZE
+            tweak = self._tweak(line + start)
+            block = xor_bytes(ciphertext[start: start + BLOCK_SIZE], tweak)
+            out.append(xor_bytes(cipher.decrypt_block(block), tweak))
+        return b"".join(out)

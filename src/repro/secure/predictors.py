@@ -1,0 +1,364 @@
+"""OTP sequence-number predictors (Sections 3 and 7 of the paper).
+
+Four schemes share one interface:
+
+* :class:`RegularOtpPredictor` — guesses ``root .. root+depth`` (Section 3.1),
+  optionally with the adaptive PHV/reset mechanism (Section 3.2) and the
+  old-root history memoization (Section 7.3).
+* :class:`TwoLevelOtpPredictor` — a per-line range predictor narrows the
+  guess window to one bucket of the distance space before regular
+  prediction probes inside it (Section 7.2).
+* :class:`ContextOtpPredictor` — adds guesses around the Latest Offset
+  Register, the offset of the most recent memory fetch (Section 7.4).
+* :class:`NullPredictor` — the no-speculation baseline.
+
+A predictor converts protected per-page state into an *ordered* list of
+sequence-number guesses; the secure controller pushes those through the
+idle crypto-engine pipeline.  Predictors also observe fetch outcomes (to
+train PHV/LOR state) and write-backs (to train range tables).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.memory.address import AddressMap, DEFAULT_ADDRESS_MAP
+from repro.secure.seqnum import (
+    DISTANCE_WINDOW,
+    PageSecurityTable,
+    seqnum_distance,
+)
+
+__all__ = [
+    "PredictorStats",
+    "OtpPredictor",
+    "NullPredictor",
+    "RegularOtpPredictor",
+    "TwoLevelOtpPredictor",
+    "ContextOtpPredictor",
+    "RangePredictionTable",
+]
+
+_MASK64 = (1 << 64) - 1
+
+
+@dataclass
+class PredictorStats:
+    """Aggregate predictor behaviour over a run."""
+
+    lookups: int = 0
+    hits: int = 0
+    guesses_issued: int = 0
+    root_resets: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def guesses_per_lookup(self) -> float:
+        return self.guesses_issued / self.lookups if self.lookups else 0.0
+
+
+class OtpPredictor:
+    """Interface shared by every prediction scheme."""
+
+    name = "abstract"
+
+    def __init__(self, table: PageSecurityTable):
+        self.table = table
+        self.stats = PredictorStats()
+
+    def predict(self, page: int, line_address: int) -> list[int]:
+        """Ordered sequence-number guesses for a missing line."""
+        raise NotImplementedError
+
+    def observe_fetch(
+        self, page: int, line_address: int, actual_seqnum: int, hit: bool
+    ) -> None:
+        """Train on the true sequence number once it arrives from memory."""
+
+    def observe_writeback(
+        self, page: int, line_address: int, new_seqnum: int
+    ) -> None:
+        """Train on a dirty eviction's freshly assigned sequence number."""
+
+    def record(self, guesses: list[int], actual_seqnum: int) -> bool:
+        """Book-keeping helper: count a lookup and whether it hit."""
+        self.stats.lookups += 1
+        self.stats.guesses_issued += len(guesses)
+        hit = actual_seqnum in guesses
+        if hit:
+            self.stats.hits += 1
+        return hit
+
+
+class NullPredictor(OtpPredictor):
+    """Baseline: never speculates."""
+
+    name = "baseline"
+
+    def predict(self, page: int, line_address: int) -> list[int]:
+        return []
+
+
+class RegularOtpPredictor(OtpPredictor):
+    """Regular (and adaptive) OTP prediction.
+
+    Parameters
+    ----------
+    depth:
+        Prediction depth (Table 1: 5) — guesses cover
+        ``[root, root+depth]``, i.e. ``depth+1`` candidates.
+    adaptive:
+        Enable the PHV-driven root reset of Section 3.2.  The paper's
+        evaluated configuration is adaptive; ``False`` isolates the plain
+        scheme for ablation.
+    use_root_history:
+        Also probe from remembered old roots (Section 7.3; requires the
+        page table to be built with ``history_depth > 0``).
+    """
+
+    name = "regular"
+
+    def __init__(
+        self,
+        table: PageSecurityTable,
+        depth: int = 5,
+        adaptive: bool = True,
+        use_root_history: bool = False,
+    ):
+        super().__init__(table)
+        if depth < 0:
+            raise ValueError(f"depth must be >= 0, got {depth}")
+        self.depth = depth
+        self.adaptive = adaptive
+        self.use_root_history = use_root_history
+
+    def _base_guesses(self, root: int) -> list[int]:
+        return [(root + i) & _MASK64 for i in range(self.depth + 1)]
+
+    def predict(self, page: int, line_address: int) -> list[int]:
+        state = self.table.state(page)
+        guesses = self._base_guesses(state.root)
+        if self.use_root_history:
+            for old_root in state.old_roots:
+                guesses.extend(self._base_guesses(old_root))
+        return _dedupe(guesses)
+
+    def observe_fetch(
+        self, page: int, line_address: int, actual_seqnum: int, hit: bool
+    ) -> None:
+        if self.adaptive and self.table.record_prediction(page, hit):
+            self.stats.root_resets += 1
+
+
+class RangePredictionTable:
+    """First-level range predictor of the two-level scheme (Section 7.2).
+
+    A 64-entry, LRU-managed table; each entry holds one ``range_bits``-wide
+    bucket index per line of a page (4KB pages / 32B lines -> 128 lines,
+    so a 4-bit predictor costs 64 bytes per page, ~4KB total — the hardware
+    budget quoted in Section 8.1).
+    """
+
+    def __init__(
+        self,
+        entries: int = 64,
+        range_bits: int = 4,
+        lines_per_page: int = 128,
+    ):
+        if entries <= 0:
+            raise ValueError(f"entries must be positive, got {entries}")
+        if not 1 <= range_bits <= 16:
+            raise ValueError(f"range_bits must be in [1, 16], got {range_bits}")
+        self.entries = entries
+        self.range_bits = range_bits
+        self.lines_per_page = lines_per_page
+        self.max_bucket = (1 << range_bits) - 1
+        self._table: OrderedDict[int, list[int]] = OrderedDict()
+        self.lookups = 0
+        self.misses = 0
+
+    def bucket(self, page: int, line_in_page: int) -> int:
+        """Predicted bucket for a line; 0 if the page has no entry."""
+        self.lookups += 1
+        ranges = self._table.get(page)
+        if ranges is None:
+            self.misses += 1
+            return 0
+        self._table.move_to_end(page)
+        return ranges[line_in_page]
+
+    def train(self, page: int, line_in_page: int, distance: int, window: int) -> None:
+        """Record the bucket of an observed distance.
+
+        Trained on write-backs (Section 7.2) and on fetch outcomes.  A
+        freshly allocated page entry is initialized with the observed
+        bucket in *every* line slot — the natural hardware reset value,
+        and the right prior given that lines of a page tend to share
+        update counts (the same observation regular prediction builds on).
+        Per-line slots then specialize as further observations arrive.
+        """
+        bucket = min(distance // window, self.max_bucket)
+        ranges = self._table.get(page)
+        if ranges is None:
+            if len(self._table) >= self.entries:
+                self._table.popitem(last=False)
+            # A fresh entry is initialized with the observed bucket in every
+            # line slot — the natural hardware reset value, and the right
+            # prior given that lines of a page tend to share update counts
+            # (the same observation regular prediction builds on).  Per-line
+            # slots then specialize as further observations arrive.
+            ranges = [bucket] * self.lines_per_page
+            self._table[page] = ranges
+        else:
+            self._table.move_to_end(page)
+            ranges[line_in_page] = bucket
+
+    def invalidate_page(self, page: int) -> None:
+        """Drop a page's ranges (after a root reset rebases distances)."""
+        self._table.pop(page, None)
+
+    @property
+    def storage_bits(self) -> int:
+        """Hardware cost of the table in bits."""
+        return self.entries * self.lines_per_page * self.range_bits
+
+
+class TwoLevelOtpPredictor(RegularOtpPredictor):
+    """Two-level prediction: range predictor + regular prediction.
+
+    The range table quadruples (with 2-bit buckets; more with 4-bit) the
+    effective prediction depth without issuing more guesses per miss: the
+    second-level probes ``[root + bucket*window, root + bucket*window + depth]``.
+    """
+
+    name = "two_level"
+
+    def __init__(
+        self,
+        table: PageSecurityTable,
+        depth: int = 5,
+        adaptive: bool = True,
+        use_root_history: bool = False,
+        range_table: RangePredictionTable | None = None,
+        address_map: AddressMap = DEFAULT_ADDRESS_MAP,
+    ):
+        super().__init__(
+            table, depth=depth, adaptive=adaptive, use_root_history=use_root_history
+        )
+        self.address_map = address_map
+        self.range_table = range_table or RangePredictionTable(
+            lines_per_page=address_map.lines_per_page
+        )
+
+    @property
+    def window(self) -> int:
+        """Width of one range bucket in sequence-number space."""
+        return self.depth + 1
+
+    def predict(self, page: int, line_address: int) -> list[int]:
+        state = self.table.state(page)
+        line_in_page = self.address_map.line_in_page(line_address)
+        bucket = self.range_table.bucket(page, line_in_page)
+        base = (state.root + bucket * self.window) & _MASK64
+        guesses = [(base + i) & _MASK64 for i in range(self.window)]
+        if bucket:
+            # Lines can sit just below the trained bucket after a re-fetch
+            # that precedes the next write-back; always cover the root
+            # bucket's first guess as a cheap fallback.
+            guesses.append(state.root)
+        if self.use_root_history:
+            for old_root in state.old_roots:
+                guesses.extend(self._base_guesses(old_root))
+        return _dedupe(guesses)
+
+    def observe_fetch(
+        self, page: int, line_address: int, actual_seqnum: int, hit: bool
+    ) -> None:
+        root_before = self.table.state(page).root
+        super().observe_fetch(page, line_address, actual_seqnum, hit)
+        state = self.table.state(page)
+        if state.root != root_before:
+            # Root reset rebased every distance in the page; stale buckets
+            # would now point at the wrong part of sequence space.
+            self.range_table.invalidate_page(page)
+            return
+        # Train on the observed distance as well as on write-backs: the
+        # fetched sequence number is already on-chip (it just arrived), and
+        # learning from it means a line mispredicts at most once before its
+        # bucket is correct.
+        distance = seqnum_distance(actual_seqnum, state.root)
+        if distance < DISTANCE_WINDOW:
+            line_in_page = self.address_map.line_in_page(line_address)
+            self.range_table.train(page, line_in_page, distance, self.window)
+
+    def observe_writeback(
+        self, page: int, line_address: int, new_seqnum: int
+    ) -> None:
+        state = self.table.state(page)
+        distance = seqnum_distance(new_seqnum, state.root)
+        if distance < DISTANCE_WINDOW:
+            line_in_page = self.address_map.line_in_page(line_address)
+            self.range_table.train(page, line_in_page, distance, self.window)
+
+
+class ContextOtpPredictor(RegularOtpPredictor):
+    """Context-based prediction with a Latest Offset Register (Section 7.4).
+
+    Two guess sets per miss: the regular set ``[root, root+depth]`` and a
+    swing of ``2*pred_swing + 1`` guesses centred on ``root + LOR`` (clamped
+    at the root), where LOR is the offset of the most recent fetch.  Costs
+    one register, no tables.
+    """
+
+    name = "context"
+
+    def __init__(
+        self,
+        table: PageSecurityTable,
+        depth: int = 5,
+        swing: int = 3,
+        adaptive: bool = True,
+        use_root_history: bool = False,
+    ):
+        super().__init__(
+            table, depth=depth, adaptive=adaptive, use_root_history=use_root_history
+        )
+        if swing < 0:
+            raise ValueError(f"swing must be >= 0, got {swing}")
+        self.swing = swing
+        self.latest_offset = 0
+
+    def predict(self, page: int, line_address: int) -> list[int]:
+        state = self.table.state(page)
+        guesses = self._base_guesses(state.root)
+        low = max(self.latest_offset - self.swing, 0)
+        high = self.latest_offset + self.swing
+        guesses.extend((state.root + off) & _MASK64 for off in range(low, high + 1))
+        if self.use_root_history:
+            for old_root in state.old_roots:
+                guesses.extend(self._base_guesses(old_root))
+        return _dedupe(guesses)
+
+    def observe_fetch(
+        self, page: int, line_address: int, actual_seqnum: int, hit: bool
+    ) -> None:
+        state = self.table.state(page)
+        distance = seqnum_distance(actual_seqnum, state.root)
+        if distance < DISTANCE_WINDOW:
+            self.latest_offset = distance
+        super().observe_fetch(page, line_address, actual_seqnum, hit)
+
+
+def _dedupe(guesses: list[int]) -> list[int]:
+    """Drop duplicate guesses, keeping first-occurrence (priority) order."""
+    seen: set[int] = set()
+    unique = []
+    for guess in guesses:
+        if guess not in seen:
+            seen.add(guess)
+            unique.append(guess)
+    return unique

@@ -1,0 +1,162 @@
+"""Multiprogramming: per-process keys and protected security contexts.
+
+Section 2.2 assumes "in a multiprogrammed environment, dynamic data of each
+process is protected with different cryptographic keys" and that the
+trusted kernel preserves each process's security context — root sequence
+numbers, prediction state — across context switches.  This module supplies
+that machinery:
+
+* :class:`ProcessContext` — everything private to one protected process:
+  its key (functional mode), its page-security table (roots, PHV), its
+  predictor (including LOR / range-table state), its pad-reuse auditor.
+* :class:`SecureProcessManager` — owns the *shared* physical resources
+  (crypto engine, DRAM, sequence-number cache, untrusted RAM) and swaps
+  process contexts in and out, counting switches.  Each process sees its
+  own :class:`~repro.secure.controller.SecureMemoryController` bound to
+  the shared hardware.
+
+Address spaces are disambiguated with an ASID folded into the upper
+address bits, mirroring how physical placement keeps processes' lines (and
+their counters) distinct in RAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.engine import CryptoEngine
+from repro.crypto.rng import HardwareRng
+from repro.memory.address import AddressMap, DEFAULT_ADDRESS_MAP
+from repro.memory.backing import BackingStore
+from repro.memory.dram import Dram
+from repro.secure.controller import SecureMemoryController
+from repro.secure.predictors import OtpPredictor
+from repro.secure.seqcache import SequenceNumberCache
+from repro.secure.seqnum import PageSecurityTable
+
+__all__ = ["ProcessContext", "SecureProcessManager"]
+
+_ASID_SHIFT = 44  # virtual addresses stay below 2^44 per process
+
+
+@dataclass
+class ProcessContext:
+    """The protected, kernel-managed security state of one process."""
+
+    pid: int
+    controller: SecureMemoryController
+    switches_in: int = 0
+
+    @property
+    def page_table(self) -> PageSecurityTable:
+        """The process's per-page security state."""
+        return self.controller.page_table
+
+    @property
+    def predictor(self) -> OtpPredictor:
+        """The process's OTP predictor (state included in the context)."""
+        return self.controller.predictor
+
+    def translate(self, address: int) -> int:
+        """Fold the ASID into the address (per-process placement)."""
+        if address < 0 or address >= (1 << _ASID_SHIFT):
+            raise ValueError(
+                f"address {address:#x} outside the per-process window"
+            )
+        return (self.pid << _ASID_SHIFT) | address
+
+
+class SecureProcessManager:
+    """Shared hardware + swappable per-process security contexts."""
+
+    def __init__(
+        self,
+        engine: CryptoEngine | None = None,
+        dram: Dram | None = None,
+        seqcache: SequenceNumberCache | None = None,
+        backing: BackingStore | None = None,
+        address_map: AddressMap = DEFAULT_ADDRESS_MAP,
+        seed: int = 1,
+    ):
+        self.engine = engine if engine is not None else CryptoEngine()
+        self.dram = dram if dram is not None else Dram()
+        self.seqcache = seqcache
+        self.backing = backing if backing is not None else BackingStore(address_map)
+        self.address_map = address_map
+        self._seed = seed
+        self._processes: dict[int, ProcessContext] = {}
+        self._active: ProcessContext | None = None
+        self.context_switches = 0
+
+    def create_process(
+        self,
+        pid: int,
+        key: bytes | None = None,
+        predictor_factory=None,
+        integrity: bool = False,
+    ) -> ProcessContext:
+        """Register a protected process with its own key and context."""
+        if pid in self._processes:
+            raise ValueError(f"pid {pid} already exists")
+        if not 0 <= pid < (1 << 16):
+            raise ValueError(f"pid must fit in 16 bits, got {pid}")
+        table = PageSecurityTable(rng=HardwareRng(self._seed * 65537 + pid))
+        predictor = predictor_factory(table) if predictor_factory else None
+        controller = SecureMemoryController(
+            engine=self.engine,
+            dram=self.dram,
+            page_table=table,
+            predictor=predictor,
+            seqcache=self.seqcache,
+            key=key,
+            integrity=integrity,
+            backing=self.backing,
+            address_map=self.address_map,
+        )
+        context = ProcessContext(pid=pid, controller=controller)
+        self._processes[pid] = context
+        if self._active is None:
+            self._active = context
+            context.switches_in += 1
+        return context
+
+    @property
+    def active(self) -> ProcessContext:
+        """The currently scheduled process context."""
+        if self._active is None:
+            raise RuntimeError("no process has been created")
+        return self._active
+
+    def switch_to(self, pid: int) -> ProcessContext:
+        """Context switch: activate another process's security context.
+
+        The per-process state (roots, PHV, LOR, range tables, keys) is
+        preserved exactly — that is the Section 2.2 assumption — while the
+        shared physical structures (engine pipeline, DRAM row buffers,
+        sequence-number cache contents) carry over and interfere, which is
+        the effect the multiprogramming experiment measures.
+        """
+        context = self._processes.get(pid)
+        if context is None:
+            raise KeyError(f"unknown pid {pid}")
+        if context is not self._active:
+            self.context_switches += 1
+            context.switches_in += 1
+            self._active = context
+        return context
+
+    def fetch(self, now: int, address: int):
+        """Fetch through the active process's context (ASID-translated)."""
+        context = self.active
+        return context.controller.fetch_line(now, context.translate(address))
+
+    def writeback(self, now: int, address: int, plaintext: bytes | None = None):
+        """Write back through the active process's context."""
+        context = self.active
+        return context.controller.writeback_line(
+            now, context.translate(address), plaintext
+        )
+
+    def processes(self) -> list[int]:
+        """All registered pids."""
+        return sorted(self._processes)

@@ -1,0 +1,149 @@
+"""Per-page security context: root sequence numbers, PHV, root history.
+
+Figure 5 / Figure 6 of the paper: every virtual page is assigned a random
+64-bit *root sequence number* when it is mapped; all lines of the page start
+counting from that root.  A 16-bit *prediction history vector* (PHV) per
+page records hit/miss of the last 16 predictions; when mispredictions cross
+a threshold the page's root is re-randomized (adaptive prediction,
+Section 3.2).  Old roots can optionally be remembered (Section 7.3).
+
+This state lives in the protected domain — architecturally it is cached in
+TLB entries and spilled to protected per-process storage, which the trusted
+kernel preserves across context switches (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.rng import HardwareRng
+
+__all__ = ["PageSecurityState", "PageSecurityTable", "seqnum_distance"]
+
+_MASK64 = (1 << 64) - 1
+
+#: A sequence number whose distance from the current root is below this
+#: bound is considered to count from the current root (Section 3.2's
+#: "distance test"; the bound only affects reset heuristics, not security).
+DISTANCE_WINDOW = 1 << 20
+
+
+def seqnum_distance(seqnum: int, root: int) -> int:
+    """Modular distance ``seqnum - root`` in 64-bit space."""
+    return (seqnum - root) & _MASK64
+
+
+@dataclass
+class PageSecurityState:
+    """Mutable security context of one virtual page."""
+
+    root: int
+    mapping_root: int                  # root at page-map time (RAM counters start here)
+    phv: int = 0                       # 16-bit shift register, 1 = misprediction
+    phv_fill: int = 0                  # how many of the 16 slots are valid
+    old_roots: tuple[int, ...] = ()
+    resets: int = 0
+    latest_offset: int = 0             # per-page LOR variant (global LOR in predictor)
+
+
+class PageSecurityTable:
+    """Authoritative map: virtual page number -> :class:`PageSecurityState`.
+
+    Parameters
+    ----------
+    rng:
+        Hardware RNG model used for root (re)assignment.
+    phv_bits:
+        Width of the prediction history vector (Table 1: 16).
+    phv_threshold:
+        Mispredictions among the last ``phv_bits`` predictions that trigger
+        a root reset (Table 1: 12).
+    history_depth:
+        How many old roots to remember after resets (Section 7.3 keeps
+        "1 or 2 at most"; 0 disables the optimization).
+    """
+
+    def __init__(
+        self,
+        rng: HardwareRng | None = None,
+        phv_bits: int = 16,
+        phv_threshold: int = 12,
+        history_depth: int = 0,
+    ):
+        if phv_bits <= 0 or phv_bits > 64:
+            raise ValueError(f"phv_bits must be in [1, 64], got {phv_bits}")
+        if not 0 < phv_threshold <= phv_bits:
+            raise ValueError(
+                f"phv_threshold must be in [1, {phv_bits}], got {phv_threshold}"
+            )
+        if history_depth < 0:
+            raise ValueError(f"history_depth must be >= 0, got {history_depth}")
+        self.rng = rng or HardwareRng()
+        self.phv_bits = phv_bits
+        self.phv_threshold = phv_threshold
+        self.history_depth = history_depth
+        self._pages: dict[int, PageSecurityState] = {}
+        self.total_resets = 0
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def state(self, page: int) -> PageSecurityState:
+        """Fetch (mapping on first touch) the security state of ``page``."""
+        existing = self._pages.get(page)
+        if existing is not None:
+            return existing
+        root = self.rng.next_u64()
+        fresh = PageSecurityState(root=root, mapping_root=root)
+        self._pages[page] = fresh
+        return fresh
+
+    def root(self, page: int) -> int:
+        """Current root sequence number of ``page``."""
+        return self.state(page).root
+
+    def counts_from_current_root(self, page: int, seqnum: int) -> bool:
+        """Distance test: does ``seqnum`` count from the page's current root?
+
+        "To decide whether a sequence number started its count from the
+        current root sequence number, its distance to the current root is
+        calculated.  If the distance is negative or too large, the sequence
+        number is considered counting from an old root." (Section 3.2)
+        """
+        return seqnum_distance(seqnum, self.state(page).root) < DISTANCE_WINDOW
+
+    def reset_root(self, page: int) -> int:
+        """Re-randomize the page's root; returns the new root."""
+        state = self.state(page)
+        if self.history_depth:
+            state.old_roots = ((state.root,) + state.old_roots)[: self.history_depth]
+        state.root = self.rng.next_u64()
+        state.phv = 0
+        state.phv_fill = 0
+        state.resets += 1
+        self.total_resets += 1
+        return state.root
+
+    def record_prediction(self, page: int, hit: bool) -> bool:
+        """Shift a prediction outcome into the PHV; reset root if saturated.
+
+        Returns True if the page root was reset as a consequence.
+        """
+        state = self.state(page)
+        mask = (1 << self.phv_bits) - 1
+        state.phv = ((state.phv << 1) | (0 if hit else 1)) & mask
+        state.phv_fill = min(state.phv_fill + 1, self.phv_bits)
+        if (
+            state.phv_fill >= self.phv_bits
+            and bin(state.phv).count("1") >= self.phv_threshold
+        ):
+            self.reset_root(page)
+            return True
+        return False
+
+    def pages(self) -> list[int]:
+        """All page numbers ever mapped (diagnostics)."""
+        return sorted(self._pages)

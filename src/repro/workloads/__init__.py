@@ -1,0 +1,28 @@
+"""Workload generators: synthetic stream primitives and SPEC2000-like models."""
+
+from repro.workloads.spec import SPEC_BENCHMARKS, Workload, build_streams, build_workload
+from repro.workloads.synthetic import (
+    AccessStream,
+    HotStream,
+    IterativeSweep,
+    StaticStream,
+    StridedSweep,
+    TiledSweep,
+    ZipfStream,
+    interleave,
+)
+
+__all__ = [
+    "SPEC_BENCHMARKS",
+    "Workload",
+    "build_streams",
+    "build_workload",
+    "AccessStream",
+    "HotStream",
+    "IterativeSweep",
+    "StaticStream",
+    "StridedSweep",
+    "TiledSweep",
+    "ZipfStream",
+    "interleave",
+]

@@ -1,0 +1,511 @@
+"""Synthetic memory-reference stream primitives.
+
+The paper's mechanisms key off three properties of a program's L2-miss
+stream (DESIGN.md Section 2): how often lines miss, how many times each
+line has been written back since its page was mapped (its *sequence-number
+distance*), and how those distances cluster in time and space.  The
+primitives here expose exactly those knobs:
+
+* :class:`IterativeSweep` — repeated passes over an array (the FP-loop
+  idiom: swim/mgrid/applu).  Uniform per-page distances that grow one per
+  written pass; sweep order can be permuted per pass, which destroys the
+  spatial counter locality a sequence-number cache would otherwise enjoy
+  while leaving update counts untouched.
+* :class:`TiledSweep` — passes over one tile of a much larger array at a
+  time (blocked numeric kernels, mcf's bucket scans).
+* :class:`ZipfStream` — skewed random line popularity (pointer codes:
+  twolf/vpr/parser/mcf).  Hot lines accumulate large, line-specific
+  distances — the hard case for regular prediction.
+* :class:`StaticStream` — read-only touches (code, rarely-written globals):
+  distance stays 0, the easy case the paper's profiling found dominant.
+* :class:`HotStream` — a cache-resident region that generates L1/L2 hits
+  and no off-chip traffic (keeps instructions flowing between misses).
+
+Every stream is deterministic (seeded :class:`~repro.crypto.rng.HardwareRng`)
+and can *pre-seed* per-line sequence distances, standing in for the paper's
+4-billion-instruction fast-forward that warms the profiled memory state
+before measurement (Section 5.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cpu.trace import MemoryAccess
+from repro.crypto.rng import HardwareRng
+
+__all__ = [
+    "LINE_BYTES",
+    "PAGE_BYTES",
+    "AccessStream",
+    "IterativeSweep",
+    "StridedSweep",
+    "TiledSweep",
+    "ZipfStream",
+    "StaticStream",
+    "HotStream",
+    "update_band",
+    "interleave",
+]
+
+LINE_BYTES = 32
+PAGE_BYTES = 4096
+_LINES_PER_PAGE = PAGE_BYTES // LINE_BYTES
+
+
+class AccessStream:
+    """Interface: an endless source of references with a warm-up state."""
+
+    def next_access(self, rng: HardwareRng) -> MemoryAccess:
+        raise NotImplementedError
+
+    def preseed(self, rng: HardwareRng) -> dict[int, int]:
+        """Map line address -> initial sequence distance (fast-forward)."""
+        return {}
+
+    def touched_lines(self) -> list[int]:
+        """All line addresses this stream can emit (for footprint checks)."""
+        raise NotImplementedError
+
+
+def _jitter_gap(rng: HardwareRng, mean_gap: int) -> int:
+    """Gap instructions with +-50% uniform jitter around the mean."""
+    if mean_gap <= 1:
+        return max(mean_gap, 0)
+    low = mean_gap // 2
+    return low + rng.next_below(mean_gap)
+
+
+@dataclass
+class IterativeSweep(AccessStream):
+    """Repeated passes over ``num_lines`` lines starting at ``base``.
+
+    Parameters
+    ----------
+    write_prob:
+        Probability a touched line is written this pass (written passes
+        advance the line's sequence distance by one on eviction).
+    permuted:
+        Visit lines in a fresh pseudo-random order each pass; sequential
+        order otherwise.
+    phase_spread:
+        Pre-seeded per-page distance is uniform in ``[0, phase_spread]``,
+        modeling pages at different phases of the update cycle after
+        fast-forward.
+    """
+
+    base: int
+    num_lines: int
+    mean_gap: int = 10
+    write_prob: float = 0.5
+    permuted: bool = True
+    phase_spread: int = 8
+
+    def __post_init__(self) -> None:
+        if self.num_lines <= 0:
+            raise ValueError(f"num_lines must be positive, got {self.num_lines}")
+        self._cursor = 0
+        self._perm_state = 0x243F6A8885A308D3  # per-pass permutation salt
+        self._refresh_permutation()
+
+    def _refresh_permutation(self) -> None:
+        """Pick this pass's affine permutation (stride coprime to n)."""
+        stride = (self._perm_state % self.num_lines) | 1
+        while math.gcd(stride, self.num_lines) != 1:
+            stride += 2
+        self._stride = stride
+        self._offset = (self._perm_state >> 32) % self.num_lines
+
+    def _line_at(self, index: int) -> int:
+        if self.permuted:
+            index = (index * self._stride + self._offset) % self.num_lines
+        return self.base + index * LINE_BYTES
+
+    def next_access(self, rng: HardwareRng) -> MemoryAccess:
+        address = self._line_at(self._cursor)
+        self._cursor += 1
+        if self._cursor >= self.num_lines:
+            self._cursor = 0
+            self._perm_state = (
+                self._perm_state * 6364136223846793005 + 1442695040888963407
+            ) & ((1 << 64) - 1)
+            self._refresh_permutation()
+        is_write = rng.next_float() < self.write_prob
+        return MemoryAccess(
+            address=address,
+            is_write=is_write,
+            gap_instructions=_jitter_gap(rng, self.mean_gap),
+        )
+
+    def preseed(self, rng: HardwareRng) -> dict[int, int]:
+        seeds: dict[int, int] = {}
+        pages = -(-self.num_lines // _LINES_PER_PAGE)
+        for page_index in range(pages):
+            phase = rng.next_below(self.phase_spread + 1)
+            first = page_index * _LINES_PER_PAGE
+            last = min(first + _LINES_PER_PAGE, self.num_lines)
+            for line_index in range(first, last):
+                seeds[self.base + line_index * LINE_BYTES] = phase
+        return seeds
+
+    def touched_lines(self) -> list[int]:
+        return [self.base + i * LINE_BYTES for i in range(self.num_lines)]
+
+
+@dataclass
+class StridedSweep(AccessStream):
+    """Strided passes over an array, in ascending (page-clustered) order.
+
+    Models the column-order sweeps of Fortran FP codes (swim/mgrid/applu):
+    pass *k* visits lines ``k % stride_lines, k % stride_lines + stride_lines, ...``
+    so that
+
+    * successive misses land in successive *pages* (bursts that train the
+      two-level range table and keep the context LOR stable),
+    * no two misses of a pass share a 32-byte sequence-number-cache line
+      (``stride_lines >= 4``), reproducing the poor spatial counter
+      locality the paper observed, and
+    * every line's update count advances once per ``stride_lines`` passes,
+      keeping distances uniform across the region (iteration-aligned).
+
+    ``phase_spread`` pre-seeds one distance for the whole region (iterative
+    codes update entire arrays together), drawn uniformly from
+    ``[0, phase_spread]``.
+    """
+
+    base: int
+    num_lines: int
+    stride_lines: int = 4
+    mean_gap: int = 10
+    write_prob: float = 0.6
+    phase_spread: int = 3
+    phase_base_range: tuple[int, int] = (0, 2)
+
+    def __post_init__(self) -> None:
+        if self.num_lines <= 0:
+            raise ValueError(f"num_lines must be positive, got {self.num_lines}")
+        if self.stride_lines < 1:
+            raise ValueError(f"stride_lines must be >= 1, got {self.stride_lines}")
+        self._offset = 0
+        self._cursor = 0
+
+    def next_access(self, rng: HardwareRng) -> MemoryAccess:
+        index = self._offset + self._cursor * self.stride_lines
+        if index >= self.num_lines:
+            self._offset = (self._offset + 1) % self.stride_lines
+            self._cursor = 0
+            index = self._offset
+        address = self.base + index * LINE_BYTES
+        self._cursor += 1
+        is_write = rng.next_float() < self.write_prob
+        return MemoryAccess(
+            address=address,
+            is_write=is_write,
+            gap_instructions=_jitter_gap(rng, self.mean_gap),
+        )
+
+    def preseed(self, rng: HardwareRng) -> dict[int, int]:
+        """Iteration-aligned distances: a region-wide base phase plus a
+        spatially smooth jitter — blocks of 8 neighbouring pages share a
+        phase, because a sweep front crosses adjacent pages together.  The
+        smoothness is what the context predictor's LOR exploits.
+        """
+        low, high = self.phase_base_range
+        region_phase = low + rng.next_below(high - low + 1)
+        seeds: dict[int, int] = {}
+        pages = -(-self.num_lines // _LINES_PER_PAGE)
+        phase = region_phase
+        for page_index in range(pages):
+            if page_index % 8 == 0:
+                phase = region_phase + rng.next_below(self.phase_spread + 1)
+            first = page_index * _LINES_PER_PAGE
+            last = min(first + _LINES_PER_PAGE, self.num_lines)
+            for line_index in range(first, last):
+                seeds[self.base + line_index * LINE_BYTES] = phase
+        return seeds
+
+    def touched_lines(self) -> list[int]:
+        return [self.base + i * LINE_BYTES for i in range(self.num_lines)]
+
+
+@dataclass
+class TiledSweep(AccessStream):
+    """Sweep one tile of a large array per pass, then advance tiles."""
+
+    base: int
+    total_lines: int
+    tile_lines: int
+    mean_gap: int = 10
+    write_prob: float = 0.5
+    passes_per_tile: int = 2
+    phase_spread: int = 3
+
+    def __post_init__(self) -> None:
+        if self.total_lines <= 0 or self.tile_lines <= 0:
+            raise ValueError("total_lines and tile_lines must be positive")
+        if self.tile_lines > self.total_lines:
+            raise ValueError("tile_lines cannot exceed total_lines")
+        self._tile = 0
+        self._cursor = 0
+        self._tile_pass = 0
+        self._num_tiles = -(-self.total_lines // self.tile_lines)
+        self._salt = 0xB7E151628AED2A6A
+        self._refresh_stride()
+
+    def _tile_size(self) -> int:
+        tile_start = self._tile * self.tile_lines
+        return min(self.tile_lines, self.total_lines - tile_start)
+
+    def _refresh_stride(self) -> None:
+        tile_size = self._tile_size()
+        stride = (self._salt % tile_size) | 1
+        while math.gcd(stride, tile_size) != 1:
+            stride += 2
+        self._stride = stride
+
+    def next_access(self, rng: HardwareRng) -> MemoryAccess:
+        tile_start = self._tile * self.tile_lines
+        tile_size = self._tile_size()
+        index = tile_start + (self._cursor * self._stride) % tile_size
+        address = self.base + index * LINE_BYTES
+        self._cursor += 1
+        if self._cursor >= tile_size:
+            self._cursor = 0
+            self._tile_pass += 1
+            self._salt = (self._salt * 2862933555777941757 + 3037000493) & ((1 << 64) - 1)
+            if self._tile_pass >= self.passes_per_tile:
+                self._tile_pass = 0
+                self._tile = (self._tile + 1) % self._num_tiles
+            self._refresh_stride()
+        is_write = rng.next_float() < self.write_prob
+        return MemoryAccess(
+            address=address,
+            is_write=is_write,
+            gap_instructions=_jitter_gap(rng, self.mean_gap),
+        )
+
+    def preseed(self, rng: HardwareRng) -> dict[int, int]:
+        region_phase = rng.next_below(3)
+        seeds: dict[int, int] = {}
+        pages = -(-self.total_lines // _LINES_PER_PAGE)
+        for page_index in range(pages):
+            phase = region_phase + rng.next_below(self.phase_spread + 1)
+            first = page_index * _LINES_PER_PAGE
+            last = min(first + _LINES_PER_PAGE, self.total_lines)
+            for line_index in range(first, last):
+                seeds[self.base + line_index * LINE_BYTES] = phase
+        return seeds
+
+    def touched_lines(self) -> list[int]:
+        return [self.base + i * LINE_BYTES for i in range(self.total_lines)]
+
+
+@dataclass
+class ZipfStream(AccessStream):
+    """Zipf-popularity random line references (pointer-chasing codes)."""
+
+    base: int
+    num_lines: int
+    alpha: float = 0.8
+    mean_gap: int = 12
+    write_prob: float = 0.4
+    max_preseed_distance: int = 40
+
+    def __post_init__(self) -> None:
+        if self.num_lines <= 0:
+            raise ValueError(f"num_lines must be positive, got {self.num_lines}")
+        if self.alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {self.alpha}")
+        weights = [1.0 / (rank ** self.alpha) for rank in range(1, self.num_lines + 1)]
+        total = sum(weights)
+        cumulative = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            cumulative.append(acc)
+        self._cdf = cumulative
+        # Popular ranks are scattered over the region so hot lines do not
+        # all share a page.
+        self._shuffle_stride = (self.num_lines // 2) * 2 + 1
+        while math.gcd(self._shuffle_stride, self.num_lines) != 1:
+            self._shuffle_stride += 2
+
+    def _rank_to_line(self, rank: int) -> int:
+        return (rank * self._shuffle_stride) % self.num_lines
+
+    def _sample_rank(self, rng: HardwareRng) -> int:
+        u = rng.next_float()
+        low, high = 0, self.num_lines - 1
+        while low < high:
+            mid = (low + high) // 2
+            if self._cdf[mid] < u:
+                low = mid + 1
+            else:
+                high = mid
+        return low
+
+    def next_access(self, rng: HardwareRng) -> MemoryAccess:
+        rank = self._sample_rank(rng)
+        address = self.base + self._rank_to_line(rank) * LINE_BYTES
+        is_write = rng.next_float() < self.write_prob
+        return MemoryAccess(
+            address=address,
+            is_write=is_write,
+            gap_instructions=_jitter_gap(rng, self.mean_gap),
+        )
+
+    def preseed(self, rng: HardwareRng) -> dict[int, int]:
+        """Tail lines share a small base phase; the hottest few percent —
+        which mostly live in the L2 and rarely miss — carry large,
+        line-specific distances from their heavy update history."""
+        base_phase = rng.next_below(4)
+        hot_cutoff = max(1, self.num_lines // 120)
+        seeds: dict[int, int] = {}
+        for rank in range(self.num_lines):
+            line = self.base + self._rank_to_line(rank) * LINE_BYTES
+            if rank < hot_cutoff:
+                seeds[line] = base_phase + 6 + rng.next_below(25)
+            else:
+                seeds[line] = base_phase
+        return seeds
+
+    def touched_lines(self) -> list[int]:
+        return [self.base + i * LINE_BYTES for i in range(self.num_lines)]
+
+
+@dataclass
+class StaticStream(AccessStream):
+    """Read-only references over a region (code / constant data)."""
+
+    base: int
+    num_lines: int
+    mean_gap: int = 12
+    locality: float = 0.7    # probability the next reference stays nearby
+    is_instruction: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_lines <= 0:
+            raise ValueError(f"num_lines must be positive, got {self.num_lines}")
+        self._cursor = 0
+
+    def next_access(self, rng: HardwareRng) -> MemoryAccess:
+        if rng.next_float() < self.locality:
+            self._cursor = (self._cursor + 1) % self.num_lines
+        else:
+            self._cursor = rng.next_below(self.num_lines)
+        address = self.base + self._cursor * LINE_BYTES
+        return MemoryAccess(
+            address=address,
+            is_write=False,
+            is_instruction=self.is_instruction,
+            gap_instructions=_jitter_gap(rng, self.mean_gap),
+        )
+
+    def touched_lines(self) -> list[int]:
+        return [self.base + i * LINE_BYTES for i in range(self.num_lines)]
+
+
+@dataclass
+class HotStream(AccessStream):
+    """Cache-resident working set: generates hits, not misses."""
+
+    base: int
+    num_lines: int = 64
+    mean_gap: int = 6
+    write_prob: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.num_lines <= 0:
+            raise ValueError(f"num_lines must be positive, got {self.num_lines}")
+
+    def next_access(self, rng: HardwareRng) -> MemoryAccess:
+        line = rng.next_below(self.num_lines)
+        offset = rng.next_below(LINE_BYTES // 8) * 8
+        is_write = rng.next_float() < self.write_prob
+        return MemoryAccess(
+            address=self.base + line * LINE_BYTES + offset,
+            is_write=is_write,
+            gap_instructions=_jitter_gap(rng, self.mean_gap),
+        )
+
+    def touched_lines(self) -> list[int]:
+        return [self.base + i * LINE_BYTES for i in range(self.num_lines)]
+
+
+def update_band(
+    base: int,
+    num_lines: int,
+    mean_gap: int = 10,
+    write_prob: float = 0.75,
+    phase_range: tuple[int, int] = (10, 26),
+    deep: bool = False,
+) -> StridedSweep:
+    """A contiguous, frequently-updated structure (twolf's cell array, mcf's
+    node buckets): every line already carries a large, band-clustered
+    sequence distance after fast-forward.
+
+    This is the population regular prediction cannot reach (distance far
+    beyond the depth), while the two-level range table and the context LOR
+    track it — the exact separation Figures 12/13 measure.
+
+    ``deep=True`` moves the band beyond the reach of a 4-bit range table
+    (bucket saturates at 15, i.e. distance 95 with depth 5): hammered
+    structures whose update counts only the unbounded context LOR can
+    follow.
+    """
+    if deep:
+        phase_range = (110, 170)
+    return StridedSweep(
+        base,
+        num_lines,
+        stride_lines=4,
+        mean_gap=mean_gap,
+        write_prob=write_prob,
+        phase_spread=3,
+        phase_base_range=phase_range,
+    )
+
+
+def interleave(
+    streams: list[tuple[float, AccessStream]],
+    references: int,
+    rng: HardwareRng,
+    burst_mean: int = 6,
+) -> list[MemoryAccess]:
+    """Mix streams by weight into one deterministic trace.
+
+    Streams are visited in *bursts* (mean length ``burst_mean``): programs
+    work in phases, so consecutive references — and therefore consecutive
+    L2 misses — tend to come from one structure.  Burstiness is what makes
+    the context predictor's single LOR register effective (Section 7.4).
+    """
+    if references < 0:
+        raise ValueError(f"references must be non-negative, got {references}")
+    if not streams:
+        raise ValueError("at least one stream is required")
+    if burst_mean < 1:
+        raise ValueError(f"burst_mean must be >= 1, got {burst_mean}")
+    total_weight = sum(weight for weight, _ in streams)
+    if total_weight <= 0:
+        raise ValueError("stream weights must sum to a positive value")
+    boundaries = []
+    acc = 0.0
+    for weight, stream in streams:
+        acc += weight / total_weight
+        boundaries.append((acc, stream))
+
+    def pick_stream() -> AccessStream:
+        u = rng.next_float()
+        for boundary, stream in boundaries:
+            if u <= boundary:
+                return stream
+        return boundaries[-1][1]
+
+    trace: list[MemoryAccess] = []
+    while len(trace) < references:
+        stream = pick_stream()
+        run = 1 + rng.next_below(2 * burst_mean - 1)
+        for _ in range(min(run, references - len(trace))):
+            trace.append(stream.next_access(rng))
+    return trace

@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.crypto.rng import HardwareRng
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG; tests that need randomness stay reproducible."""
+    return HardwareRng(seed=0xC0FFEE)
+
+
+@pytest.fixture
+def key128():
+    return bytes(range(16))
+
+
+@pytest.fixture
+def key256():
+    return bytes(range(32))

@@ -1,0 +1,75 @@
+"""Core timing configuration and run metrics."""
+
+import pytest
+
+from repro.cpu.core import CoreConfig, RunMetrics
+
+
+def make_metrics(cycles, instructions=1000, **overrides):
+    base = dict(
+        scheme="test",
+        cycles=cycles,
+        instructions=instructions,
+        l2_misses=10,
+        fetches=10,
+        writebacks=5,
+        prediction_lookups=10,
+        prediction_hits=8,
+        guesses_issued=60,
+        seqcache_lookups=0,
+        seqcache_hits=0,
+        class_both=0,
+        class_pred_only=8,
+        class_cache_only=0,
+        class_neither=2,
+        mean_exposed_latency=100.0,
+        engine_demand_blocks=4,
+        engine_speculative_blocks=120,
+        root_resets=1,
+    )
+    base.update(overrides)
+    return RunMetrics(**base)
+
+
+class TestCoreConfig:
+    def test_table1_defaults(self):
+        config = CoreConfig()
+        assert config.issue_width == 8
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(issue_width=0),
+            dict(l2_hit_penalty=-1),
+            dict(miss_overlap=1.0),
+            dict(miss_overlap=-0.1),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            CoreConfig(**kwargs)
+
+
+class TestRunMetrics:
+    def test_ipc(self):
+        assert make_metrics(cycles=500.0).ipc == 2.0
+
+    def test_ipc_zero_cycles(self):
+        assert make_metrics(cycles=0.0).ipc == 0.0
+
+    def test_prediction_rate(self):
+        assert make_metrics(cycles=1.0).prediction_rate == 0.8
+
+    def test_prediction_rate_no_lookups(self):
+        metrics = make_metrics(cycles=1.0, prediction_lookups=0, prediction_hits=0)
+        assert metrics.prediction_rate == 0.0
+
+    def test_seqcache_hit_rate(self):
+        metrics = make_metrics(cycles=1.0, seqcache_lookups=4, seqcache_hits=1)
+        assert metrics.seqcache_hit_rate == 0.25
+
+    def test_normalized_ipc(self):
+        oracle = make_metrics(cycles=800.0)
+        scheme = make_metrics(cycles=1000.0)
+        assert scheme.normalized_ipc(oracle) == 0.8
+        assert oracle.normalized_ipc(oracle) == 1.0

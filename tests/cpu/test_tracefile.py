@@ -1,0 +1,82 @@
+"""Binary trace file format."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.trace import MemoryAccess
+from repro.cpu.tracefile import (
+    TraceFormatError,
+    dump_trace,
+    load_trace,
+    load_trace_file,
+    save_trace_file,
+)
+from repro.workloads.spec import build_workload
+
+access_strategy = st.builds(
+    MemoryAccess,
+    address=st.integers(min_value=0, max_value=(1 << 48) - 1),
+    is_write=st.booleans(),
+    is_instruction=st.booleans(),
+    gap_instructions=st.integers(min_value=0, max_value=10_000),
+)
+
+
+class TestRoundtrip:
+    def test_empty_trace(self):
+        assert load_trace(dump_trace([])) == []
+
+    def test_simple_trace(self):
+        trace = [
+            MemoryAccess(0x1000, is_write=True, gap_instructions=7),
+            MemoryAccess(0x0020, gap_instructions=0),
+            MemoryAccess(0x1000, is_instruction=True, gap_instructions=100),
+        ]
+        assert load_trace(dump_trace(trace)) == trace
+
+    @given(trace=st.lists(access_strategy, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, trace):
+        assert load_trace(dump_trace(trace)) == trace
+
+    def test_workload_roundtrip_and_compactness(self):
+        trace = build_workload("gzip", references=2000).trace
+        data = dump_trace(trace)
+        assert load_trace(data) == trace
+        assert len(data) < len(trace) * 8  # far below naive encoding
+
+    def test_file_roundtrip(self, tmp_path):
+        trace = [MemoryAccess(0x40, gap_instructions=3)]
+        path = tmp_path / "trace.rtrc"
+        save_trace_file(path, trace)
+        assert load_trace_file(path) == trace
+
+
+class TestFormatErrors:
+    def test_bad_magic(self):
+        with pytest.raises(TraceFormatError, match="magic"):
+            load_trace(b"XXXX\x01\x00")
+
+    def test_truncated_header(self):
+        with pytest.raises(TraceFormatError):
+            load_trace(b"RTRC")
+
+    def test_bad_version(self):
+        with pytest.raises(TraceFormatError, match="version"):
+            load_trace(b"RTRC\x63\x00")
+
+    def test_truncated_records(self):
+        data = dump_trace([MemoryAccess(0x1000)])
+        with pytest.raises(TraceFormatError):
+            load_trace(data[:-1])
+
+    def test_trailing_garbage(self):
+        data = dump_trace([MemoryAccess(0x1000)])
+        with pytest.raises(TraceFormatError, match="trailing"):
+            load_trace(data + b"\x00")
+
+    def test_unknown_flags(self):
+        data = bytearray(dump_trace([MemoryAccess(0x1000)]))
+        data[6] = 0xFF  # the flags byte of the first record
+        with pytest.raises(TraceFormatError, match="flags"):
+            load_trace(bytes(data))

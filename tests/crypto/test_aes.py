@@ -1,0 +1,126 @@
+"""AES block cipher: FIPS-197 vectors, structure, and properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.aes import AES, BLOCK_SIZE, KEY_SIZES, _INV_SBOX, _SBOX
+
+FIPS_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+FIPS_CASES = [
+    # (key hex, expected ciphertext hex) — FIPS-197 Appendix C.
+    (
+        "000102030405060708090a0b0c0d0e0f",
+        "69c4e0d86a7b0430d8cdb78070b4c55a",
+    ),
+    (
+        "000102030405060708090a0b0c0d0e0f1011121314151617",
+        "dda97ca4864cdfe06eaf70a0ec0d7191",
+    ),
+    (
+        "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        "8ea2b7ca516745bfeafc49904b496089",
+    ),
+]
+
+
+class TestFipsVectors:
+    @pytest.mark.parametrize("key_hex,ct_hex", FIPS_CASES)
+    def test_encrypt_matches_fips_197(self, key_hex, ct_hex):
+        cipher = AES(bytes.fromhex(key_hex))
+        assert cipher.encrypt_block(FIPS_PLAINTEXT).hex() == ct_hex
+
+    @pytest.mark.parametrize("key_hex,ct_hex", FIPS_CASES)
+    def test_decrypt_matches_fips_197(self, key_hex, ct_hex):
+        cipher = AES(bytes.fromhex(key_hex))
+        assert cipher.decrypt_block(bytes.fromhex(ct_hex)) == FIPS_PLAINTEXT
+
+    def test_aes128_nist_sp800_38a_vector(self):
+        # First ECB block of SP 800-38A F.1.1.
+        cipher = AES(bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"))
+        plaintext = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        assert cipher.encrypt_block(plaintext).hex() == "3ad77bb40d7a3660a89ecaf32466ef97"
+
+
+class TestStructure:
+    def test_round_counts(self):
+        assert AES(bytes(16)).rounds == 10
+        assert AES(bytes(24)).rounds == 12
+        assert AES(bytes(32)).rounds == 14
+
+    def test_key_sizes_constant(self):
+        assert KEY_SIZES == (16, 24, 32)
+
+    @pytest.mark.parametrize("bad_length", [0, 1, 15, 17, 20, 31, 33, 64])
+    def test_rejects_bad_key_length(self, bad_length):
+        with pytest.raises(ValueError, match="key must be"):
+            AES(bytes(bad_length))
+
+    def test_rejects_non_bytes_key(self):
+        with pytest.raises(TypeError):
+            AES("0" * 16)
+
+    def test_accepts_bytearray_key(self):
+        assert AES(bytearray(16)).rounds == 10
+
+    @pytest.mark.parametrize("bad_length", [0, 15, 17, 32])
+    def test_rejects_bad_block_length(self, bad_length):
+        cipher = AES(bytes(16))
+        with pytest.raises(ValueError, match="block must be"):
+            cipher.encrypt_block(bytes(bad_length))
+        with pytest.raises(ValueError, match="block must be"):
+            cipher.decrypt_block(bytes(bad_length))
+
+
+class TestSboxDerivation:
+    def test_sbox_is_a_bijection(self):
+        assert sorted(_SBOX) == list(range(256))
+
+    def test_inverse_sbox_inverts(self):
+        for value in range(256):
+            assert _INV_SBOX[_SBOX[value]] == value
+
+    def test_known_sbox_entries(self):
+        # S-box corners from FIPS-197 Figure 7.
+        assert _SBOX[0x00] == 0x63
+        assert _SBOX[0x01] == 0x7C
+        assert _SBOX[0x53] == 0xED
+        assert _SBOX[0xFF] == 0x16
+
+    def test_sbox_has_no_fixed_points(self):
+        assert all(_SBOX[v] != v for v in range(256))
+
+
+class TestProperties:
+    @given(
+        key=st.binary(min_size=16, max_size=16)
+        | st.binary(min_size=24, max_size=24)
+        | st.binary(min_size=32, max_size=32),
+        block=st.binary(min_size=BLOCK_SIZE, max_size=BLOCK_SIZE),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_decrypt_inverts_encrypt(self, key, block):
+        cipher = AES(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @given(block=st.binary(min_size=BLOCK_SIZE, max_size=BLOCK_SIZE))
+    @settings(max_examples=20, deadline=None)
+    def test_different_keys_give_different_ciphertexts(self, block):
+        a = AES(bytes(16)).encrypt_block(block)
+        b = AES(bytes([1] + [0] * 15)).encrypt_block(block)
+        assert a != b
+
+    def test_single_bit_avalanche(self):
+        cipher = AES(bytes(16))
+        base = cipher.encrypt_block(bytes(16))
+        flipped = cipher.encrypt_block(b"\x01" + bytes(15))
+        differing_bits = sum(
+            bin(x ^ y).count("1") for x, y in zip(base, flipped)
+        )
+        # A healthy block cipher flips roughly half of the 128 output bits.
+        assert 40 <= differing_bits <= 90
+
+    def test_encryption_is_deterministic(self):
+        cipher = AES(bytes(32))
+        block = bytes(range(16))
+        assert cipher.encrypt_block(block) == cipher.encrypt_block(block)

@@ -1,0 +1,88 @@
+"""Crypto engine timing model: latency, pipelining, queueing, idle slots."""
+
+import pytest
+
+from repro.crypto.engine import CryptoEngine, CryptoEngineConfig
+
+
+class TestConfig:
+    def test_table1_default_latency_is_96ns(self):
+        config = CryptoEngineConfig()
+        assert config.latency_ns == 96.0
+        assert config.latency_cycles == 96
+
+    def test_latency_scales_with_clock(self):
+        config = CryptoEngineConfig(cpu_ghz=2.0)
+        assert config.latency_cycles == 192
+
+    def test_custom_pipeline_shape(self):
+        config = CryptoEngineConfig(rounds=10, stages_per_round=4, stage_latency_ns=2.0)
+        assert config.latency_ns == 80.0
+
+
+class TestIssue:
+    def test_single_block_completes_after_latency(self):
+        engine = CryptoEngine()
+        assert engine.issue(now=100, count=1) == [100 + 96]
+
+    def test_pipelined_batch_completes_back_to_back(self):
+        engine = CryptoEngine()
+        completions = engine.issue(now=0, count=4)
+        assert completions == [96, 97, 98, 99]
+
+    def test_queueing_behind_earlier_work(self):
+        engine = CryptoEngine()
+        engine.issue(now=0, count=10)
+        # The port frees at cycle 10; a request at cycle 3 waits.
+        assert engine.issue(now=3, count=1) == [10 + 96]
+        assert engine.stats.queue_delay_cycles == 7
+
+    def test_zero_count_is_noop(self):
+        engine = CryptoEngine()
+        assert engine.issue(now=0, count=0) == []
+        assert engine.stats.total_blocks == 0
+
+    def test_issue_interval_spacing(self):
+        engine = CryptoEngine(CryptoEngineConfig(issue_interval=2))
+        completions = engine.issue(now=0, count=3)
+        assert completions == [96, 98, 100]
+
+
+class TestStats:
+    def test_speculative_vs_demand_accounting(self):
+        engine = CryptoEngine()
+        engine.issue(0, 5, speculative=True)
+        engine.issue(10, 2, speculative=False)
+        assert engine.stats.speculative_blocks == 5
+        assert engine.stats.demand_blocks == 2
+        assert engine.stats.total_blocks == 7
+
+    def test_utilization(self):
+        engine = CryptoEngine()
+        engine.issue(0, 50)
+        assert engine.stats.utilization(100) == pytest.approx(0.5)
+        assert engine.stats.utilization(0) == 0.0
+
+    def test_reset_clears_state(self):
+        engine = CryptoEngine()
+        engine.issue(0, 10)
+        engine.reset()
+        assert engine.stats.total_blocks == 0
+        assert engine.issue(0, 1) == [96]
+
+
+class TestIdleSlots:
+    def test_idle_slots_before_deadline(self):
+        engine = CryptoEngine()
+        assert engine.idle_slots_before(deadline=50, now=10) == 40
+
+    def test_no_idle_slots_when_busy(self):
+        engine = CryptoEngine()
+        engine.issue(0, 100)
+        assert engine.idle_slots_before(deadline=50, now=10) == 0
+
+    def test_next_free_slot(self):
+        engine = CryptoEngine()
+        assert engine.next_free_slot(5) == 5
+        engine.issue(5, 3)
+        assert engine.next_free_slot(5) == 8

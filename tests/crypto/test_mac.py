@@ -1,0 +1,109 @@
+"""MACs: HMAC RFC-4231 vectors, CBC-MAC behaviour, constant-time compare."""
+
+import hashlib
+import hmac as hmac_reference
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.mac import CbcMac, HmacSha256, constant_time_equal
+
+
+class TestHmacVectors:
+    def test_rfc4231_case_1(self):
+        mac = HmacSha256(b"\x0b" * 20)
+        assert (
+            mac.tag(b"Hi There").hex()
+            == "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        )
+
+    def test_rfc4231_case_2(self):
+        mac = HmacSha256(b"Jefe")
+        assert (
+            mac.tag(b"what do ya want for nothing?").hex()
+            == "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        )
+
+    def test_rfc4231_case_6_long_key(self):
+        mac = HmacSha256(b"\xaa" * 131)
+        message = b"Test Using Larger Than Block-Size Key - Hash Key First"
+        assert (
+            mac.tag(message).hex()
+            == "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        )
+
+    @given(key=st.binary(min_size=1, max_size=100), message=st.binary(max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_stdlib_hmac(self, key, message):
+        ours = HmacSha256(key).tag(message)
+        reference = hmac_reference.new(key, message, hashlib.sha256).digest()
+        assert ours == reference
+
+
+class TestHmacVerify:
+    def test_verify_accepts_valid_tag(self):
+        mac = HmacSha256(b"key")
+        assert mac.verify(b"message", mac.tag(b"message"))
+
+    def test_verify_rejects_tampered_message(self):
+        mac = HmacSha256(b"key")
+        tag = mac.tag(b"message")
+        assert not mac.verify(b"messagf", tag)
+
+    def test_verify_rejects_truncated_tag(self):
+        mac = HmacSha256(b"key")
+        tag = mac.tag(b"message")
+        assert not mac.verify(b"message", tag[:-1])
+
+
+class TestCbcMac:
+    def test_tag_is_16_bytes(self):
+        assert len(CbcMac(bytes(16)).tag(b"hello")) == 16
+
+    def test_verify_roundtrip(self):
+        mac = CbcMac(bytes(32))
+        message = b"cache line payload!" * 2
+        assert mac.verify(message, mac.tag(message))
+
+    def test_different_messages_different_tags(self):
+        mac = CbcMac(bytes(16))
+        assert mac.tag(b"a") != mac.tag(b"b")
+
+    def test_length_is_bound_into_tag(self):
+        # Without length prepending, "m" and "m\x00" would collide after
+        # zero padding; the construction must distinguish them.
+        mac = CbcMac(bytes(16))
+        assert mac.tag(b"m") != mac.tag(b"m\x00")
+
+    def test_empty_message_has_a_tag(self):
+        mac = CbcMac(bytes(16))
+        assert mac.verify(b"", mac.tag(b""))
+
+    @given(message=st.binary(max_size=120))
+    @settings(max_examples=30, deadline=None)
+    def test_tag_deterministic(self, message):
+        mac = CbcMac(bytes(24))
+        assert mac.tag(message) == mac.tag(message)
+
+    @given(message=st.binary(min_size=1, max_size=64), flip=st.integers(0, 7))
+    @settings(max_examples=30, deadline=None)
+    def test_single_bit_flip_detected(self, message, flip):
+        mac = CbcMac(bytes(16))
+        tag = mac.tag(message)
+        tampered = bytearray(message)
+        tampered[0] ^= 1 << flip
+        assert not mac.verify(bytes(tampered), tag)
+
+
+class TestConstantTimeEqual:
+    def test_equal(self):
+        assert constant_time_equal(b"abc", b"abc")
+
+    def test_unequal_content(self):
+        assert not constant_time_equal(b"abc", b"abd")
+
+    def test_unequal_length(self):
+        assert not constant_time_equal(b"abc", b"abcd")
+
+    def test_empty(self):
+        assert constant_time_equal(b"", b"")

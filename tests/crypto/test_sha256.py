@@ -1,0 +1,80 @@
+"""SHA-256: NIST vectors, incremental interface, and an hashlib oracle."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.sha256 import Sha256, sha256
+
+
+class TestVectors:
+    def test_empty_message(self):
+        assert (
+            sha256(b"").hex()
+            == "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+
+    def test_abc(self):
+        assert (
+            sha256(b"abc").hex()
+            == "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        )
+
+    def test_two_block_message(self):
+        message = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+        assert (
+            sha256(message).hex()
+            == "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        )
+
+    def test_million_a(self):
+        digest = sha256(b"a" * 1_000_000)
+        assert (
+            digest.hex()
+            == "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        )
+
+
+class TestIncremental:
+    def test_update_returns_self(self):
+        h = Sha256()
+        assert h.update(b"ab") is h
+
+    def test_split_updates_match_one_shot(self):
+        message = bytes(range(200))
+        h = Sha256()
+        h.update(message[:63]).update(message[63:64]).update(message[64:])
+        assert h.digest() == sha256(message)
+
+    def test_digest_is_idempotent(self):
+        h = Sha256(b"hello")
+        first = h.digest()
+        assert h.digest() == first
+        h.update(b" world")
+        assert h.digest() == sha256(b"hello world")
+
+    def test_hexdigest(self):
+        assert Sha256(b"abc").hexdigest() == sha256(b"abc").hex()
+
+
+class TestAgainstHashlib:
+    @given(data=st.binary(max_size=512))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_hashlib(self, data):
+        assert sha256(data) == hashlib.sha256(data).digest()
+
+    @given(chunks=st.lists(st.binary(max_size=100), max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_incremental_matches_hashlib(self, chunks):
+        ours = Sha256()
+        reference = hashlib.sha256()
+        for chunk in chunks:
+            ours.update(chunk)
+            reference.update(chunk)
+        assert ours.digest() == reference.digest()
+
+    @pytest.mark.parametrize("length", [0, 1, 55, 56, 57, 63, 64, 65, 127, 128, 129])
+    def test_padding_boundaries(self, length):
+        data = b"\xa5" * length
+        assert sha256(data) == hashlib.sha256(data).digest()

@@ -1,0 +1,65 @@
+"""Structural checks on every figure function (tiny traces for speed)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    figure7,
+    figure8,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure15,
+    figure16,
+)
+from repro.workloads.spec import SPEC_BENCHMARKS
+
+REFS = 1200
+
+_HIT_RATE_FIGURES = [
+    (figure7, {"128K_cache", "512K_cache", "Pred"}, "Figure 7"),
+    (figure8, {"128K_cache", "512K_cache", "Pred"}, "Figure 8"),
+    (figure12, {"Regular", "Two_Level", "Context"}, "Figure 12"),
+    (figure13, {"Regular", "Two_Level", "Context"}, "Figure 13"),
+]
+
+_IPC_FIGURES = [
+    (figure10, {"Seq_Cache_4K", "Seq_Cache_128K", "Seq_Cache_512K", "Pred"}, "Figure 10"),
+    (figure11, {"Seq_Cache_4K", "Seq_Cache_128K", "Seq_Cache_512K", "Pred"}, "Figure 11"),
+    (figure15, {"Regular", "Two_Level", "Context"}, "Figure 15"),
+    (figure16, {"Regular", "Two_Level", "Context"}, "Figure 16"),
+]
+
+
+@pytest.mark.parametrize("figure_fn,series,figure_id", _HIT_RATE_FIGURES)
+def test_hit_rate_figures_structure(figure_fn, series, figure_id):
+    result = figure_fn(references=REFS)
+    assert result.figure_id == figure_id
+    assert set(result.series) == series
+    for values in result.series.values():
+        assert set(values) == set(SPEC_BENCHMARKS)
+        assert all(0.0 <= v <= 1.0 for v in values.values())
+
+
+@pytest.mark.parametrize("figure_fn,series,figure_id", _IPC_FIGURES)
+def test_ipc_figures_structure(figure_fn, series, figure_id):
+    result = figure_fn(references=REFS)
+    assert result.figure_id == figure_id
+    assert set(result.series) == series
+    for values in result.series.values():
+        assert set(values) == set(SPEC_BENCHMARKS)
+        # Normalized to the oracle: bounded by 1, and never absurdly low.
+        assert all(0.1 < v <= 1.0 + 1e-9 for v in values.values())
+
+
+def test_seed_changes_results_but_not_structure():
+    a = figure12(references=REFS, seed=1)
+    b = figure12(references=REFS, seed=2)
+    assert set(a.series) == set(b.series)
+    assert a.series["Regular"] != b.series["Regular"]
+
+
+def test_figures_deterministic_per_seed():
+    a = figure12(references=REFS, seed=3)
+    b = figure12(references=REFS, seed=3)
+    assert a.series == b.series

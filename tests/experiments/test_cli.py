@@ -1,0 +1,64 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestList:
+    def test_list_prints_catalogs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out
+        assert "pred_context" in out
+        assert "figure7" in out
+
+
+class TestTable1:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Prediction depth" in out
+        assert "96ns" in out
+
+
+class TestFigure:
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "figure99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_figure9_small(self, capsys):
+        assert main(["figure", "figure9", "--refs", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "Average" in out
+
+
+class TestRun:
+    def test_run_prints_schemes(self, capsys):
+        assert main(["run", "gzip", "oracle", "baseline", "--refs", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "oracle" in out and "baseline" in out
+        assert "norm" in out  # normalized column appears when oracle runs
+
+    def test_run_without_oracle_omits_norm(self, capsys):
+        assert main(["run", "gzip", "baseline", "--refs", "1500"]) == 0
+        assert "norm" not in capsys.readouterr().out
+
+    def test_unknown_scheme(self, capsys):
+        assert main(["run", "gzip", "bogus"]) == 2
+        assert "unknown scheme" in capsys.readouterr().err
+
+    def test_unknown_benchmark(self, capsys):
+        assert main(["run", "quake", "baseline"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_l2_selection(self, capsys):
+        assert main(["run", "gzip", "baseline", "--refs", "1500", "--l2", "1M"]) == 0
+        assert "table1-1M" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,48 @@
+"""Machine configurations (Table 1)."""
+
+from repro.experiments.config import (
+    PredictionConfig,
+    TABLE1_1M,
+    TABLE1_256K,
+    table1_rows,
+)
+
+
+class TestMachines:
+    def test_l2_sizes(self):
+        assert TABLE1_256K.l2_kb == 256
+        assert TABLE1_1M.l2_kb == 1024
+
+    def test_l2_latencies(self):
+        assert TABLE1_256K.hierarchy.l2_latency == 4
+        assert TABLE1_1M.hierarchy.l2_latency == 8
+
+    def test_shared_parameters(self):
+        for machine in (TABLE1_256K, TABLE1_1M):
+            assert machine.core.issue_width == 8
+            assert machine.engine.latency_ns == 96.0
+            assert machine.tlb.entries == 256
+            assert machine.hierarchy.l1i_size == 8 * 1024
+            assert machine.hierarchy.l1_associativity == 1
+            assert machine.dram.bus.bus_mhz == 200.0
+
+    def test_prediction_parameters(self):
+        prediction = TABLE1_256K.prediction
+        assert prediction.depth == 5
+        assert prediction.swing == 3
+        assert prediction.phv_bits == 16
+        assert prediction.phv_threshold == 12
+        assert prediction.range_entries == 64
+
+    def test_prediction_config_defaults(self):
+        assert PredictionConfig().root_history_depth == 0
+
+
+class TestTable1Rows:
+    def test_contains_all_parameters(self):
+        rows = dict(table1_rows())
+        assert rows["Prediction depth"] == "5"
+        assert rows["PHV threshold"] == "12"
+        assert rows["Memory Bus"] == "200MHz, 8B wide"
+        assert "96ns" in rows["AES latency"]
+        assert len(rows) >= 15

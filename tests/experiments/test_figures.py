@@ -1,0 +1,81 @@
+"""Figure harness: structure of results and rendering."""
+
+import pytest
+
+from repro.experiments.figures import figure9, figure14, table1
+from repro.experiments.report import (
+    FigureResult,
+    compare_to_paper,
+    geometric_mean,
+    render_figure,
+    series_average,
+)
+from repro.workloads.spec import SPEC_BENCHMARKS
+
+REFS = 2000
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return figure9(references=REFS)
+
+
+class TestFigureStructure:
+    def test_figure9_series(self, fig9):
+        assert set(fig9.series) == {"Pred_Hit", "Seq_Only", "Both_Hit"}
+        for values in fig9.series.values():
+            assert set(values) == set(SPEC_BENCHMARKS)
+
+    def test_figure9_fractions_bounded(self, fig9):
+        for benchmark in SPEC_BENCHMARKS:
+            total = sum(fig9.series[s][benchmark] for s in fig9.series)
+            assert 0.0 <= total <= 1.0
+
+    def test_figure14_counts(self):
+        result = figure14(references=REFS)
+        assert set(result.series) == {"L2_256K", "L2_1M"}
+        for benchmark in SPEC_BENCHMARKS:
+            assert result.series["L2_256K"][benchmark] >= result.series["L2_1M"][benchmark]
+
+    def test_table1_metadata(self):
+        result = table1()
+        rows = dict(result.metadata["rows"])
+        assert rows["Prediction depth"] == "5"
+
+
+class TestRendering:
+    def test_render_contains_all_benchmarks(self, fig9):
+        text = render_figure(fig9)
+        for benchmark in SPEC_BENCHMARKS:
+            assert benchmark in text
+        assert "Average" in text
+        assert "Figure 9" in text
+
+    def test_render_synthetic_result(self):
+        result = FigureResult(
+            figure_id="Figure X",
+            title="test",
+            series={"A": {"b1": 0.5, "b2": 0.25}},
+            notes="hello",
+        )
+        text = render_figure(result)
+        assert "0.500" in text
+        assert "0.375" in text  # the average row
+        assert "note: hello" in text
+
+
+class TestReportHelpers:
+    def test_series_average(self):
+        assert series_average({"a": 0.2, "b": 0.4}) == pytest.approx(0.3)
+        assert series_average({}) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean({"a": 4.0, "b": 1.0}) == pytest.approx(2.0)
+        assert geometric_mean({}) == 0.0
+        assert geometric_mean({"a": 0.0}) == 0.0
+
+    def test_compare_to_paper(self):
+        rows = compare_to_paper(
+            measured={"avg": 0.80, "extra": 1.0}, paper={"avg": 0.82, "missing": 0.5}
+        )
+        assert rows == [("avg", 0.82, 0.80, pytest.approx(-0.02))]

@@ -1,0 +1,64 @@
+"""Multi-seed statistics."""
+
+import pytest
+
+from repro.experiments.stats import METRICS, SeedSummary, metric_across_seeds, summarize
+
+
+class TestSeedSummary:
+    def test_mean_and_bounds(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.mean == 2.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.count == 3
+
+    def test_stdev_sample(self):
+        summary = summarize([1.0, 3.0])
+        assert summary.stdev == pytest.approx(2.0 ** 0.5)
+
+    def test_single_value_no_spread(self):
+        summary = summarize([5.0])
+        assert summary.stdev == 0.0
+        assert summary.stderr == 0.0
+
+    def test_empty(self):
+        summary = summarize([])
+        assert summary.mean == 0.0
+        assert summary.minimum == 0.0
+
+    def test_confidence_interval_brackets_mean(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        low, high = summary.confidence_interval()
+        assert low < summary.mean < high
+
+    def test_frozen(self):
+        summary = summarize([1.0])
+        with pytest.raises(AttributeError):
+            summary.values = ()
+
+
+class TestMetricAcrossSeeds:
+    def test_runs_each_seed(self):
+        summary = metric_across_seeds(
+            "gzip", "pred_regular", "prediction_rate", seeds=[1, 2, 3],
+            references=2000,
+        )
+        assert summary.count == 3
+        assert 0.0 < summary.mean <= 1.0
+
+    def test_seed_variation_is_bounded(self):
+        # The workload models should be stable enough that the prediction
+        # rate moves by only a few points across seeds.
+        summary = metric_across_seeds(
+            "swim", "pred_regular", "prediction_rate", seeds=[1, 2, 3],
+            references=4000,
+        )
+        assert summary.maximum - summary.minimum < 0.25
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            metric_across_seeds("gzip", "baseline", "bogus", seeds=[1])
+
+    def test_metric_registry_entries_callable(self):
+        assert set(METRICS) >= {"ipc", "prediction_rate", "l2_misses"}

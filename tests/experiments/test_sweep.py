@@ -1,0 +1,55 @@
+"""Grid sweeps."""
+
+import pytest
+
+from repro.experiments.report import render_bars
+from repro.experiments.sweep import run_grid
+
+REFS = 2000
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return run_grid(
+        ["gzip", "twolf"], ["oracle", "baseline", "pred_regular"], references=REFS
+    )
+
+
+class TestGrid:
+    def test_axes(self, grid):
+        assert grid.benchmarks() == ["gzip", "twolf"]
+        assert grid.schemes() == ["oracle", "baseline", "pred_regular"]
+
+    def test_metrics_lookup(self, grid):
+        metrics = grid.metrics("gzip", "baseline")
+        assert metrics.scheme == "baseline"
+        assert metrics.fetches > 0
+
+    def test_metric_table(self, grid):
+        table = grid.table(lambda m: m.prediction_rate, title="pred rates")
+        assert table.series["pred_regular"]["gzip"] > 0.5
+        assert table.series["baseline"]["twolf"] == 0.0
+
+    def test_normalized_table(self, grid):
+        table = grid.table(None, normalize_to="oracle")
+        assert "oracle" not in table.series
+        for scheme in ("baseline", "pred_regular"):
+            for benchmark in ("gzip", "twolf"):
+                assert 0.0 < table.series[scheme][benchmark] <= 1.0
+        assert (
+            table.series["pred_regular"]["gzip"] > table.series["baseline"]["gzip"]
+        )
+
+
+class TestBars:
+    def test_render_bars(self, grid):
+        table = grid.table(lambda m: m.prediction_rate, title="pred")
+        art = render_bars(table)
+        assert "gzip" in art and "twolf" in art
+        assert "|" in art and "#" in art
+
+    def test_bars_scale_to_peak(self, grid):
+        table = grid.table(lambda m: m.prediction_rate)
+        art = render_bars(table, width=10)
+        longest = max(line.count("#") for line in art.splitlines())
+        assert longest == 10

@@ -1,0 +1,121 @@
+"""End-to-end assertions of the paper's headline claims (small scale)."""
+
+import pytest
+
+from repro.experiments.runner import run_benchmark
+from repro.experiments.report import series_average
+from repro.workloads.spec import SPEC_BENCHMARKS
+
+REFS = 6000
+SUBSET = ("swim", "twolf", "mcf", "applu", "gzip")  # FP + pointer + mild mix
+
+_ALL_SCHEMES = [
+    "oracle",
+    "baseline",
+    "seqcache_128k",
+    "seqcache_512k",
+    "pred_regular",
+    "pred_two_level",
+    "pred_context",
+]
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        benchmark: run_benchmark(benchmark, _ALL_SCHEMES, references=REFS)
+        for benchmark in SUBSET
+    }
+
+
+class TestPredictionBeatsCaching:
+    def test_prediction_rate_above_cache_hit_rate_on_average(self, results):
+        pred = series_average(
+            {b: r["pred_regular"].prediction_rate for b, r in results.items()}
+        )
+        cache_128 = series_average(
+            {b: r["seqcache_128k"].seqcache_hit_rate for b, r in results.items()}
+        )
+        cache_512 = series_average(
+            {b: r["seqcache_512k"].seqcache_hit_rate for b, r in results.items()}
+        )
+        assert pred > cache_512 > cache_128 * 0.99  # 512K >= 128K, pred above both
+
+    def test_prediction_ipc_beats_128k_cache_everywhere(self, results):
+        for benchmark, metrics in results.items():
+            oracle = metrics["oracle"]
+            assert metrics["pred_regular"].normalized_ipc(oracle) > metrics[
+                "seqcache_128k"
+            ].normalized_ipc(oracle), benchmark
+
+
+class TestOptimizationOrdering:
+    def test_two_level_improves_on_regular(self, results):
+        for benchmark, metrics in results.items():
+            assert (
+                metrics["pred_two_level"].prediction_rate
+                >= metrics["pred_regular"].prediction_rate
+            ), benchmark
+
+    def test_context_beats_two_level_on_average(self, results):
+        context = series_average(
+            {b: r["pred_context"].prediction_rate for b, r in results.items()}
+        )
+        two_level = series_average(
+            {b: r["pred_two_level"].prediction_rate for b, r in results.items()}
+        )
+        assert context > two_level
+
+    def test_context_approaches_oracle_ipc(self, results):
+        for benchmark, metrics in results.items():
+            norm = metrics["pred_context"].normalized_ipc(metrics["oracle"])
+            assert norm > 0.85, benchmark
+
+
+class TestIpcHierarchy:
+    def test_every_scheme_bounded_by_oracle(self, results):
+        for benchmark, metrics in results.items():
+            oracle = metrics["oracle"]
+            for scheme, run in metrics.items():
+                assert run.normalized_ipc(oracle) <= 1.0 + 1e-9, (benchmark, scheme)
+
+    def test_baseline_is_worst(self, results):
+        for benchmark, metrics in results.items():
+            oracle = metrics["oracle"]
+            baseline = metrics["baseline"].normalized_ipc(oracle)
+            for scheme in ("pred_regular", "pred_two_level", "pred_context"):
+                assert metrics[scheme].normalized_ipc(oracle) > baseline, (
+                    benchmark,
+                    scheme,
+                )
+
+    def test_memory_bound_baseline_in_paper_band(self, results):
+        # Section 6.2: without prediction, memory-bound programs reach only
+        # 60%-85% of the oracle's IPC.
+        for benchmark in ("swim", "mcf", "twolf"):
+            norm = results[benchmark]["baseline"].normalized_ipc(
+                results[benchmark]["oracle"]
+            )
+            assert 0.5 < norm < 0.9, benchmark
+
+
+class TestNoExtraMemoryTraffic:
+    def test_prediction_adds_no_fetches(self, results):
+        # OTP prediction speculates only in the crypto engine — the miss
+        # stream (and so bus traffic) is identical to the baseline's
+        # (Section 9.2's contrast with pre-decryption).
+        for benchmark, metrics in results.items():
+            assert metrics["pred_regular"].fetches == metrics["baseline"].fetches
+            assert metrics["pred_regular"].writebacks == metrics["baseline"].writebacks
+
+    def test_speculation_visible_in_engine_stats(self, results):
+        for benchmark, metrics in results.items():
+            assert metrics["pred_regular"].engine_speculative_blocks > 0
+            assert metrics["baseline"].engine_speculative_blocks == 0
+
+
+class TestFullSuiteSmoke:
+    def test_all_fourteen_benchmarks_run(self):
+        for benchmark in SPEC_BENCHMARKS:
+            metrics = run_benchmark(benchmark, ["pred_regular"], references=1500)
+            assert metrics["pred_regular"].fetches > 0, benchmark

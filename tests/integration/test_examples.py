@@ -1,0 +1,50 @@
+"""The examples must stay runnable (documentation that executes)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "prediction rate" in result.stdout
+        assert "ciphertext only" in result.stdout
+
+    def test_sealed_storage(self):
+        result = run_example("sealed_storage.py")
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.count("detected:") == 2  # both attacks caught
+        assert "pad reuses: 0" in result.stdout
+
+    def test_attack_simulation(self):
+        result = run_example("attack_simulation.py")
+        assert result.returncode == 0, result.stderr
+        assert "reuses" in result.stdout
+        assert "useless without the 256-bit key" in result.stdout
+
+    def test_spec_campaign_small(self):
+        result = run_example("spec_campaign.py", "2500")
+        assert result.returncode == 0, result.stderr
+        assert "normalized IPC" in result.stdout
+        assert "prediction recovers +" in result.stdout
+
+    def test_custom_workload(self):
+        result = run_example("custom_workload.py")
+        assert result.returncode == 0, result.stderr
+        assert "L2 misses" in result.stdout
+        assert "pred_context" in result.stdout

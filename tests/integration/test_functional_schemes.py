@@ -1,0 +1,56 @@
+"""Functional end-to-end runs for the non-default controllers."""
+
+from repro.cpu.system import SecureSystem
+from repro.cpu.trace import MemoryAccess
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.secure.direct import DirectEncryptionController
+from repro.secure.predecrypt import PredecryptingController
+from repro.secure.predictors import ContextOtpPredictor
+from repro.secure.seqnum import PageSecurityTable
+
+KEY = bytes(range(32))
+
+
+def tiny_hierarchy():
+    return MemoryHierarchy(
+        HierarchyConfig(
+            l1i_size=512, l1d_size=512, l1_associativity=1,
+            l2_size=4 * 1024, l2_associativity=4,
+        )
+    )
+
+
+def churn(system, rounds=2, lines=384):
+    """Write-heavy churn over a footprint 3x the L2."""
+    for _ in range(rounds):
+        for i in range(lines):
+            system.access(MemoryAccess(i * 32, is_write=(i % 3 == 0)))
+    system.flush()
+
+
+class TestDirectEncryptionFunctional:
+    def test_shadow_image_consistency(self):
+        system = SecureSystem(
+            controller=DirectEncryptionController(key=KEY),
+            hierarchy=tiny_hierarchy(),
+        )
+        churn(system)  # raises FunctionalMismatchError on any crypto slip
+        assert system.controller.stats.fetches > 400
+
+
+class TestPredecryptFunctional:
+    def test_shadow_image_consistency_with_prefetching(self):
+        table = PageSecurityTable()
+        system = SecureSystem(
+            controller=PredecryptingController(
+                page_table=table,
+                predictor=ContextOtpPredictor(table),
+                key=KEY,
+                prefetch_depth=2,
+            ),
+            hierarchy=tiny_hierarchy(),
+        )
+        churn(system)
+        stats = system.controller.predecrypt_stats
+        assert stats.prefetches_issued > 0
+        assert system.controller.auditor.clean

@@ -1,0 +1,63 @@
+"""Every registered scheme must run end-to-end on every benchmark class."""
+
+import pytest
+
+from repro.experiments.runner import SCHEMES, SchemeSpec, make_controller, run_scheme
+from repro.secure.direct import DirectEncryptionController
+from repro.secure.predecrypt import PredecryptingController
+
+REFS = 1500
+
+
+class TestEverySchemeRuns:
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    def test_scheme_on_pointer_code(self, scheme):
+        metrics = run_scheme("twolf", scheme, references=REFS)
+        assert metrics.cycles > 0
+        assert metrics.fetches > 0
+
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    def test_scheme_on_fp_code(self, scheme):
+        metrics = run_scheme("swim", scheme, references=REFS)
+        assert metrics.cycles > 0
+
+
+class TestSchemeWiring:
+    def test_direct_scheme_uses_direct_controller(self):
+        controller = make_controller(SCHEMES["direct_encryption"])
+        assert isinstance(controller, DirectEncryptionController)
+
+    def test_predecrypt_scheme_uses_predecrypt_controller(self):
+        controller = make_controller(SCHEMES["predecrypt"])
+        assert isinstance(controller, PredecryptingController)
+
+    def test_hybrid_has_predictor_and_prefetcher(self):
+        controller = make_controller(SCHEMES["hybrid_predecrypt"])
+        assert isinstance(controller, PredecryptingController)
+        assert controller.predictor.name == "regular"
+
+    def test_direct_plus_predecrypt_rejected(self):
+        with pytest.raises(ValueError, match="cannot be combined"):
+            make_controller(SchemeSpec("bad", direct=True, predecrypt=True))
+
+
+class TestCrossSchemeInvariants:
+    def test_oracle_dominates_all_schemes(self):
+        oracle = run_scheme("vpr", "oracle", references=REFS)
+        for scheme in sorted(SCHEMES):
+            if scheme == "oracle":
+                continue
+            metrics = run_scheme("vpr", scheme, references=REFS)
+            assert metrics.cycles >= oracle.cycles * 0.999, scheme
+
+    def test_direct_encryption_is_the_floor(self):
+        direct = run_scheme("mcf", "direct_encryption", references=REFS)
+        for scheme in ("baseline", "seqcache_128k", "pred_regular", "pred_context"):
+            metrics = run_scheme("mcf", scheme, references=REFS)
+            assert metrics.cycles <= direct.cycles, scheme
+
+    def test_combined_scheme_at_least_as_good_as_parts(self):
+        combined = run_scheme("twolf", "pred_plus_cache_32k", references=REFS)
+        pred_only = run_scheme("twolf", "pred_regular", references=REFS)
+        cache_only = run_scheme("twolf", "seqcache_32k", references=REFS)
+        assert combined.cycles <= min(pred_only.cycles, cache_only.cycles) * 1.001

@@ -1,0 +1,60 @@
+"""Address arithmetic."""
+
+import pytest
+
+from repro.memory.address import AddressMap, DEFAULT_ADDRESS_MAP
+
+
+class TestDefaults:
+    def test_default_geometry(self):
+        assert DEFAULT_ADDRESS_MAP.line_bytes == 32
+        assert DEFAULT_ADDRESS_MAP.page_bytes == 4096
+        assert DEFAULT_ADDRESS_MAP.lines_per_page == 128
+
+    def test_shifts(self):
+        assert DEFAULT_ADDRESS_MAP.line_shift == 5
+        assert DEFAULT_ADDRESS_MAP.page_shift == 12
+
+
+class TestArithmetic:
+    def test_line_address_masks_offset(self):
+        assert DEFAULT_ADDRESS_MAP.line_address(0x1234) == 0x1220
+
+    def test_line_address_of_aligned(self):
+        assert DEFAULT_ADDRESS_MAP.line_address(0x1220) == 0x1220
+
+    def test_line_index(self):
+        assert DEFAULT_ADDRESS_MAP.line_index(0x40) == 2
+
+    def test_page_number(self):
+        assert DEFAULT_ADDRESS_MAP.page_number(0x3FFF) == 3
+        assert DEFAULT_ADDRESS_MAP.page_number(0x4000) == 4
+
+    def test_page_base(self):
+        assert DEFAULT_ADDRESS_MAP.page_base(0x4567) == 0x4000
+
+    def test_line_in_page(self):
+        assert DEFAULT_ADDRESS_MAP.line_in_page(0x4000) == 0
+        assert DEFAULT_ADDRESS_MAP.line_in_page(0x4000 + 32 * 127) == 127
+        assert DEFAULT_ADDRESS_MAP.line_in_page(0x5000) == 0
+
+    def test_roundtrip_line_index(self):
+        for address in (0, 31, 32, 0x12345):
+            line = DEFAULT_ADDRESS_MAP.line_address(address)
+            assert DEFAULT_ADDRESS_MAP.line_index(address) * 32 == line
+
+
+class TestValidation:
+    @pytest.mark.parametrize("line_bytes", [0, -32, 33, 48])
+    def test_rejects_non_power_of_two_lines(self, line_bytes):
+        with pytest.raises(ValueError):
+            AddressMap(line_bytes=line_bytes)
+
+    def test_rejects_page_smaller_than_line(self):
+        with pytest.raises(ValueError):
+            AddressMap(line_bytes=4096, page_bytes=32)
+
+    def test_custom_geometry(self):
+        amap = AddressMap(line_bytes=64, page_bytes=8192)
+        assert amap.lines_per_page == 128
+        assert amap.line_in_page(64 * 129) == 1

@@ -1,0 +1,87 @@
+"""Backing store: line data, counters, MACs, adversary operations."""
+
+import pytest
+
+from repro.memory.backing import BackingStore
+
+
+class TestLines:
+    def test_unwritten_line_reads_zero(self):
+        store = BackingStore()
+        assert store.read_line(0x1000) == bytes(32)
+        assert not store.has_line(0x1000)
+
+    def test_write_read_roundtrip(self):
+        store = BackingStore()
+        data = bytes(range(32))
+        store.write_line(0x1000, data)
+        assert store.read_line(0x1000) == data
+        assert store.has_line(0x1000)
+
+    def test_addresses_are_line_aligned_internally(self):
+        store = BackingStore()
+        store.write_line(0x1000, bytes(32))
+        assert store.read_line(0x101F) == bytes(32)
+        assert store.has_line(0x101F)
+
+    @pytest.mark.parametrize("length", [0, 31, 33])
+    def test_rejects_wrong_length(self, length):
+        with pytest.raises(ValueError):
+            BackingStore().write_line(0, bytes(length))
+
+    def test_len_counts_lines(self):
+        store = BackingStore()
+        store.write_line(0, bytes(32))
+        store.write_line(32, bytes(32))
+        store.write_line(5, bytes(32))  # same line as 0
+        assert len(store) == 2
+
+    def test_stored_lines_sorted(self):
+        store = BackingStore()
+        store.write_line(64, bytes(32))
+        store.write_line(0, bytes(32))
+        assert store.stored_lines() == [0, 64]
+
+
+class TestSeqnums:
+    def test_unwritten_counter_is_none(self):
+        assert BackingStore().read_seqnum(0) is None
+
+    def test_roundtrip(self):
+        store = BackingStore()
+        store.write_seqnum(0x40, 123456)
+        assert store.read_seqnum(0x40) == 123456
+        assert store.read_seqnum(0x5F) == 123456  # same line
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            BackingStore().write_seqnum(0, -1)
+
+    def test_zero_is_a_valid_counter(self):
+        store = BackingStore()
+        store.write_seqnum(0, 0)
+        assert store.read_seqnum(0) == 0
+
+
+class TestMacs:
+    def test_missing_mac_is_none(self):
+        assert BackingStore().read_mac(0) is None
+
+    def test_roundtrip(self):
+        store = BackingStore()
+        store.write_mac(0, b"\xab" * 16)
+        assert store.read_mac(0x1F) == b"\xab" * 16
+
+
+class TestTamper:
+    def test_tamper_flips_bits(self):
+        store = BackingStore()
+        store.write_line(0, bytes(32))
+        store.tamper_line(0, b"\xff")
+        assert store.read_line(0)[0] == 0xFF
+        assert store.read_line(0)[1:] == bytes(31)
+
+    def test_tamper_unwritten_line(self):
+        store = BackingStore()
+        store.tamper_line(0x100, b"\x01\x02")
+        assert store.read_line(0x100)[:2] == b"\x01\x02"

@@ -1,0 +1,60 @@
+"""Memory bus occupancy model."""
+
+import pytest
+
+from repro.memory.bus import BusConfig, MemoryBus
+
+
+class TestConfig:
+    def test_table1_cycles_per_beat(self):
+        # 1 GHz core / 200 MHz bus = 5 CPU cycles per beat.
+        assert BusConfig().cycles_per_beat == 5
+
+    def test_transfer_cycles_line(self):
+        # 32 bytes / 8 bytes per beat = 4 beats = 20 cycles.
+        assert BusConfig().transfer_cycles(32) == 20
+
+    def test_transfer_cycles_rounds_up(self):
+        assert BusConfig().transfer_cycles(1) == 5
+        assert BusConfig().transfer_cycles(9) == 10
+
+    def test_faster_core_more_cycles_per_beat(self):
+        assert BusConfig(cpu_ghz=2.0).cycles_per_beat == 10
+
+
+class TestTransfers:
+    def test_completion_time(self):
+        bus = MemoryBus()
+        assert bus.transfer(now=100, num_bytes=32) == 120
+
+    def test_serialization(self):
+        bus = MemoryBus()
+        first = bus.transfer(0, 32)
+        second = bus.transfer(0, 32)
+        assert second == first + 20
+        assert bus.stats.queue_delay_cycles == 20
+
+    def test_idle_gap_not_charged(self):
+        bus = MemoryBus()
+        bus.transfer(0, 8)
+        assert bus.transfer(1000, 8) == 1005
+
+    def test_zero_bytes_noop(self):
+        bus = MemoryBus()
+        assert bus.transfer(50, 0) == 50
+        assert bus.stats.transfers == 0
+
+    def test_stats(self):
+        bus = MemoryBus()
+        bus.transfer(0, 32)
+        bus.transfer(0, 8)
+        assert bus.stats.transfers == 2
+        assert bus.stats.bytes_moved == 40
+        assert bus.stats.busy_cycles == 25
+
+    def test_reset(self):
+        bus = MemoryBus()
+        bus.transfer(0, 32)
+        bus.reset()
+        assert bus.stats.transfers == 0
+        assert bus.transfer(0, 8) == 5

@@ -1,0 +1,207 @@
+"""Set-associative cache model: LRU, dirty bits, eviction, invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.cache import Cache, CacheConfig
+
+
+def small_cache(sets=4, ways=2, line=32):
+    return Cache(CacheConfig(size_bytes=sets * ways * line, line_bytes=line, associativity=ways))
+
+
+class TestConfig:
+    def test_geometry(self):
+        config = CacheConfig(size_bytes=256 * 1024, line_bytes=32, associativity=4)
+        assert config.num_sets == 2048
+        assert config.num_lines == 8192
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(size_bytes=0),
+            dict(size_bytes=-1),
+            dict(size_bytes=1024, line_bytes=33),
+            dict(size_bytes=1024, associativity=0),
+            dict(size_bytes=100, line_bytes=32, associativity=4),
+            dict(size_bytes=32 * 3 * 1, line_bytes=32, associativity=1),  # 3 sets
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            CacheConfig(**kwargs)
+
+
+class TestBasicBehaviour:
+    def test_first_access_misses(self):
+        cache = small_cache()
+        result = cache.access(0)
+        assert not result.hit
+        assert result.victim_address is None
+
+    def test_second_access_hits(self):
+        cache = small_cache()
+        cache.access(0)
+        assert cache.access(0).hit
+
+    def test_offsets_within_line_hit(self):
+        cache = small_cache()
+        cache.access(0x100)
+        assert cache.access(0x11F).hit  # same 32B line
+        assert not cache.access(0x120).hit  # next line
+
+    def test_stats(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.access(0)
+        cache.access(32)
+        assert cache.stats.accesses == 3
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        assert cache.stats.hit_rate == pytest.approx(1 / 3)
+        assert cache.stats.miss_rate == pytest.approx(2 / 3)
+
+
+class TestLru:
+    def test_lru_eviction_order(self):
+        cache = small_cache(sets=1, ways=2)
+        cache.access(0 * 32)
+        cache.access(1 * 32)
+        cache.access(0 * 32)  # touch 0: now 1 is LRU
+        result = cache.access(2 * 32)
+        assert result.victim_address == 1 * 32
+
+    def test_eviction_only_when_set_full(self):
+        cache = small_cache(sets=2, ways=2)
+        # Addresses mapping to set 0: line indices 0, 2, 4 ...
+        cache.access(0 * 32)
+        cache.access(2 * 32)
+        result = cache.access(4 * 32)
+        assert result.victim_address == 0 * 32
+
+    def test_different_sets_do_not_interfere(self):
+        cache = small_cache(sets=2, ways=1)
+        cache.access(0 * 32)  # set 0
+        cache.access(1 * 32)  # set 1
+        assert cache.access(0 * 32).hit
+        assert cache.access(1 * 32).hit
+
+
+class TestDirty:
+    def test_write_marks_dirty(self):
+        cache = small_cache(sets=1, ways=1)
+        cache.access(0, is_write=True)
+        result = cache.access(32)
+        assert result.victim_dirty
+
+    def test_clean_eviction(self):
+        cache = small_cache(sets=1, ways=1)
+        cache.access(0, is_write=False)
+        assert not cache.access(32).victim_dirty
+
+    def test_write_hit_marks_dirty(self):
+        cache = small_cache(sets=1, ways=1)
+        cache.access(0)
+        cache.access(0, is_write=True)
+        assert cache.access(32).victim_dirty
+
+    def test_mark_dirty(self):
+        cache = small_cache()
+        cache.access(0)
+        assert cache.mark_dirty(0)
+        assert not cache.mark_dirty(64 * 32)
+
+    def test_dirty_eviction_stat(self):
+        cache = small_cache(sets=1, ways=1)
+        cache.access(0, is_write=True)
+        cache.access(32)
+        assert cache.stats.dirty_evictions == 1
+
+
+class TestMaintenance:
+    def test_probe_does_not_touch(self):
+        cache = small_cache(sets=1, ways=2)
+        cache.access(0 * 32)
+        cache.access(1 * 32)
+        accesses_before = cache.stats.accesses
+        assert cache.probe(0)
+        assert cache.stats.accesses == accesses_before
+        # Probe must not have refreshed line 0's LRU position.
+        assert cache.access(2 * 32).victim_address == 0
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.access(0)
+        assert cache.invalidate(0)
+        assert not cache.probe(0)
+        assert not cache.invalidate(0)
+
+    def test_pop_line_reports_dirty(self):
+        cache = small_cache()
+        cache.access(0, is_write=True)
+        assert cache.pop_line(0) == (True, True)
+        assert cache.pop_line(0) == (False, False)
+
+    def test_flush_dirty_returns_addresses_and_cleans(self):
+        cache = small_cache()
+        cache.access(0, is_write=True)
+        cache.access(32, is_write=False)
+        cache.access(64, is_write=True)
+        flushed = sorted(cache.flush_dirty())
+        assert flushed == [0, 64]
+        assert cache.flush_dirty() == []
+        assert cache.probe(0)  # stays resident, now clean
+
+    def test_resident_lines(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.access(32)
+        assert sorted(cache.resident_lines()) == [0, 32]
+
+    def test_len(self):
+        cache = small_cache()
+        assert len(cache) == 0
+        cache.access(0)
+        cache.access(4096)
+        assert len(cache) == 2
+
+
+class TestInvariants:
+    @given(
+        addresses=st.lists(
+            st.integers(min_value=0, max_value=4095), min_size=1, max_size=300
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_capacity_never_exceeded(self, addresses):
+        cache = small_cache(sets=4, ways=2)
+        for address in addresses:
+            cache.access(address)
+        assert len(cache) <= cache.config.num_lines
+
+    @given(
+        addresses=st.lists(
+            st.integers(min_value=0, max_value=2047), min_size=1, max_size=200
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_last_access_always_resident(self, addresses):
+        cache = small_cache(sets=2, ways=2)
+        for address in addresses:
+            cache.access(address)
+            assert cache.probe(address)
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1023), st.booleans()
+            ),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_hits_plus_misses_equals_accesses(self, ops):
+        cache = small_cache()
+        for address, is_write in ops:
+            cache.access(address, is_write=is_write)
+        assert cache.stats.hits + cache.stats.misses == cache.stats.accesses

@@ -1,0 +1,107 @@
+"""DRAM timing: row hits/empties/conflicts, pipelined line+counter fetch."""
+
+import pytest
+
+from repro.memory.dram import Dram, DramConfig
+
+
+class TestConfig:
+    @pytest.mark.parametrize("banks", [0, 3, 5])
+    def test_rejects_bad_bank_count(self, banks):
+        with pytest.raises(ValueError):
+            DramConfig(num_banks=banks)
+
+    def test_rejects_bad_row_size(self):
+        with pytest.raises(ValueError):
+            DramConfig(row_bytes=1000)
+
+
+class TestRowBuffer:
+    def test_first_access_is_row_empty(self):
+        dram = Dram()
+        dram.read(0, 0x1000, 32)
+        assert dram.stats.row_empties == 1
+        assert dram.stats.row_hits == 0
+
+    def test_same_row_hits(self):
+        dram = Dram()
+        dram.read(0, 0x1000, 32)
+        dram.read(1000, 0x1020, 32)
+        assert dram.stats.row_hits == 1
+
+    def test_different_row_same_bank_conflicts(self):
+        config = DramConfig()
+        dram = Dram(config)
+        stride = config.row_bytes * config.num_banks  # same bank, next row
+        dram.read(0, 0, 32)
+        dram.read(10_000, stride, 32)
+        assert dram.stats.row_conflicts == 1
+
+    def test_different_banks_no_conflict(self):
+        config = DramConfig()
+        dram = Dram(config)
+        dram.read(0, 0, 32)
+        dram.read(10_000, config.row_bytes, 32)  # next bank
+        assert dram.stats.row_conflicts == 0
+        assert dram.stats.row_empties == 2
+
+    def test_row_hit_is_faster_than_conflict(self):
+        config = DramConfig()
+        hit_time = Dram(config)
+        hit_time.read(0, 0, 32)
+        t_hit = hit_time.read(1000, 32, 32) - 1000
+
+        conflict = Dram(config)
+        conflict.read(0, 0, 32)
+        stride = config.row_bytes * config.num_banks
+        t_conflict = conflict.read(1000, stride, 32) - 1000
+        assert t_conflict > t_hit
+
+
+class TestLineFetch:
+    def test_seqnum_arrives_before_line(self):
+        dram = Dram()
+        timing = dram.fetch_line_with_seqnum(0, 0x2000, 32)
+        assert timing.issue < timing.seqnum_ready < timing.line_ready
+
+    def test_controller_overhead_applied(self):
+        config = DramConfig(controller_cycles=40)
+        dram = Dram(config)
+        timing = dram.fetch_line_with_seqnum(100, 0, 32)
+        assert timing.issue == 140
+
+    def test_line_transfer_follows_seqnum(self):
+        dram = Dram()
+        timing = dram.fetch_line_with_seqnum(0, 0, 32)
+        # 8B seqnum = 1 beat (5 cycles), 32B line = 4 beats (20 cycles).
+        assert timing.line_ready - timing.seqnum_ready == 20
+
+    def test_total_latency_magnitude(self):
+        # End-to-end fetch should be on the order of the 96-cycle AES
+        # latency (the paper's "comparable" assumption, Section 3.1).
+        dram = Dram()
+        timing = dram.fetch_line_with_seqnum(0, 0, 32)
+        assert 50 <= timing.line_ready <= 150
+
+
+class TestWrites:
+    def test_write_counted(self):
+        dram = Dram()
+        dram.write(0, 0, 40)
+        assert dram.stats.writes == 1
+        assert dram.stats.reads == 0
+
+    def test_reset(self):
+        dram = Dram()
+        dram.read(0, 0, 32)
+        dram.reset()
+        assert dram.stats.reads == 0
+        assert dram.stats.row_empties == 0
+
+
+class TestBankQueueing:
+    def test_same_bank_back_to_back_queues(self):
+        dram = Dram()
+        first = dram.fetch_line_with_seqnum(0, 0, 32)
+        second = dram.fetch_line_with_seqnum(0, 0x40, 32)
+        assert second.line_ready > first.line_ready

@@ -1,0 +1,135 @@
+"""Cache hierarchy: inclusion, victim handling, write-back event streams."""
+
+import pytest
+
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+
+
+def tiny_hierarchy(l2_size=4 * 1024):
+    """Small caches so evictions are easy to trigger."""
+    return MemoryHierarchy(
+        HierarchyConfig(
+            l1i_size=512,
+            l1d_size=512,
+            l1_associativity=1,
+            l2_size=l2_size,
+            l2_associativity=4,
+        )
+    )
+
+
+class TestBasicPath:
+    def test_cold_miss_fetches_line(self):
+        h = tiny_hierarchy()
+        outcome = h.access(0x1000)
+        assert not outcome.l1_hit
+        assert outcome.l2_miss
+        assert outcome.fetched_lines == (0x1000,)
+
+    def test_l1_hit_after_fill(self):
+        h = tiny_hierarchy()
+        h.access(0x1000)
+        outcome = h.access(0x1008)
+        assert outcome.l1_hit
+        assert outcome.fetched_lines == ()
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = tiny_hierarchy()
+        h.access(0x1000)
+        h.access(0x1000 + 512)  # direct-mapped L1 conflict
+        outcome = h.access(0x1000)
+        assert not outcome.l1_hit
+        assert outcome.l2_hit
+
+    def test_instruction_and_data_use_separate_l1s(self):
+        h = tiny_hierarchy()
+        h.access(0x1000, is_instruction=True)
+        outcome = h.access(0x1000, is_instruction=False)
+        assert not outcome.l1_hit       # cold in L1D
+        assert outcome.l2_hit           # warm in shared L2
+
+    def test_line_size_mismatch_rejected(self):
+        from repro.memory.address import AddressMap
+
+        with pytest.raises(ValueError, match="line size"):
+            MemoryHierarchy(
+                HierarchyConfig(line_bytes=64),
+                address_map=AddressMap(line_bytes=32),
+            )
+
+
+class TestWritebacks:
+    def test_dirty_l2_victim_reported(self):
+        h = tiny_hierarchy(l2_size=4 * 1024)
+        # Fill one L2 set (4 ways) with writes, then force an eviction.
+        sets = h.l2.config.num_sets
+        stride = sets * 32
+        for way in range(4):
+            h.access(way * stride, is_write=True)
+        outcome = h.access(4 * stride, is_write=False)
+        assert outcome.writeback_lines == (0,)
+
+    def test_clean_victim_not_reported(self):
+        h = tiny_hierarchy()
+        sets = h.l2.config.num_sets
+        stride = sets * 32
+        for way in range(4):
+            h.access(way * stride, is_write=False)
+        outcome = h.access(4 * stride)
+        assert outcome.writeback_lines == ()
+
+    def test_dirty_l1_copy_survives_l2_backinvalidation(self):
+        # Regression: a line dirty in L1D but clean in L2 must still be
+        # written back when the L2 evicts it (inclusion back-invalidation).
+        h = tiny_hierarchy()
+        sets = h.l2.config.num_sets
+        stride = sets * 32
+        h.access(0, is_write=False)      # L2 fill, clean
+        h.access(0, is_write=True)       # dirty in L1D only (L1 hit)
+        for way in range(1, 4):
+            h.access(way * stride, is_write=False)
+        outcome = h.access(4 * stride)
+        assert 0 in outcome.writeback_lines
+        # And the stale L1 copy is gone.
+        assert not h.l1d.probe(0)
+
+    def test_l1_dirty_victim_folds_into_l2(self):
+        h = tiny_hierarchy()
+        h.access(0x0, is_write=True)
+        h.access(0x0 + 512, is_write=False)  # evicts dirty L1 line 0x0
+        # 0x0 must now be dirty in L2: evicting it reports a write-back.
+        sets = h.l2.config.num_sets
+        stride = sets * 32
+        for way in range(1, 4):
+            h.access(way * stride)
+        outcome = h.access(4 * stride)
+        assert 0 in outcome.writeback_lines
+
+
+class TestFlush:
+    def test_flush_returns_dirty_lines_once(self):
+        h = tiny_hierarchy()
+        h.access(0x1000, is_write=True)
+        h.access(0x2000, is_write=True)
+        h.access(0x3000, is_write=False)
+        flushed = sorted(h.flush_dirty())
+        assert flushed == [0x1000, 0x2000]
+        assert h.flush_dirty() == []
+
+    def test_flush_includes_l1_only_dirty_lines(self):
+        h = tiny_hierarchy()
+        h.access(0x1000, is_write=False)
+        h.access(0x1000, is_write=True)  # dirty only in L1D
+        assert h.flush_dirty() == [0x1000]
+
+
+class TestEventStreamShape:
+    def test_write_allocate(self):
+        h = tiny_hierarchy()
+        outcome = h.access(0x5000, is_write=True)
+        assert outcome.fetched_lines == (0x5000,)  # allocate on write miss
+
+    def test_l2_miss_flag(self):
+        h = tiny_hierarchy()
+        assert h.access(0x9000).l2_miss
+        assert not h.access(0x9000).l2_miss

@@ -1,0 +1,50 @@
+"""TLB model."""
+
+from repro.memory.tlb import Tlb, TlbConfig
+
+
+class TestTlb:
+    def test_first_translation_misses(self):
+        tlb = Tlb()
+        assert not tlb.access(0x1000)
+
+    def test_second_translation_hits(self):
+        tlb = Tlb()
+        tlb.access(0x1000)
+        assert tlb.access(0x1000)
+
+    def test_same_page_different_offset_hits(self):
+        tlb = Tlb()
+        tlb.access(0x1000)
+        assert tlb.access(0x1FFF)
+
+    def test_different_page_misses(self):
+        tlb = Tlb()
+        tlb.access(0x1000)
+        assert not tlb.access(0x2000)
+
+    def test_resident_probe(self):
+        tlb = Tlb()
+        assert not tlb.resident(0x1000)
+        tlb.access(0x1000)
+        assert tlb.resident(0x1000)
+
+    def test_capacity_eviction(self):
+        tlb = Tlb(TlbConfig(entries=4, associativity=4))
+        for page in range(5):
+            tlb.access(page * 4096)
+        resident = sum(tlb.resident(page * 4096) for page in range(5))
+        assert resident == 4
+
+    def test_flush(self):
+        tlb = Tlb()
+        tlb.access(0x1000)
+        tlb.flush()
+        assert not tlb.resident(0x1000)
+
+    def test_stats_exposed(self):
+        tlb = Tlb()
+        tlb.access(0x1000)
+        tlb.access(0x1000)
+        assert tlb.stats.accesses == 2
+        assert tlb.stats.hits == 1

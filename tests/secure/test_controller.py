@@ -1,0 +1,285 @@
+"""Secure memory controller: timing paths, counters, functional crypto."""
+
+import pytest
+
+from repro.crypto.engine import CryptoEngine
+from repro.crypto.rng import HardwareRng
+from repro.memory.dram import Dram
+from repro.secure.controller import FetchClass, SecureMemoryController
+from repro.secure.integrity import IntegrityError
+from repro.secure.predictors import (
+    ContextOtpPredictor,
+    NullPredictor,
+    RegularOtpPredictor,
+)
+from repro.secure.seqcache import SequenceNumberCache
+from repro.secure.seqnum import PageSecurityTable
+
+LINE = 0x1000
+
+
+def build_controller(**kwargs):
+    table = kwargs.pop("page_table", None) or PageSecurityTable(rng=HardwareRng(7))
+    predictor_factory = kwargs.pop("predictor_factory", None)
+    predictor = predictor_factory(table) if predictor_factory else None
+    return SecureMemoryController(page_table=table, predictor=predictor, **kwargs)
+
+
+class TestConstruction:
+    def test_defaults(self):
+        controller = SecureMemoryController()
+        assert isinstance(controller.predictor, NullPredictor)
+        assert not controller.functional
+
+    def test_foreign_page_table_rejected(self):
+        table_a = PageSecurityTable()
+        table_b = PageSecurityTable()
+        with pytest.raises(ValueError, match="share"):
+            SecureMemoryController(
+                page_table=table_a, predictor=NullPredictor(table_b)
+            )
+
+    def test_pad_buffer_must_hold_one_line(self):
+        with pytest.raises(ValueError, match="pad buffer"):
+            SecureMemoryController(pad_buffer_entries=1)
+
+    def test_integrity_requires_key(self):
+        with pytest.raises(ValueError, match="functional"):
+            SecureMemoryController(integrity=True)
+
+
+class TestBaselineTiming:
+    def test_pad_generation_serialized_after_seqnum(self):
+        controller = build_controller()
+        result = controller.fetch_line(0, LINE)
+        # Figure 4(a): demand pad can only start once the seqnum returned.
+        assert result.pad_ready >= result.seqnum_ready + controller.engine.latency
+        assert result.data_ready == result.pad_ready
+
+    def test_exposed_latency_accounts_from_issue(self):
+        controller = build_controller()
+        result = controller.fetch_line(100, LINE)
+        assert result.exposed_latency == result.data_ready - 100
+
+
+class TestOracleTiming:
+    def test_pad_overlaps_fetch(self):
+        controller = build_controller(oracle=True)
+        result = controller.fetch_line(0, LINE)
+        # Two pipelined blocks issued at t=0: last completes at latency + 1.
+        assert result.pad_ready == controller.engine.latency + 1
+        assert result.data_ready == max(result.line_ready, result.pad_ready)
+
+    def test_oracle_beats_baseline(self):
+        oracle = build_controller(oracle=True)
+        baseline = build_controller()
+        assert (
+            oracle.fetch_line(0, LINE).data_ready
+            < baseline.fetch_line(0, LINE).data_ready
+        )
+
+
+class TestSeqcachePath:
+    def test_miss_then_hit(self):
+        controller = build_controller(seqcache=SequenceNumberCache(4096))
+        first = controller.fetch_line(0, LINE)
+        assert not first.seqcache_hit
+        second = controller.fetch_line(10_000, LINE)
+        assert second.seqcache_hit
+        assert second.data_ready - 10_000 < first.data_ready - 0
+
+    def test_writeback_installs_counter(self):
+        controller = build_controller(seqcache=SequenceNumberCache(4096))
+        controller.writeback_line(0, LINE)
+        result = controller.fetch_line(10_000, LINE)
+        assert result.seqcache_hit
+
+
+class TestPredictionPath:
+    def test_fresh_line_predicted(self):
+        controller = build_controller(
+            predictor_factory=lambda t: RegularOtpPredictor(t, depth=5)
+        )
+        result = controller.fetch_line(0, LINE)
+        assert result.predicted
+        assert result.fetch_class is FetchClass.PRED_ONLY
+        # Speculative pads were ready long before the demand path would be.
+        assert result.pad_ready < result.seqnum_ready + controller.engine.latency
+
+    def test_prediction_hides_latency_vs_baseline(self):
+        pred = build_controller(
+            predictor_factory=lambda t: RegularOtpPredictor(t, depth=5)
+        )
+        base = build_controller()
+        assert (
+            pred.fetch_line(0, LINE).data_ready
+            < base.fetch_line(0, LINE).data_ready
+        )
+
+    def test_out_of_depth_seqnum_mispredicts(self):
+        controller = build_controller(
+            predictor_factory=lambda t: RegularOtpPredictor(t, depth=5)
+        )
+        page = controller.address_map.page_number(LINE)
+        root = controller.page_table.state(page).mapping_root
+        controller.backing.write_seqnum(LINE, root + 50)
+        result = controller.fetch_line(0, LINE)
+        assert not result.predicted
+        assert result.fetch_class is FetchClass.NEITHER
+        # Fell back to the demand path.
+        assert result.pad_ready >= result.seqnum_ready + controller.engine.latency
+
+    def test_context_predictor_covers_drifted_lines(self):
+        controller = build_controller(
+            predictor_factory=lambda t: ContextOtpPredictor(t, depth=5, swing=3)
+        )
+        page = controller.address_map.page_number(LINE)
+        root = controller.page_table.state(page).mapping_root
+        controller.backing.write_seqnum(LINE, root + 20)
+        controller.backing.write_seqnum(LINE + 32, root + 21)
+        first = controller.fetch_line(0, LINE)          # trains the LOR
+        second = controller.fetch_line(10_000, LINE + 32)
+        assert not first.predicted
+        assert second.predicted
+
+    def test_guess_list_capped_by_pad_buffer(self):
+        controller = build_controller(
+            predictor_factory=lambda t: RegularOtpPredictor(t, depth=63),
+            pad_buffer_entries=8,  # 4 guesses of 2 blocks
+        )
+        controller.fetch_line(0, LINE)
+        assert controller.engine.stats.speculative_blocks == 8
+
+    def test_speculation_charged_to_engine(self):
+        controller = build_controller(
+            predictor_factory=lambda t: RegularOtpPredictor(t, depth=5)
+        )
+        controller.fetch_line(0, LINE)
+        assert controller.engine.stats.speculative_blocks == 12  # 6 guesses x 2
+
+
+class TestClassification:
+    def test_both_hit(self):
+        controller = build_controller(
+            predictor_factory=lambda t: RegularOtpPredictor(t, depth=5),
+            seqcache=SequenceNumberCache(4096),
+        )
+        controller.fetch_line(0, LINE)
+        result = controller.fetch_line(10_000, LINE)
+        assert result.fetch_class is FetchClass.BOTH
+        assert controller.stats.class_counts[FetchClass.BOTH] == 1
+
+    def test_cache_only(self):
+        controller = build_controller(
+            predictor_factory=lambda t: RegularOtpPredictor(t, depth=5),
+            seqcache=SequenceNumberCache(4096),
+        )
+        page = controller.address_map.page_number(LINE)
+        root = controller.page_table.state(page).mapping_root
+        controller.backing.write_seqnum(LINE, root + 50)
+        controller.fetch_line(0, LINE)
+        result = controller.fetch_line(10_000, LINE)
+        assert result.fetch_class is FetchClass.CACHE_ONLY
+
+
+class TestWriteback:
+    def test_counter_increments(self):
+        controller = build_controller()
+        before = controller.current_seqnum(LINE)
+        result = controller.writeback_line(0, LINE)
+        assert result.seqnum == before + 1
+        assert controller.current_seqnum(LINE) == before + 1
+        assert not result.rebased
+
+    def test_repeated_writebacks_keep_incrementing(self):
+        controller = build_controller()
+        first = controller.writeback_line(0, LINE).seqnum
+        second = controller.writeback_line(100, LINE).seqnum
+        assert second == first + 1
+
+    def test_rebase_after_root_reset(self):
+        controller = build_controller()
+        page = controller.address_map.page_number(LINE)
+        controller.writeback_line(0, LINE)
+        controller.page_table.reset_root(page)
+        result = controller.writeback_line(100, LINE)
+        assert result.rebased
+        assert result.seqnum == controller.page_table.root(page)
+        assert controller.stats.rebased_writebacks == 1
+
+    def test_writeback_uses_engine_and_dram(self):
+        controller = build_controller()
+        result = controller.writeback_line(0, LINE)
+        assert controller.engine.stats.demand_blocks == 2
+        assert controller.dram.stats.writes == 1
+        assert result.completion_time > controller.engine.latency
+
+
+class TestFunctionalMode:
+    def test_roundtrip_through_untrusted_memory(self, key256):
+        controller = build_controller(key=key256)
+        plaintext = bytes(range(32))
+        controller.writeback_line(0, LINE, plaintext)
+        # The backing store never sees the plaintext.
+        assert controller.backing.read_line(LINE) != plaintext
+        result = controller.fetch_line(1000, LINE)
+        assert result.plaintext == plaintext
+
+    def test_unwritten_line_reads_zero(self, key256):
+        controller = build_controller(key=key256)
+        assert controller.fetch_line(0, LINE).plaintext == bytes(32)
+
+    def test_writeback_requires_plaintext(self, key256):
+        controller = build_controller(key=key256)
+        with pytest.raises(ValueError, match="plaintext"):
+            controller.writeback_line(0, LINE)
+
+    def test_wrong_length_plaintext_rejected(self, key256):
+        controller = build_controller(key=key256)
+        with pytest.raises(ValueError):
+            controller.writeback_line(0, LINE, bytes(16))
+
+    def test_pad_reuse_audited(self, key256):
+        controller = build_controller(key=key256)
+        for i in range(20):
+            controller.writeback_line(i * 100, LINE, bytes(32))
+        assert controller.auditor.clean
+        assert controller.auditor.seals == 20
+
+    def test_integrity_detects_tampering(self, key256):
+        controller = build_controller(key=key256, integrity=True)
+        controller.writeback_line(0, LINE, bytes(32))
+        controller.backing.tamper_line(LINE, b"\x01")
+        with pytest.raises(IntegrityError):
+            controller.fetch_line(1000, LINE)
+
+    def test_integrity_passes_untampered(self, key256):
+        controller = build_controller(key=key256, integrity=True)
+        controller.writeback_line(0, LINE, bytes(range(32)))
+        assert controller.fetch_line(1000, LINE).plaintext == bytes(range(32))
+
+    def test_integrity_detects_counter_replay(self, key256):
+        # Adversary rolls the stored counter back to an old value (with the
+        # matching old ciphertext withheld — just the counter here).
+        controller = build_controller(key=key256, integrity=True)
+        controller.writeback_line(0, LINE, bytes(32))
+        old_counter = controller.backing.read_seqnum(LINE)
+        controller.writeback_line(100, LINE, bytes(range(32)))
+        controller.backing.write_seqnum(LINE, old_counter)
+        with pytest.raises(IntegrityError):
+            controller.fetch_line(1000, LINE)
+
+
+class TestStats:
+    def test_fetch_counters(self):
+        controller = build_controller()
+        controller.fetch_line(0, LINE)
+        controller.fetch_line(500, LINE + 32)
+        assert controller.stats.fetches == 2
+        assert controller.stats.mean_exposed_latency > 0
+
+    def test_coverage_oracle_is_high(self):
+        controller = build_controller(oracle=True)
+        for i in range(5):
+            controller.fetch_line(i * 1000, LINE + i * 32)
+        assert controller.stats.coverage == 1.0

@@ -1,0 +1,75 @@
+"""Direct-encryption baseline (the pre-counter-mode scheme)."""
+
+import pytest
+
+from repro.secure.controller import SecureMemoryController
+from repro.secure.direct import DirectEncryptionController
+
+LINE = 0x1000
+
+
+class TestTiming:
+    def test_decryption_serializes_after_line(self):
+        controller = DirectEncryptionController()
+        result = controller.fetch_line(0, LINE)
+        assert result.pad_ready >= result.line_ready + controller.engine.latency
+        assert result.data_ready == result.pad_ready
+
+    def test_slower_than_ctr_baseline(self):
+        # CTR can start pad generation as soon as the (earlier) counter
+        # arrives; direct encryption must wait for the whole line.
+        direct = DirectEncryptionController()
+        ctr = SecureMemoryController()
+        assert (
+            direct.fetch_line(0, LINE).data_ready
+            > ctr.fetch_line(0, LINE).data_ready
+        )
+
+    def test_no_counter_traffic(self):
+        direct = DirectEncryptionController()
+        direct.fetch_line(0, LINE)
+        direct.writeback_line(1000, LINE)
+        # One read and one write, both line-sized (no 8B counter rides).
+        assert direct.dram.bus.stats.bytes_moved == 64
+
+    def test_writeback_unchanged_counterless(self):
+        controller = DirectEncryptionController()
+        result = controller.writeback_line(0, LINE)
+        assert result.seqnum == 0
+        assert not result.rebased
+        assert controller.backing.read_seqnum(LINE) is None
+
+
+class TestFunctional:
+    def test_roundtrip(self, key256):
+        controller = DirectEncryptionController(key=key256)
+        plaintext = bytes(range(32))
+        controller.writeback_line(0, LINE, plaintext)
+        assert controller.backing.read_line(LINE) != plaintext
+        assert controller.fetch_line(1000, LINE).plaintext == plaintext
+
+    def test_unwritten_reads_zero(self, key256):
+        controller = DirectEncryptionController(key=key256)
+        assert controller.fetch_line(0, LINE).plaintext == bytes(32)
+
+    def test_requires_plaintext(self, key256):
+        controller = DirectEncryptionController(key=key256)
+        with pytest.raises(ValueError):
+            controller.writeback_line(0, LINE)
+
+    def test_address_tweak_separates_identical_plaintexts(self, key256):
+        controller = DirectEncryptionController(key=key256)
+        controller.writeback_line(0, LINE, bytes(32))
+        controller.writeback_line(100, LINE + 32, bytes(32))
+        assert controller.backing.read_line(LINE) != controller.backing.read_line(
+            LINE + 32
+        )
+
+    def test_determinism_leak(self, key256):
+        # The scheme's inherent weakness: rewriting the same value yields
+        # the same ciphertext (no freshness) — observable by the adversary.
+        controller = DirectEncryptionController(key=key256)
+        controller.writeback_line(0, LINE, bytes(32))
+        first = controller.backing.read_line(LINE)
+        controller.writeback_line(100, LINE, bytes(32))
+        assert controller.backing.read_line(LINE) == first

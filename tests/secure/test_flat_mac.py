@@ -1,0 +1,67 @@
+"""Flat MAC store vs the Merkle tree: the replay-protection distinction."""
+
+import pytest
+
+from repro.secure.integrity import FlatMacStore, IntegrityError, IntegrityTree
+
+KEY = bytes(32)
+LINE = 0x4000
+
+
+class TestFlatMacBasics:
+    def test_verify_after_update(self):
+        store = FlatMacStore(KEY)
+        store.update(LINE, 5, bytes(32))
+        store.verify(LINE, 5, bytes(32))
+        assert store.verifications == 1
+
+    def test_detects_data_tamper(self):
+        store = FlatMacStore(KEY)
+        store.update(LINE, 5, bytes(32))
+        with pytest.raises(IntegrityError):
+            store.verify(LINE, 5, b"\x01" + bytes(31))
+
+    def test_detects_counter_tamper(self):
+        store = FlatMacStore(KEY)
+        store.update(LINE, 5, bytes(32))
+        with pytest.raises(IntegrityError):
+            store.verify(LINE, 6, bytes(32))
+
+    def test_detects_splice(self):
+        store = FlatMacStore(KEY)
+        store.update(LINE, 1, bytes(32))
+        store.update(LINE + 32, 1, bytes([1]) * 32)
+        with pytest.raises(IntegrityError):
+            store.verify(LINE + 32, 1, bytes(32))
+
+    def test_unknown_line_rejected(self):
+        with pytest.raises(IntegrityError):
+            FlatMacStore(KEY).verify(LINE, 0, bytes(32))
+
+
+class TestReplayDistinction:
+    def _consistent_replay(self, protector):
+        """Record a full old state, advance, then restore the old state."""
+        old_ciphertext = bytes(32)
+        protector.update(LINE, 1, old_ciphertext)
+        old_macs = dict(getattr(protector, "macs", {}))
+        old_nodes = dict(getattr(protector, "nodes", {}))
+        new_ciphertext = bytes([7]) * 32
+        protector.update(LINE, 2, new_ciphertext)
+        # Adversary restores every untrusted byte of the old state.
+        if old_macs:
+            protector.macs.clear()
+            protector.macs.update(old_macs)
+        if old_nodes:
+            protector.nodes.clear()
+            protector.nodes.update(old_nodes)
+        protector.verify(LINE, 1, old_ciphertext)
+
+    def test_flat_mac_accepts_consistent_replay(self):
+        # The weakness: a consistent old (data, counter, MAC) triple passes.
+        self._consistent_replay(FlatMacStore(KEY))  # no exception
+
+    def test_tree_rejects_consistent_replay(self):
+        # The on-chip root cannot be rolled back, so the tree catches it.
+        with pytest.raises(IntegrityError):
+            self._consistent_replay(IntegrityTree(KEY))

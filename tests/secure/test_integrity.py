@@ -1,0 +1,107 @@
+"""Integrity tree: verification, updates, tamper detection."""
+
+import pytest
+
+from repro.secure.integrity import IntegrityError, IntegrityTree
+
+KEY = bytes(32)
+LINE = 0x4000
+CIPHERTEXT = bytes(range(32))
+
+
+class TestConstruction:
+    def test_levels_positive(self):
+        tree = IntegrityTree(KEY)
+        assert tree.levels >= 1
+
+    @pytest.mark.parametrize("arity", [1, 3, 6])
+    def test_rejects_bad_arity(self, arity):
+        with pytest.raises(ValueError):
+            IntegrityTree(KEY, arity=arity)
+
+    def test_empty_tree_has_a_root(self):
+        assert len(IntegrityTree(KEY).root) == 32
+
+
+class TestUpdateVerify:
+    def test_verify_after_update(self):
+        tree = IntegrityTree(KEY)
+        tree.update(LINE, 5, CIPHERTEXT)
+        tree.verify(LINE, 5, CIPHERTEXT)  # must not raise
+        assert tree.verifications == 1
+        assert tree.updates == 1
+
+    def test_multiple_lines_coexist(self):
+        tree = IntegrityTree(KEY)
+        lines = [LINE + i * 32 for i in range(10)]
+        for i, line in enumerate(lines):
+            tree.update(line, i, bytes([i]) * 32)
+        for i, line in enumerate(lines):
+            tree.verify(line, i, bytes([i]) * 32)
+
+    def test_update_changes_root(self):
+        tree = IntegrityTree(KEY)
+        before = tree.root
+        tree.update(LINE, 1, CIPHERTEXT)
+        assert tree.root != before
+
+    def test_reupdate_supersedes(self):
+        tree = IntegrityTree(KEY)
+        tree.update(LINE, 1, CIPHERTEXT)
+        tree.update(LINE, 2, bytes(32))
+        tree.verify(LINE, 2, bytes(32))
+        with pytest.raises(IntegrityError):
+            tree.verify(LINE, 1, CIPHERTEXT)
+
+    def test_distant_lines_share_tree(self):
+        tree = IntegrityTree(KEY)
+        far = 0x7FFF_FFE0
+        tree.update(LINE, 1, CIPHERTEXT)
+        tree.update(far, 2, bytes(32))
+        tree.verify(LINE, 1, CIPHERTEXT)
+        tree.verify(far, 2, bytes(32))
+
+
+class TestTamperDetection:
+    def test_data_tamper_detected(self):
+        tree = IntegrityTree(KEY)
+        tree.update(LINE, 5, CIPHERTEXT)
+        tampered = bytes([CIPHERTEXT[0] ^ 1]) + CIPHERTEXT[1:]
+        with pytest.raises(IntegrityError, match="leaf"):
+            tree.verify(LINE, 5, tampered)
+
+    def test_counter_tamper_detected(self):
+        tree = IntegrityTree(KEY)
+        tree.update(LINE, 5, CIPHERTEXT)
+        with pytest.raises(IntegrityError):
+            tree.verify(LINE, 6, CIPHERTEXT)
+
+    def test_interior_node_tamper_detected(self):
+        tree = IntegrityTree(KEY)
+        tree.update(LINE, 5, CIPHERTEXT)
+        tree.tamper_node(1, tree.address_map.line_index(LINE) >> 2, b"\x00" * 32)
+        with pytest.raises(IntegrityError):
+            tree.verify(LINE, 5, CIPHERTEXT)
+
+    def test_unwritten_line_fails_verification(self):
+        tree = IntegrityTree(KEY)
+        tree.update(LINE, 1, CIPHERTEXT)
+        with pytest.raises(IntegrityError):
+            tree.verify(LINE + 32, 0, bytes(32))
+
+    def test_splice_attack_detected(self):
+        # Copy line A's (ciphertext, counter) pair over line B's slot.
+        tree = IntegrityTree(KEY)
+        tree.update(LINE, 1, CIPHERTEXT)
+        tree.update(LINE + 32, 2, bytes(32))
+        with pytest.raises(IntegrityError):
+            tree.verify(LINE + 32, 1, CIPHERTEXT)
+
+
+class TestKeySeparation:
+    def test_different_keys_different_leaves(self):
+        a = IntegrityTree(bytes(32))
+        b = IntegrityTree(bytes([1]) * 32)
+        a.update(LINE, 1, CIPHERTEXT)
+        b.update(LINE, 1, CIPHERTEXT)
+        assert a.root != b.root

@@ -1,0 +1,81 @@
+"""OTP generation: pad structure, seal/open, uniqueness."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.aes import AES
+from repro.crypto.ctr import make_counter_block
+from repro.secure.otp import OtpGenerator, blocks_per_line
+
+
+class TestBlocksPerLine:
+    def test_32_byte_line_is_two_blocks(self):
+        assert blocks_per_line(32) == 2
+
+    def test_64_byte_line_is_four_blocks(self):
+        assert blocks_per_line(64) == 4
+
+    @pytest.mark.parametrize("bad", [0, -16, 8, 24, 33])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            blocks_per_line(bad)
+
+
+class TestPadStructure:
+    def test_pad_is_two_aes_blocks_of_addr_seqnum(self, key256):
+        generator = OtpGenerator(key256)
+        cipher = AES(key256)
+        pad = generator.pad(0x1000, 77)
+        assert pad[:16] == cipher.encrypt_block(make_counter_block(0x1000, 77))
+        assert pad[16:] == cipher.encrypt_block(make_counter_block(0x1010, 77))
+
+    def test_pad_length_matches_line(self, key256):
+        assert len(OtpGenerator(key256).pad(0, 0)) == 32
+        assert len(OtpGenerator(key256, line_bytes=64).pad(0, 0)) == 64
+
+    def test_pad_changes_with_seqnum(self, key256):
+        generator = OtpGenerator(key256)
+        assert generator.pad(0x1000, 1) != generator.pad(0x1000, 2)
+
+    def test_pad_changes_with_address(self, key256):
+        generator = OtpGenerator(key256)
+        assert generator.pad(0x1000, 1) != generator.pad(0x2000, 1)
+
+    def test_half_line_pads_differ_within_line(self, key256):
+        # The two 16B halves use different addresses -> different pads.
+        pad = OtpGenerator(key256).pad(0x1000, 5)
+        assert pad[:16] != pad[16:]
+
+
+class TestSealOpen:
+    def test_roundtrip(self, key256):
+        generator = OtpGenerator(key256)
+        plaintext = bytes(range(32))
+        sealed = generator.seal(0x40, 9, plaintext)
+        assert sealed != plaintext
+        assert generator.open(0x40, 9, sealed) == plaintext
+
+    def test_open_with_wrong_seqnum_garbles(self, key256):
+        generator = OtpGenerator(key256)
+        sealed = generator.seal(0x40, 9, bytes(32))
+        assert generator.open(0x40, 10, sealed) != bytes(32)
+
+    @pytest.mark.parametrize("length", [0, 31, 33])
+    def test_seal_length_validation(self, key256, length):
+        with pytest.raises(ValueError):
+            OtpGenerator(key256).seal(0, 0, bytes(length))
+
+    @pytest.mark.parametrize("length", [0, 31, 33])
+    def test_open_length_validation(self, key256, length):
+        with pytest.raises(ValueError):
+            OtpGenerator(key256).open(0, 0, bytes(length))
+
+    @given(
+        plaintext=st.binary(min_size=32, max_size=32),
+        address=st.integers(min_value=0, max_value=1 << 40).map(lambda a: a & ~31),
+        seqnum=st.integers(min_value=0, max_value=(1 << 64) - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, plaintext, address, seqnum):
+        generator = OtpGenerator(bytes(32))
+        assert generator.open(address, seqnum, generator.seal(address, seqnum, plaintext)) == plaintext

@@ -1,0 +1,144 @@
+"""Pre-decryption controller (Section 9.2 comparison + hybrid)."""
+
+import pytest
+
+from repro.crypto.rng import HardwareRng
+from repro.secure.controller import SecureMemoryController
+from repro.secure.predecrypt import PredecryptingController
+from repro.secure.predictors import RegularOtpPredictor
+from repro.secure.seqnum import PageSecurityTable
+
+LINE = 0x1000
+
+
+def build(prefetch_depth=1, buffer_lines=32, predictor=False, **kwargs):
+    table = PageSecurityTable(rng=HardwareRng(7))
+    return PredecryptingController(
+        page_table=table,
+        predictor=RegularOtpPredictor(table) if predictor else None,
+        prefetch_depth=prefetch_depth,
+        buffer_lines=buffer_lines,
+        **kwargs,
+    )
+
+
+def train_stride(controller, start=LINE, stride=32, count=3, t0=0):
+    """Establish a stable stride (three misses with equal deltas)."""
+    for i in range(count):
+        controller.fetch_line(t0 + i * 1000, start + i * stride)
+    return start + count * stride  # the address the prefetcher targeted
+
+
+class TestValidation:
+    def test_rejects_zero_depth(self):
+        with pytest.raises(ValueError):
+            build(prefetch_depth=0)
+
+    def test_rejects_zero_buffer(self):
+        with pytest.raises(ValueError):
+            build(buffer_lines=0)
+
+
+class TestStrideDetection:
+    def test_single_miss_does_not_prefetch(self):
+        controller = build()
+        controller.fetch_line(0, LINE)
+        assert controller.predecrypt_stats.prefetches_issued == 0
+
+    def test_stable_stride_triggers_prefetch(self):
+        controller = build()
+        train_stride(controller)
+        assert controller.predecrypt_stats.prefetches_issued == 1
+
+    def test_non_unit_strides_detected(self):
+        controller = build()
+        next_addr = train_stride(controller, stride=128)
+        result = controller.fetch_line(50_000, next_addr)
+        assert result.data_ready == 50_000
+        assert controller.predecrypt_stats.prefetch_hits == 1
+
+    def test_irregular_pattern_prefetches_nothing(self):
+        controller = build()
+        for i, offset in enumerate((0, 96, 32, 224, 128)):
+            controller.fetch_line(i * 1000, LINE + offset)
+        assert controller.predecrypt_stats.prefetches_issued == 0
+
+
+class TestPrefetchPath:
+    def test_prefetched_line_served_without_latency(self):
+        controller = build()
+        next_addr = train_stride(controller)
+        result = controller.fetch_line(50_000, next_addr)
+        assert result.data_ready == 50_000
+        assert controller.predecrypt_stats.prefetch_hits == 1
+
+    def test_buffer_entry_consumed_once(self):
+        controller = build()
+        next_addr = train_stride(controller)
+        controller.fetch_line(50_000, next_addr)
+        result = controller.fetch_line(90_000, next_addr)
+        assert result.data_ready > 90_000  # real fetch the second time
+
+    def test_prefetches_charge_dram(self):
+        plain = SecureMemoryController()
+        prefetching = build()
+        for i in range(3):
+            plain.fetch_line(i * 1000, LINE + i * 32)
+        train_stride(prefetching)
+        assert prefetching.dram.stats.reads == plain.dram.stats.reads + 1
+
+    def test_depth_prefetches_multiple_strides_ahead(self):
+        controller = build(prefetch_depth=3)
+        train_stride(controller)
+        assert controller.predecrypt_stats.prefetches_issued == 3
+
+    def test_buffer_capacity_lru(self):
+        controller = build(prefetch_depth=4, buffer_lines=2)
+        train_stride(controller)
+        assert controller.predecrypt_stats.prefetch_discards == 2
+
+    def test_early_use_waits_for_prefetch(self):
+        controller = build()
+        controller.fetch_line(0, LINE)
+        controller.fetch_line(1, LINE + 32)
+        controller.fetch_line(2, LINE + 64)   # prefetch of LINE+96 at t=2
+        result = controller.fetch_line(3, LINE + 96)
+        assert result.data_ready > 3          # still in flight
+
+    def test_writeback_invalidates_buffered_copy(self):
+        controller = build()
+        next_addr = train_stride(controller)
+        controller.writeback_line(5000, next_addr)
+        result = controller.fetch_line(50_000, next_addr)
+        assert result.data_ready > 50_000
+        assert controller.predecrypt_stats.prefetch_hits == 0
+        assert controller.predecrypt_stats.prefetch_discards == 1
+
+    def test_accuracy_metric(self):
+        controller = build()
+        next_addr = train_stride(controller)          # one prefetch issued
+        controller.fetch_line(50_000, next_addr)      # hit (also prefetches)
+        controller.fetch_line(60_000, 0x900000)       # unrelated
+        stats = controller.predecrypt_stats
+        assert stats.accuracy == stats.prefetch_hits / stats.prefetches_issued
+        assert 0.0 < stats.accuracy <= 1.0
+
+
+class TestHybrid:
+    def test_hybrid_combines_both_mechanisms(self):
+        controller = build(predictor=True)
+        first = controller.fetch_line(0, LINE)
+        assert first.predicted                         # prediction active
+        next_addr = train_stride(controller)
+        result = controller.fetch_line(50_000, next_addr)
+        assert controller.predecrypt_stats.prefetch_hits == 1
+        assert result.data_ready == 50_000             # prefetch active too
+
+    def test_functional_roundtrip_through_buffer(self, key256):
+        controller = build(key=key256)
+        plaintext = bytes(range(32))
+        target = LINE + 96
+        controller.writeback_line(0, target, plaintext)
+        train_stride(controller, t0=1000)              # prefetches `target`
+        result = controller.fetch_line(90_000, target)
+        assert result.plaintext == plaintext

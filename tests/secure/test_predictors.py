@@ -1,0 +1,244 @@
+"""OTP predictors: guess sets, adaptivity, range tables, context LOR."""
+
+import pytest
+
+from repro.crypto.rng import HardwareRng
+from repro.secure.predictors import (
+    ContextOtpPredictor,
+    NullPredictor,
+    RangePredictionTable,
+    RegularOtpPredictor,
+    TwoLevelOtpPredictor,
+)
+from repro.secure.seqnum import PageSecurityTable
+
+PAGE = 3
+LINE = PAGE * 4096 + 2 * 32  # line 2 of page 3
+
+
+def fresh_table(**kwargs):
+    return PageSecurityTable(rng=HardwareRng(99), **kwargs)
+
+
+class TestNullPredictor:
+    def test_never_guesses(self):
+        table = fresh_table()
+        predictor = NullPredictor(table)
+        assert predictor.predict(PAGE, LINE) == []
+
+
+class TestRegular:
+    def test_guesses_cover_root_to_depth(self):
+        table = fresh_table()
+        predictor = RegularOtpPredictor(table, depth=5)
+        root = table.root(PAGE)
+        assert predictor.predict(PAGE, LINE) == [root + i for i in range(6)]
+
+    def test_depth_zero_single_guess(self):
+        table = fresh_table()
+        predictor = RegularOtpPredictor(table, depth=0)
+        assert predictor.predict(PAGE, LINE) == [table.root(PAGE)]
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            RegularOtpPredictor(fresh_table(), depth=-1)
+
+    def test_guesses_wrap_in_64_bits(self):
+        table = fresh_table()
+        table.state(PAGE).root = (1 << 64) - 2
+        predictor = RegularOtpPredictor(table, depth=3)
+        guesses = predictor.predict(PAGE, LINE)
+        assert guesses == [(1 << 64) - 2, (1 << 64) - 1, 0, 1]
+
+    def test_adaptive_reset_on_sustained_misses(self):
+        table = fresh_table()
+        predictor = RegularOtpPredictor(table, depth=5, adaptive=True)
+        root = table.root(PAGE)
+        for _ in range(16):
+            predictor.observe_fetch(PAGE, LINE, actual_seqnum=root + 100, hit=False)
+        assert table.root(PAGE) != root
+        assert predictor.stats.root_resets == 1
+
+    def test_non_adaptive_never_resets(self):
+        table = fresh_table()
+        predictor = RegularOtpPredictor(table, depth=5, adaptive=False)
+        root = table.root(PAGE)
+        for _ in range(32):
+            predictor.observe_fetch(PAGE, LINE, root + 100, hit=False)
+        assert table.root(PAGE) == root
+
+    def test_root_history_guesses(self):
+        table = fresh_table(history_depth=1)
+        predictor = RegularOtpPredictor(table, depth=2, use_root_history=True)
+        old_root = table.root(PAGE)
+        table.reset_root(PAGE)
+        new_root = table.root(PAGE)
+        guesses = predictor.predict(PAGE, LINE)
+        for i in range(3):
+            assert new_root + i in guesses
+            assert old_root + i in guesses
+
+    def test_record_tracks_stats(self):
+        table = fresh_table()
+        predictor = RegularOtpPredictor(table, depth=5)
+        guesses = predictor.predict(PAGE, LINE)
+        assert predictor.record(guesses, guesses[3]) is True
+        assert predictor.record(guesses, guesses[-1] + 1) is False
+        assert predictor.stats.lookups == 2
+        assert predictor.stats.hits == 1
+        assert predictor.stats.guesses_issued == 12
+        assert predictor.stats.hit_rate == 0.5
+        assert predictor.stats.guesses_per_lookup == 6.0
+
+
+class TestRangeTable:
+    def test_cold_lookup_is_bucket_zero_and_counts_miss(self):
+        table = RangePredictionTable(entries=4)
+        assert table.bucket(0, 0) == 0
+        assert table.misses == 1
+
+    def test_train_then_lookup(self):
+        table = RangePredictionTable(entries=4)
+        table.train(0, 5, distance=13, window=6)
+        assert table.bucket(0, 5) == 2
+
+    def test_fresh_entry_filled_with_observed_bucket(self):
+        table = RangePredictionTable(entries=4)
+        table.train(0, 5, distance=13, window=6)
+        # Other lines of the page inherit the bucket until retrained.
+        assert table.bucket(0, 99) == 2
+
+    def test_retraining_specializes_per_line(self):
+        table = RangePredictionTable(entries=4)
+        table.train(0, 5, distance=13, window=6)
+        table.train(0, 7, distance=0, window=6)
+        assert table.bucket(0, 7) == 0
+        assert table.bucket(0, 5) == 2
+
+    def test_bucket_saturates(self):
+        table = RangePredictionTable(entries=4, range_bits=4)
+        table.train(0, 0, distance=10_000, window=6)
+        assert table.bucket(0, 0) == 15
+
+    def test_lru_capacity(self):
+        table = RangePredictionTable(entries=2)
+        table.train(0, 0, 6, 6)
+        table.train(1, 0, 6, 6)
+        table.bucket(0, 0)           # touch page 0
+        table.train(2, 0, 6, 6)      # evicts page 1
+        assert table.bucket(1, 0) == 0
+        assert table.bucket(0, 0) == 1
+
+    def test_invalidate_page(self):
+        table = RangePredictionTable(entries=4)
+        table.train(0, 0, 6, 6)
+        table.invalidate_page(0)
+        assert table.bucket(0, 0) == 0
+
+    def test_storage_bits_matches_paper_budget(self):
+        # 64 entries x 128 lines x 4 bits = 32768 bits = 4KB.
+        table = RangePredictionTable(entries=64, range_bits=4, lines_per_page=128)
+        assert table.storage_bits == 64 * 128 * 4
+        assert table.storage_bits // 8 == 4096
+
+    @pytest.mark.parametrize("kwargs", [dict(entries=0), dict(range_bits=0), dict(range_bits=17)])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RangePredictionTable(**kwargs)
+
+
+class TestTwoLevel:
+    def test_cold_page_behaves_like_regular(self):
+        table = fresh_table()
+        predictor = TwoLevelOtpPredictor(table, depth=5)
+        root = table.root(PAGE)
+        assert predictor.predict(PAGE, LINE)[:6] == [root + i for i in range(6)]
+
+    def test_trained_bucket_shifts_window(self):
+        table = fresh_table()
+        predictor = TwoLevelOtpPredictor(table, depth=5)
+        root = table.root(PAGE)
+        predictor.observe_writeback(PAGE, LINE, root + 13)  # bucket 2
+        guesses = predictor.predict(PAGE, LINE)
+        assert root + 12 in guesses
+        assert root + 13 in guesses
+        assert root + 17 in guesses
+        assert root in guesses  # fallback to the root guess
+
+    def test_fetch_observation_trains(self):
+        table = fresh_table()
+        predictor = TwoLevelOtpPredictor(table, depth=5)
+        root = table.root(PAGE)
+        predictor.observe_fetch(PAGE, LINE, root + 20, hit=False)
+        assert root + 20 in predictor.predict(PAGE, LINE)
+
+    def test_reset_invalidates_ranges(self):
+        table = fresh_table()
+        predictor = TwoLevelOtpPredictor(table, depth=5)
+        root = table.root(PAGE)
+        predictor.observe_writeback(PAGE, LINE, root + 13)
+        for _ in range(16):  # force an adaptive reset
+            predictor.observe_fetch(PAGE, LINE, root + 500, hit=False)
+        new_root = table.root(PAGE)
+        assert new_root != root
+        guesses = predictor.predict(PAGE, LINE)
+        assert guesses[:6] == [(new_root + i) & ((1 << 64) - 1) for i in range(6)]
+
+    def test_window_equals_depth_plus_one(self):
+        predictor = TwoLevelOtpPredictor(fresh_table(), depth=5)
+        assert predictor.window == 6
+
+
+class TestContext:
+    def test_initial_guesses_are_regular_plus_swing_from_zero(self):
+        table = fresh_table()
+        predictor = ContextOtpPredictor(table, depth=5, swing=3)
+        root = table.root(PAGE)
+        guesses = predictor.predict(PAGE, LINE)
+        # LOR = 0: swing window [max(0-3,0), 3] folds into the regular set.
+        assert guesses == [root + i for i in range(6)]
+
+    def test_lor_extends_reach(self):
+        table = fresh_table()
+        predictor = ContextOtpPredictor(table, depth=5, swing=3)
+        root = table.root(PAGE)
+        predictor.observe_fetch(PAGE, LINE, root + 20, hit=False)
+        guesses = predictor.predict(PAGE, LINE)
+        for offset in range(17, 24):
+            assert root + offset in guesses
+
+    def test_lor_window_clamped_at_root(self):
+        table = fresh_table()
+        predictor = ContextOtpPredictor(table, depth=5, swing=3)
+        root = table.root(PAGE)
+        predictor.observe_fetch(PAGE, LINE, root + 1, hit=True)
+        guesses = predictor.predict(PAGE, LINE)
+        assert min(g - root for g in guesses) == 0
+
+    def test_max_guess_count(self):
+        # depth+1 regular + 2*swing+1 context, minus overlap.
+        table = fresh_table()
+        predictor = ContextOtpPredictor(table, depth=5, swing=3)
+        root = table.root(PAGE)
+        predictor.observe_fetch(PAGE, LINE, root + 50, hit=False)
+        guesses = predictor.predict(PAGE, LINE)
+        assert len(guesses) == 6 + 7
+
+    def test_lor_not_updated_by_old_root_seqnums(self):
+        table = fresh_table()
+        predictor = ContextOtpPredictor(table, depth=5, swing=3)
+        predictor.observe_fetch(PAGE, LINE, table.root(PAGE) + 9, hit=False)
+        predictor.observe_fetch(PAGE, LINE, 0xDEAD_BEEF_0000_0000, hit=False)
+        assert predictor.latest_offset == 9
+
+    def test_negative_swing_rejected(self):
+        with pytest.raises(ValueError):
+            ContextOtpPredictor(fresh_table(), swing=-1)
+
+    def test_guesses_deduplicated(self):
+        table = fresh_table()
+        predictor = ContextOtpPredictor(table, depth=5, swing=3)
+        root = table.root(PAGE)
+        predictor.observe_fetch(PAGE, LINE, root + 4, hit=True)
+        guesses = predictor.predict(PAGE, LINE)
+        assert len(guesses) == len(set(guesses))

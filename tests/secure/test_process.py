@@ -1,0 +1,150 @@
+"""Multiprogramming: per-process contexts, isolation, shared hardware."""
+
+import pytest
+
+from repro.secure.process import SecureProcessManager
+from repro.secure.predictors import ContextOtpPredictor, RegularOtpPredictor
+from repro.secure.seqcache import SequenceNumberCache
+
+
+class TestProcessLifecycle:
+    def test_first_process_becomes_active(self):
+        manager = SecureProcessManager()
+        context = manager.create_process(1)
+        assert manager.active is context
+        assert context.switches_in == 1
+
+    def test_duplicate_pid_rejected(self):
+        manager = SecureProcessManager()
+        manager.create_process(1)
+        with pytest.raises(ValueError, match="already exists"):
+            manager.create_process(1)
+
+    @pytest.mark.parametrize("pid", [-1, 1 << 16])
+    def test_pid_range(self, pid):
+        with pytest.raises(ValueError):
+            SecureProcessManager().create_process(pid)
+
+    def test_switch_unknown_pid(self):
+        manager = SecureProcessManager()
+        manager.create_process(1)
+        with pytest.raises(KeyError):
+            manager.switch_to(9)
+
+    def test_active_without_processes(self):
+        with pytest.raises(RuntimeError):
+            SecureProcessManager().active
+
+    def test_switch_counting(self):
+        manager = SecureProcessManager()
+        manager.create_process(1)
+        manager.create_process(2)
+        manager.switch_to(2)
+        manager.switch_to(2)  # no-op
+        manager.switch_to(1)
+        assert manager.context_switches == 2
+
+    def test_processes_listing(self):
+        manager = SecureProcessManager()
+        manager.create_process(3)
+        manager.create_process(1)
+        assert manager.processes() == [1, 3]
+
+
+class TestIsolation:
+    def test_asid_separates_address_spaces(self):
+        manager = SecureProcessManager()
+        a = manager.create_process(1)
+        b = manager.create_process(2)
+        assert a.translate(0x1000) != b.translate(0x1000)
+
+    def test_address_window_enforced(self):
+        manager = SecureProcessManager()
+        context = manager.create_process(1)
+        with pytest.raises(ValueError):
+            context.translate(1 << 44)
+
+    def test_processes_have_distinct_roots(self):
+        manager = SecureProcessManager()
+        a = manager.create_process(1)
+        b = manager.create_process(2)
+        assert a.page_table.root(0) != b.page_table.root(0)
+
+    def test_per_process_keys_yield_distinct_ciphertexts(self):
+        manager = SecureProcessManager()
+        manager.create_process(1, key=bytes(32))
+        manager.create_process(2, key=bytes([1]) * 32)
+        plaintext = bytes(range(32))
+        manager.switch_to(1)
+        manager.writeback(0, 0x1000, plaintext)
+        ct_a = manager.backing.read_line(manager.active.translate(0x1000))
+        manager.switch_to(2)
+        manager.writeback(100, 0x1000, plaintext)
+        ct_b = manager.backing.read_line(manager.active.translate(0x1000))
+        assert ct_a != ct_b
+
+    def test_context_state_survives_switches(self):
+        manager = SecureProcessManager()
+        manager.create_process(
+            1, predictor_factory=lambda t: ContextOtpPredictor(t)
+        )
+        manager.create_process(
+            2, predictor_factory=lambda t: ContextOtpPredictor(t)
+        )
+        # Drift process 1's LOR, then bounce through process 2 and back.
+        manager.switch_to(1)
+        root = manager.active.page_table.state(
+            manager.active.translate(0x1000) >> 12
+        ).mapping_root
+        manager.active.controller.backing.write_seqnum(
+            manager.active.translate(0x1000), root + 9
+        )
+        manager.fetch(0, 0x1000)
+        assert manager.active.predictor.latest_offset == 9
+        manager.switch_to(2)
+        manager.fetch(1000, 0x2000)
+        manager.switch_to(1)
+        assert manager.active.predictor.latest_offset == 9  # preserved
+
+
+class TestSharedHardware:
+    def test_engine_shared_across_processes(self):
+        manager = SecureProcessManager()
+        manager.create_process(1, predictor_factory=lambda t: RegularOtpPredictor(t))
+        manager.create_process(2, predictor_factory=lambda t: RegularOtpPredictor(t))
+        manager.switch_to(1)
+        manager.fetch(0, 0x1000)
+        manager.switch_to(2)
+        manager.fetch(10, 0x1000)
+        assert manager.engine.stats.speculative_blocks == 24  # 2 x 6 guesses x 2
+
+    def test_seqcache_interference_between_processes(self):
+        # A tiny shared counter cache: process 2's traffic evicts process
+        # 1's counters — the "in-between context switches" effect the paper
+        # mentions for caching schemes.
+        manager = SecureProcessManager(seqcache=SequenceNumberCache(1024, associativity=1))
+        manager.create_process(1)
+        manager.create_process(2)
+        manager.switch_to(1)
+        manager.fetch(0, 0x1000)
+        again = manager.fetch(10_000, 0x1000)
+        assert again.seqcache_hit
+        manager.switch_to(2)
+        for i in range(1024):  # flood the shared cache
+            manager.fetch(20_000 + i, i * 32)
+        manager.switch_to(1)
+        after = manager.fetch(900_000, 0x1000)
+        assert not after.seqcache_hit
+
+    def test_prediction_unaffected_by_other_process_traffic(self):
+        # Prediction state lives in the per-process context, so it is
+        # immune to the interference that hurts the shared counter cache.
+        manager = SecureProcessManager()
+        manager.create_process(1, predictor_factory=lambda t: RegularOtpPredictor(t))
+        manager.create_process(2, predictor_factory=lambda t: RegularOtpPredictor(t))
+        manager.switch_to(2)
+        for i in range(256):
+            manager.fetch(i * 100, i * 32)
+        manager.switch_to(1)
+        result = manager.fetch(1_000_000, 0x1000)
+        assert result.predicted

@@ -1,0 +1,69 @@
+"""Sequence-number cache: demand accounting, spatial sharing, capacity."""
+
+from repro.secure.seqcache import SequenceNumberCache
+
+
+class TestDemandPath:
+    def test_cold_lookup_misses(self):
+        cache = SequenceNumberCache(4096)
+        assert not cache.lookup(0x1000)
+        assert cache.demand_lookups == 1
+        assert cache.demand_hits == 0
+
+    def test_fill_then_lookup_hits(self):
+        cache = SequenceNumberCache(4096)
+        cache.fill(0x1000)
+        assert cache.lookup(0x1000)
+        assert cache.hit_rate == 1.0
+
+    def test_update_then_lookup_hits(self):
+        cache = SequenceNumberCache(4096)
+        cache.update(0x1000)  # write-back path installs the counter
+        assert cache.lookup(0x1000)
+
+    def test_hit_rate_counts_lookups_only(self):
+        cache = SequenceNumberCache(4096)
+        cache.fill(0x1000)
+        cache.update(0x2000)
+        cache.fill(0x1000)       # second fill is a no-op
+        assert cache.demand_lookups == 0
+        assert cache.hit_rate == 0.0
+
+
+class TestSpatialSharing:
+    def test_four_adjacent_lines_share_a_counter_line(self):
+        # 32B cache line / 8B counters -> lines 0..3 share one entry.
+        cache = SequenceNumberCache(4096)
+        cache.fill(0)
+        assert cache.lookup(32)
+        assert cache.lookup(64)
+        assert cache.lookup(96)
+        assert not cache.lookup(128)  # next counter line
+
+    def test_contains_is_nondestructive(self):
+        cache = SequenceNumberCache(4096)
+        cache.fill(0)
+        lookups_before = cache.demand_lookups
+        assert cache.contains(0)
+        assert not cache.contains(0x8000)
+        assert cache.demand_lookups == lookups_before
+
+
+class TestCapacity:
+    def test_capacity_eviction(self):
+        cache = SequenceNumberCache(1024, associativity=1)  # 32 counter lines
+        covered_lines = 32 * 4  # each counter line covers 4 memory lines
+        for i in range(covered_lines * 2):
+            cache.fill(i * 32)
+        # The first half was evicted by the second half.
+        assert not cache.lookup(0)
+        assert cache.lookup((covered_lines * 2 - 4) * 32)
+
+    def test_size_property(self):
+        assert SequenceNumberCache(128 * 1024).size_bytes == 128 * 1024
+
+    def test_independent_instances(self):
+        a = SequenceNumberCache(4096)
+        b = SequenceNumberCache(4096)
+        a.fill(0)
+        assert not b.lookup(0)

@@ -1,0 +1,152 @@
+"""Per-page security state: roots, PHV, distance test, history."""
+
+import pytest
+
+from repro.crypto.rng import HardwareRng
+from repro.secure.seqnum import (
+    DISTANCE_WINDOW,
+    PageSecurityTable,
+    seqnum_distance,
+)
+
+
+class TestDistance:
+    def test_forward_distance(self):
+        assert seqnum_distance(105, 100) == 5
+
+    def test_wraps_modulo_64_bits(self):
+        assert seqnum_distance(2, (1 << 64) - 1) == 3
+
+    def test_negative_becomes_huge(self):
+        assert seqnum_distance(99, 100) == (1 << 64) - 1
+
+
+class TestRoots:
+    def test_root_assigned_on_first_touch(self):
+        table = PageSecurityTable(rng=HardwareRng(1))
+        root = table.root(7)
+        assert 0 <= root < (1 << 64)
+        assert table.root(7) == root  # stable
+
+    def test_roots_differ_across_pages(self):
+        table = PageSecurityTable(rng=HardwareRng(1))
+        assert table.root(1) != table.root(2)
+
+    def test_deterministic_given_seed(self):
+        a = PageSecurityTable(rng=HardwareRng(5))
+        b = PageSecurityTable(rng=HardwareRng(5))
+        assert a.root(0) == b.root(0)
+
+    def test_mapping_root_preserved_across_reset(self):
+        table = PageSecurityTable(rng=HardwareRng(1))
+        state = table.state(3)
+        mapping_root = state.mapping_root
+        table.reset_root(3)
+        assert table.state(3).mapping_root == mapping_root
+        assert table.state(3).root != mapping_root
+
+    def test_contains_and_len(self):
+        table = PageSecurityTable()
+        assert 4 not in table
+        table.state(4)
+        assert 4 in table
+        assert len(table) == 1
+
+    def test_pages_listing(self):
+        table = PageSecurityTable()
+        table.state(9)
+        table.state(2)
+        assert table.pages() == [2, 9]
+
+
+class TestDistanceTest:
+    def test_current_root_counts(self):
+        table = PageSecurityTable()
+        root = table.root(0)
+        assert table.counts_from_current_root(0, root)
+        assert table.counts_from_current_root(0, root + DISTANCE_WINDOW - 1)
+
+    def test_old_root_does_not_count(self):
+        table = PageSecurityTable()
+        old_root = table.root(0)
+        table.reset_root(0)
+        assert not table.counts_from_current_root(0, old_root)
+
+    def test_too_large_distance_rejected(self):
+        table = PageSecurityTable()
+        root = table.root(0)
+        assert not table.counts_from_current_root(0, root + DISTANCE_WINDOW)
+
+
+class TestPhv:
+    def test_reset_after_threshold_misses(self):
+        table = PageSecurityTable(phv_bits=16, phv_threshold=12)
+        root = table.root(0)
+        resets = 0
+        for _ in range(16):
+            resets += table.record_prediction(0, hit=False)
+        assert resets == 1
+        assert table.root(0) != root
+        assert table.total_resets == 1
+
+    def test_no_reset_until_window_full(self):
+        # 12 misses alone must not reset: the PHV needs 16 valid slots.
+        table = PageSecurityTable(phv_bits=16, phv_threshold=12)
+        for _ in range(12):
+            assert not table.record_prediction(0, hit=False)
+
+    def test_hits_prevent_reset(self):
+        table = PageSecurityTable(phv_bits=16, phv_threshold=12)
+        for i in range(64):
+            assert not table.record_prediction(0, hit=(i % 2 == 0))
+
+    def test_phv_cleared_after_reset(self):
+        table = PageSecurityTable(phv_bits=16, phv_threshold=12)
+        for _ in range(16):
+            table.record_prediction(0, hit=False)
+        # Immediately after a reset the window must refill before another.
+        for _ in range(11):
+            assert not table.record_prediction(0, hit=False)
+
+    def test_per_page_isolation(self):
+        table = PageSecurityTable(phv_bits=16, phv_threshold=12)
+        for _ in range(16):
+            table.record_prediction(0, hit=False)
+        assert table.state(1).phv == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(phv_bits=0),
+            dict(phv_bits=65),
+            dict(phv_bits=16, phv_threshold=0),
+            dict(phv_bits=16, phv_threshold=17),
+            dict(history_depth=-1),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            PageSecurityTable(**kwargs)
+
+
+class TestRootHistory:
+    def test_history_disabled_by_default(self):
+        table = PageSecurityTable()
+        table.reset_root(0)
+        assert table.state(0).old_roots == ()
+
+    def test_history_keeps_old_roots(self):
+        table = PageSecurityTable(history_depth=2)
+        first = table.root(0)
+        table.reset_root(0)
+        second = table.root(0)
+        table.reset_root(0)
+        assert table.state(0).old_roots == (second, first)
+
+    def test_history_is_bounded(self):
+        table = PageSecurityTable(history_depth=1)
+        table.root(0)
+        table.reset_root(0)
+        latest = table.root(0)
+        table.reset_root(0)
+        assert table.state(0).old_roots == (latest,)

@@ -1,0 +1,228 @@
+"""Synthetic stream primitives: determinism, geometry, preseed structure."""
+
+import pytest
+
+from repro.crypto.rng import HardwareRng
+from repro.workloads.synthetic import (
+    HotStream,
+    IterativeSweep,
+    StaticStream,
+    StridedSweep,
+    TiledSweep,
+    ZipfStream,
+    interleave,
+    update_band,
+)
+
+BASE = 0x1000_0000
+
+
+def drain(stream, count, seed=1):
+    rng = HardwareRng(seed)
+    return [stream.next_access(rng) for _ in range(count)]
+
+
+class TestStridedSweep:
+    def test_addresses_stay_in_region(self):
+        stream = StridedSweep(BASE, num_lines=64)
+        for access in drain(stream, 200):
+            assert BASE <= access.address < BASE + 64 * 32
+
+    def test_counter_line_disjointness_within_pass(self):
+        # No two accesses of one pass share a 32B sequence-number-cache
+        # line (4 adjacent 8B counters) — the property that defeats the
+        # cache's spatial locality.
+        stream = StridedSweep(BASE, num_lines=64, stride_lines=4)
+        pass_accesses = drain(stream, 16)  # one full offset-0 lap
+        counter_lines = {(a.address // 32) // 4 for a in pass_accesses}
+        assert len(counter_lines) == 16
+
+    def test_all_lines_covered_after_stride_passes(self):
+        stream = StridedSweep(BASE, num_lines=16, stride_lines=4)
+        touched = {a.address for a in drain(stream, 16)}
+        assert len(touched) == 16
+
+    def test_ascending_page_clustered_order(self):
+        stream = StridedSweep(BASE, num_lines=1024, stride_lines=4)
+        addresses = [a.address for a in drain(stream, 255)]
+        assert addresses == sorted(addresses)
+
+    def test_preseed_covers_whole_region_uniformly_per_block(self):
+        stream = StridedSweep(BASE, num_lines=2048, phase_spread=3)
+        seeds = stream.preseed(HardwareRng(3))
+        assert len(seeds) == 2048
+        # 8-page blocks share a phase.
+        pages = {}
+        for line, distance in seeds.items():
+            pages.setdefault(line // 4096, set()).add(distance)
+        assert all(len(values) == 1 for values in pages.values())
+
+    def test_write_prob_extremes(self):
+        all_writes = StridedSweep(BASE, num_lines=8, write_prob=1.0)
+        assert all(a.is_write for a in drain(all_writes, 20))
+        no_writes = StridedSweep(BASE, num_lines=8, write_prob=0.0)
+        assert not any(a.is_write for a in drain(no_writes, 20))
+
+    @pytest.mark.parametrize("kwargs", [dict(num_lines=0), dict(num_lines=4, stride_lines=0)])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            StridedSweep(BASE, **kwargs)
+
+
+class TestUpdateBand:
+    def test_band_distances_beyond_depth(self):
+        band = update_band(BASE, 256)
+        seeds = band.preseed(HardwareRng(5))
+        assert all(distance >= 10 for distance in seeds.values())
+
+    def test_deep_band_beyond_range_table(self):
+        band = update_band(BASE, 256, deep=True)
+        seeds = band.preseed(HardwareRng(5))
+        # 4-bit table with depth 5 reaches distance 95 at most.
+        assert all(distance > 95 for distance in seeds.values())
+
+
+class TestIterativeSweep:
+    def test_every_pass_is_a_permutation(self):
+        stream = IterativeSweep(BASE, num_lines=32)
+        first_pass = {a.address for a in drain(stream, 32)}
+        assert len(first_pass) == 32
+
+    def test_sequential_mode(self):
+        stream = IterativeSweep(BASE, num_lines=8, permuted=False)
+        addresses = [a.address for a in drain(stream, 8)]
+        assert addresses == [BASE + i * 32 for i in range(8)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IterativeSweep(BASE, num_lines=0)
+
+
+class TestTiledSweep:
+    def test_stays_within_current_tile(self):
+        stream = TiledSweep(BASE, total_lines=64, tile_lines=16, passes_per_tile=1)
+        first_tile = drain(stream, 16)
+        assert all(BASE <= a.address < BASE + 16 * 32 for a in first_tile)
+
+    def test_advances_to_next_tile(self):
+        stream = TiledSweep(BASE, total_lines=64, tile_lines=16, passes_per_tile=1)
+        drain(stream, 16)
+        second_tile = drain(stream, 16, seed=2)
+        assert all(
+            BASE + 16 * 32 <= a.address < BASE + 32 * 32 for a in second_tile
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(total_lines=0, tile_lines=1),
+            dict(total_lines=8, tile_lines=0),
+            dict(total_lines=8, tile_lines=16),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TiledSweep(BASE, **kwargs)
+
+
+class TestZipfStream:
+    def test_popularity_is_skewed(self):
+        stream = ZipfStream(BASE, num_lines=1024, alpha=1.0)
+        counts = {}
+        for access in drain(stream, 3000):
+            counts[access.address] = counts.get(access.address, 0) + 1
+        top_share = max(counts.values()) / 3000
+        assert top_share > 0.02  # the hottest line is far above uniform (1/1024)
+
+    def test_addresses_in_region(self):
+        stream = ZipfStream(BASE, num_lines=64)
+        assert all(
+            BASE <= a.address < BASE + 64 * 32 for a in drain(stream, 200)
+        )
+
+    def test_preseed_tiers(self):
+        stream = ZipfStream(BASE, num_lines=1024, alpha=0.8)
+        seeds = stream.preseed(HardwareRng(5))
+        distances = sorted(seeds.values())
+        assert distances[0] <= 3            # tail at the base phase
+        assert distances[-1] >= 6           # hot tier beyond depth
+
+    @pytest.mark.parametrize(
+        "kwargs", [dict(num_lines=0), dict(num_lines=8, alpha=-1.0)]
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ZipfStream(BASE, **kwargs)
+
+
+class TestStaticAndHot:
+    def test_static_never_writes(self):
+        stream = StaticStream(BASE, num_lines=32)
+        assert not any(a.is_write for a in drain(stream, 100))
+
+    def test_static_no_preseed(self):
+        assert StaticStream(BASE, num_lines=4).preseed(HardwareRng(1)) == {}
+
+    def test_hot_stays_small(self):
+        stream = HotStream(BASE, num_lines=16)
+        lines = {a.address // 32 for a in drain(stream, 500)}
+        assert len(lines) <= 16
+
+    def test_instruction_flag(self):
+        stream = StaticStream(BASE, num_lines=4, is_instruction=True)
+        assert all(a.is_instruction for a in drain(stream, 10))
+
+
+class TestInterleave:
+    def test_exact_reference_count(self):
+        streams = [(1.0, HotStream(BASE))]
+        trace = interleave(streams, 123, HardwareRng(1))
+        assert len(trace) == 123
+
+    def test_deterministic(self):
+        def build():
+            return interleave(
+                [(0.5, HotStream(BASE)), (0.5, StaticStream(BASE + 4096, 16))],
+                200,
+                HardwareRng(7),
+            )
+
+        assert [a.address for a in build()] == [a.address for a in build()]
+
+    def test_weights_respected(self):
+        streams = [
+            (0.9, HotStream(BASE, num_lines=1)),
+            (0.1, HotStream(BASE + 0x100000, num_lines=1)),
+        ]
+        trace = interleave(streams, 2000, HardwareRng(3), burst_mean=1)
+        heavy = sum(a.address < BASE + 0x100000 for a in trace)
+        assert heavy > 1600
+
+    def test_burstiness(self):
+        streams = [
+            (0.5, HotStream(BASE, num_lines=1)),
+            (0.5, HotStream(BASE + 0x100000, num_lines=1)),
+        ]
+        trace = interleave(streams, 2000, HardwareRng(3), burst_mean=10)
+        switches = sum(
+            (trace[i].address < BASE + 0x100000)
+            != (trace[i + 1].address < BASE + 0x100000)
+            for i in range(len(trace) - 1)
+        )
+        assert switches < 600  # far fewer than per-access mixing
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(streams=[], references=10),
+            dict(streams=[(0.0, None)], references=10),
+            dict(streams=[(1.0, None)], references=-1),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            interleave(rng=HardwareRng(1), **kwargs)
+
+    def test_burst_mean_validated(self):
+        with pytest.raises(ValueError):
+            interleave([(1.0, HotStream(BASE))], 10, HardwareRng(1), burst_mean=0)
