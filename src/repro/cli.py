@@ -7,17 +7,35 @@ Examples::
     python -m repro figure figure7 --refs 20000
     python -m repro run swim pred_context --refs 20000
     python -m repro run mcf oracle baseline pred_regular --l2 1M
+    python -m repro run captured baseline --trace trace.rtrc
+    python -m repro faults --ops 40 --json
+
+Errors (missing or corrupt trace files, integrity violations) are reported
+as a single line on stderr with a nonzero exit code; ``--keep-going`` on
+``run`` degrades scheme failures to partial results instead of aborting.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from repro.cpu.system import collect_miss_trace, replay_miss_trace
+from repro.cpu.tracefile import TraceFormatError, load_trace_file
 from repro.experiments.config import TABLE1_1M, TABLE1_256K, table1_rows
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.report import render_figure
-from repro.experiments.runner import SCHEMES, run_benchmark
+from repro.experiments.runner import (
+    SCHEMES,
+    make_controller,
+    run_benchmark,
+    run_benchmark_resilient,
+)
+from repro.faults.campaign import DEFAULT_RATES, FaultCampaign
+from repro.faults.injector import FaultType
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.secure.errors import SecureMemoryError
 from repro.workloads.spec import SPEC_BENCHMARKS
 
 __all__ = ["main"]
@@ -54,19 +72,53 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_results(args: argparse.Namespace, machine):
+    """Replay a saved trace file through each scheme (the ``--trace`` path)."""
+    trace = load_trace_file(args.trace)
+    if args.refs:
+        trace = trace[: args.refs]
+    miss_trace = collect_miss_trace(
+        trace,
+        hierarchy=MemoryHierarchy(machine.hierarchy),
+        flush_interval_instructions=machine.flush_interval_instructions,
+    )
+    results, failures = {}, []
+    for scheme in args.schemes:
+        try:
+            controller = make_controller(SCHEMES[scheme], machine, args.seed)
+            results[scheme] = replay_miss_trace(
+                miss_trace, controller, core=machine.core, scheme=scheme
+            )
+        except Exception as err:
+            if not args.keep_going:
+                raise
+            failures.append(f"{args.benchmark}/{scheme}: {type(err).__name__}: {err}")
+    return results, failures
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     unknown = [s for s in args.schemes if s not in SCHEMES]
     if unknown:
         print(f"unknown scheme(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
-    if args.benchmark not in SPEC_BENCHMARKS:
+    if args.trace is None and args.benchmark not in SPEC_BENCHMARKS:
         print(f"unknown benchmark {args.benchmark!r}", file=sys.stderr)
         return 2
     machine = _MACHINES[args.l2]
-    results = run_benchmark(
-        args.benchmark, args.schemes, machine=machine,
-        references=args.refs, seed=args.seed,
-    )
+    failures: list[str] = []
+    if args.trace is not None:
+        results, failures = _trace_results(args, machine)
+    elif args.keep_going:
+        results, run_failures = run_benchmark_resilient(
+            args.benchmark, args.schemes, machine=machine,
+            references=args.refs, seed=args.seed,
+        )
+        failures = [str(failure) for failure in run_failures]
+    else:
+        results = run_benchmark(
+            args.benchmark, args.schemes, machine=machine,
+            references=args.refs, seed=args.seed,
+        )
     oracle = results.get("oracle")
     header = (
         f"{'scheme':<22}{'IPC':>9}{'pred':>8}{'seq$':>8}"
@@ -82,7 +134,43 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if oracle is not None:
             row += f"{metrics.normalized_ipc(oracle):>8.3f}"
         print(row)
-    return 0
+    for failure in failures:
+        print(f"FAILED {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    known = {fault_type.value: fault_type for fault_type in FaultType}
+    if args.types:
+        names = [name.strip() for name in args.types.split(",") if name.strip()]
+        unknown = [name for name in names if name not in known]
+        if unknown:
+            print(
+                f"unknown fault type(s): {', '.join(unknown)}; choose from "
+                f"{', '.join(known)}", file=sys.stderr,
+            )
+            return 2
+        fault_types = tuple(known[name] for name in names)
+    else:
+        fault_types = tuple(FaultType)
+    try:
+        rates = tuple(float(rate) for rate in args.rates.split(","))
+        campaign = FaultCampaign(
+            fault_types=fault_types,
+            rates=rates,
+            operations=args.ops,
+            seed=args.seed,
+        )
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    report = campaign.run()
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    ok = report.all_detected and report.pad_reuse_free
+    return 0 if ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -105,19 +193,64 @@ def build_parser() -> argparse.ArgumentParser:
     figure.set_defaults(func=_cmd_figure)
 
     run = sub.add_parser("run", help="run schemes on one benchmark")
-    run.add_argument("benchmark")
+    run.add_argument("benchmark", help="benchmark name (label only with --trace)")
     run.add_argument("schemes", nargs="+")
     run.add_argument("--refs", type=int, default=None)
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--l2", choices=sorted(_MACHINES), default="256K")
-    run.set_defaults(func=_cmd_run)
+    run.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="replay a saved trace file instead of a synthetic benchmark",
+    )
+    strictness = run.add_mutually_exclusive_group()
+    strictness.add_argument(
+        "--fail-fast", dest="keep_going", action="store_false",
+        help="abort on the first scheme failure (default)",
+    )
+    strictness.add_argument(
+        "--keep-going", dest="keep_going", action="store_true",
+        help="report failed schemes on stderr and keep partial results",
+    )
+    run.set_defaults(func=_cmd_run, keep_going=False)
+
+    faults = sub.add_parser(
+        "faults", help="run a seeded fault-injection campaign"
+    )
+    faults.add_argument("--ops", type=int, default=120, help="operations per cell")
+    faults.add_argument("--seed", type=int, default=1)
+    faults.add_argument(
+        "--types", default=None,
+        help="comma-separated fault types (default: all)",
+    )
+    faults.add_argument(
+        "--rates", default=",".join(str(rate) for rate in DEFAULT_RATES),
+        help="comma-separated injection rates in (0, 1]",
+    )
+    faults.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    faults.set_defaults(func=_cmd_faults)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Expected operational errors become a single stderr line and a nonzero
+    exit instead of a traceback.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except FileNotFoundError as err:
+        print(f"error: file not found: {err.filename or err}", file=sys.stderr)
+        return 1
+    except TraceFormatError as err:
+        print(f"error: corrupt trace file: {err}", file=sys.stderr)
+        return 1
+    except SecureMemoryError as err:
+        print(f"error: {type(err).__name__}: {err}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -39,12 +39,15 @@ from repro.workloads.spec import build_workload
 __all__ = [
     "SchemeSpec",
     "SCHEMES",
+    "RunFailure",
     "default_references",
     "get_miss_trace",
     "make_controller",
     "apply_preseed",
     "run_scheme",
+    "run_scheme_isolated",
     "run_benchmark",
+    "run_benchmark_resilient",
 ]
 
 _MASK64 = (1 << 64) - 1
@@ -233,3 +236,86 @@ def run_benchmark(
         scheme: run_scheme(benchmark, scheme, machine, references, seed)
         for scheme in schemes
     }
+
+
+# -- failure isolation ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """Record of one (benchmark, scheme) point that could not be run."""
+
+    benchmark: str
+    scheme: str
+    error_type: str
+    message: str
+    attempts: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.benchmark}/{self.scheme}: {self.error_type}: "
+            f"{self.message} ({self.attempts} attempt(s))"
+        )
+
+
+def run_scheme_isolated(
+    benchmark: str,
+    scheme: str | SchemeSpec,
+    machine: MachineConfig = TABLE1_256K,
+    references: int | None = None,
+    seed: int = 1,
+    retries: int = 1,
+) -> RunMetrics | RunFailure:
+    """Run one point behind an isolation boundary.
+
+    A failing scheme is retried up to ``retries`` more times (the
+    simulator is deterministic, but schemes can run against faulting
+    memory models where a retry genuinely differs); if every attempt
+    raises, the error is captured as a :class:`RunFailure` instead of
+    propagating, so one bad scheme cannot sink a whole sweep.
+    """
+    name = scheme if isinstance(scheme, str) else scheme.name
+    last: Exception | None = None
+    attempts = 0
+    for _ in range(max(0, retries) + 1):
+        attempts += 1
+        try:
+            return run_scheme(benchmark, scheme, machine, references, seed)
+        except KeyboardInterrupt:
+            raise
+        except Exception as err:
+            last = err
+    return RunFailure(
+        benchmark=benchmark,
+        scheme=name,
+        error_type=type(last).__name__,
+        message=str(last),
+        attempts=attempts,
+    )
+
+
+def run_benchmark_resilient(
+    benchmark: str,
+    schemes: list[str],
+    machine: MachineConfig = TABLE1_256K,
+    references: int | None = None,
+    seed: int = 1,
+    retries: int = 1,
+) -> tuple[dict[str, RunMetrics], list[RunFailure]]:
+    """Like :func:`run_benchmark`, but failures yield partial results.
+
+    Returns ``(results, failures)``: every scheme that completed (possibly
+    after a retry) lands in ``results``; the rest are described in
+    ``failures`` in submission order.
+    """
+    results: dict[str, RunMetrics] = {}
+    failures: list[RunFailure] = []
+    for scheme in schemes:
+        outcome = run_scheme_isolated(
+            benchmark, scheme, machine, references, seed, retries
+        )
+        if isinstance(outcome, RunFailure):
+            failures.append(outcome)
+        else:
+            results[scheme] = outcome
+    return results, failures

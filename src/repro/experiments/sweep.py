@@ -14,18 +14,33 @@ from dataclasses import dataclass, field
 from repro.cpu.core import RunMetrics
 from repro.experiments.config import MachineConfig, TABLE1_256K
 from repro.experiments.report import FigureResult
-from repro.experiments.runner import run_benchmark
+from repro.experiments.runner import (
+    RunFailure,
+    run_benchmark,
+    run_benchmark_resilient,
+)
 
 __all__ = ["SweepResult", "run_grid"]
 
 
 @dataclass
 class SweepResult:
-    """All metrics of a (benchmark x scheme) grid."""
+    """All metrics of a (benchmark x scheme) grid.
+
+    ``failures`` is non-empty only for grids run with ``keep_going=True``:
+    each entry names a (benchmark, scheme) point that raised after retries,
+    and the corresponding key is simply absent from ``results``.
+    """
 
     machine: str
     references: int | None
     results: dict[tuple[str, str], RunMetrics] = field(repr=False, default_factory=dict)
+    failures: list[RunFailure] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """True when every requested grid point produced metrics."""
+        return not self.failures
 
     def benchmarks(self) -> list[str]:
         seen: list[str] = []
@@ -59,7 +74,11 @@ class SweepResult:
             if normalize_to is not None:
                 if scheme == normalize_to:
                     continue
-                reference = self.results[(benchmark, normalize_to)]
+                reference = self.results.get((benchmark, normalize_to))
+                if reference is None:
+                    # Partial grid: the normalization run failed, so this
+                    # benchmark's normalized column cannot be produced.
+                    continue
                 value = metrics.normalized_ipc(reference)
             else:
                 value = metric(metrics)
@@ -77,13 +96,33 @@ def run_grid(
     machine: MachineConfig = TABLE1_256K,
     references: int | None = None,
     seed: int = 1,
+    keep_going: bool = False,
+    retries: int = 1,
 ) -> SweepResult:
-    """Run every (benchmark, scheme) combination, sharing miss traces."""
+    """Run every (benchmark, scheme) combination, sharing miss traces.
+
+    With ``keep_going`` set, each scheme runs behind an isolation boundary
+    (retried ``retries`` times on failure); the sweep completes with
+    whatever points succeeded and records the rest in
+    :attr:`SweepResult.failures`.  Without it, the first error propagates
+    (the historical behavior).
+    """
     sweep = SweepResult(machine=machine.name, references=references)
     for benchmark in benchmarks:
-        per_scheme = run_benchmark(
-            benchmark, schemes, machine=machine, references=references, seed=seed
-        )
+        if keep_going:
+            per_scheme, failures = run_benchmark_resilient(
+                benchmark,
+                schemes,
+                machine=machine,
+                references=references,
+                seed=seed,
+                retries=retries,
+            )
+            sweep.failures.extend(failures)
+        else:
+            per_scheme = run_benchmark(
+                benchmark, schemes, machine=machine, references=references, seed=seed
+            )
         for scheme, metrics in per_scheme.items():
             sweep.results[(benchmark, scheme)] = metrics
     return sweep

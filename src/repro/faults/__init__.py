@@ -1,0 +1,37 @@
+"""Fault injection and resilience validation for the secure memory pipeline.
+
+The paper *assumes* an integrity substrate that detects tampering with
+off-chip data, counters and MAC-tree nodes (Section 2.2); this package
+turns that assumption into something testable.  A deterministic, seeded
+:class:`~repro.faults.injector.FaultInjector` plays the untrusted-DRAM
+adversary (and plain hardware corruption) against a live controller, and a
+:class:`~repro.faults.campaign.FaultCampaign` sweeps fault types x rates to
+produce a machine-readable detection/recovery matrix.
+
+Public surface:
+
+* :class:`~repro.faults.injector.FaultType` — the attack/failure taxonomy.
+* :class:`~repro.faults.injector.FaultInjector` — wraps a controller's
+  backing store, DRAM and integrity tree with injection hooks.
+* :class:`~repro.faults.campaign.FaultCampaign` /
+  :class:`~repro.faults.campaign.CampaignReport` — the sweep runner and its
+  report.
+"""
+
+from repro.faults.injector import FaultInjector, FaultType, InjectedFault
+from repro.faults.campaign import (
+    CampaignCell,
+    CampaignReport,
+    FaultCampaign,
+    run_smoke_campaign,
+)
+
+__all__ = [
+    "FaultType",
+    "FaultInjector",
+    "InjectedFault",
+    "CampaignCell",
+    "CampaignReport",
+    "FaultCampaign",
+    "run_smoke_campaign",
+]

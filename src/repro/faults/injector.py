@@ -1,0 +1,328 @@
+"""Deterministic fault injector: the untrusted-DRAM adversary, on demand.
+
+The injector attaches to a live :class:`~repro.secure.controller.
+SecureMemoryController` and wraps its backing store and DRAM with thin
+proxies, so every fault arrives through the same interfaces real corruption
+would.  Faults come in two flavors:
+
+* **transient** — armed against the *next* access and self-clearing: a
+  ciphertext bit-flip on the wire (:attr:`FaultType.BIT_FLIP`), a dropped
+  (:attr:`FaultType.DROP`) or delayed (:attr:`FaultType.DELAY`) DRAM
+  response.  A bounded re-fetch under a
+  :class:`~repro.secure.controller.RecoveryPolicy` recovers these.
+* **persistent** — stored state is mutated and stays mutated: counter
+  corruption, MAC-leaf and interior-tree-node tampering, and whole-image
+  stale-state replay (ciphertext + counter + MAC rolled back together).
+  Retries cannot help; detection must escalate to quarantine.
+
+Every persistent fault records an undo closure, so a campaign can *repair*
+the machine between experiments and keep attributing each detection to the
+fault that caused it.  All randomness flows from a seeded
+:class:`~repro.crypto.rng.HardwareRng`, making every injection replayable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.crypto.rng import HardwareRng
+from repro.memory.dram import LineFetchTiming
+from repro.secure.controller import SecureMemoryController
+from repro.secure.errors import FetchFailedError
+
+__all__ = ["FaultType", "InjectedFault", "FaultInjector"]
+
+
+class FaultType(enum.Enum):
+    """The fault/attack taxonomy a campaign sweeps over."""
+
+    BIT_FLIP = "bit_flip"                  # transient ciphertext corruption
+    COUNTER_CORRUPT = "counter_corrupt"    # stored counter overwritten
+    MAC_TAMPER = "mac_tamper"              # MAC-tree leaf overwritten
+    TREE_NODE_TAMPER = "tree_node_tamper"  # interior tree node overwritten
+    REPLAY = "replay"                      # consistent stale-state rollback
+    DROP = "drop"                          # DRAM response never arrives
+    DELAY = "delay"                        # DRAM response arrives late
+
+    @property
+    def integrity_violating(self) -> bool:
+        """Faults the integrity substrate is *required* to detect."""
+        return self in (
+            FaultType.BIT_FLIP,
+            FaultType.COUNTER_CORRUPT,
+            FaultType.MAC_TAMPER,
+            FaultType.TREE_NODE_TAMPER,
+            FaultType.REPLAY,
+        )
+
+    @property
+    def transient(self) -> bool:
+        """True when the fault clears itself after one observation."""
+        return self in (FaultType.BIT_FLIP, FaultType.DROP, FaultType.DELAY)
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One fault the injector actually applied."""
+
+    fault_type: FaultType
+    line_address: int
+    detail: str
+
+
+class _FaultingBackingStore:
+    """Proxy over :class:`~repro.memory.backing.BackingStore` read path."""
+
+    def __init__(self, inner, injector: "FaultInjector"):
+        self._inner = inner
+        self._injector = injector
+
+    def read_line(self, address: int) -> bytes:
+        data = self._inner.read_line(address)
+        line = self._inner.address_map.line_address(address)
+        mask = self._injector._armed_flips.pop(line, None)
+        if mask is not None:
+            # Transient: only the returned copy is corrupted; the stored
+            # bytes stay intact, so a re-fetch sees clean data.
+            corrupted = bytearray(data)
+            for i, flip in enumerate(mask[: len(corrupted)]):
+                corrupted[i] ^= flip
+            data = bytes(corrupted)
+        return data
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class _FaultingDram:
+    """Proxy over :class:`~repro.memory.dram.Dram`'s fetch path."""
+
+    def __init__(self, inner, injector: "FaultInjector"):
+        self._inner = inner
+        self._injector = injector
+
+    def fetch_line_with_seqnum(
+        self, now: int, address: int, line_bytes: int, seqnum_bytes: int = 8
+    ) -> LineFetchTiming:
+        injector = self._injector
+        if injector._armed_drops > 0:
+            injector._armed_drops -= 1
+            raise FetchFailedError(
+                f"injected dropped DRAM response for line {address:#x}",
+                line_address=address,
+            )
+        timing = self._inner.fetch_line_with_seqnum(
+            now, address, line_bytes, seqnum_bytes
+        )
+        delay = injector._armed_delay_cycles
+        if delay:
+            injector._armed_delay_cycles = 0
+            timing = LineFetchTiming(
+                issue=timing.issue,
+                seqnum_ready=timing.seqnum_ready + delay,
+                line_ready=timing.line_ready + delay,
+            )
+        return timing
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class FaultInjector:
+    """Seeded adversary attached to one controller.
+
+    Parameters
+    ----------
+    controller:
+        The (preferably functional, tree-protected) controller to attack.
+        Its ``backing`` and ``dram`` attributes are replaced with faulting
+        proxies on attach.
+    seed:
+        Seed for the injector's private :class:`HardwareRng`; identical
+        seeds replay identical fault streams.
+    """
+
+    def __init__(self, controller: SecureMemoryController, seed: int = 0xFA017):
+        self.controller = controller
+        self.rng = HardwareRng(seed)
+        self.injected: list[InjectedFault] = []
+        self._armed_flips: dict[int, bytes] = {}
+        self._armed_drops = 0
+        self._armed_delay_cycles = 0
+        self._undo: list[tuple[str, object]] = []
+        self._snapshot: tuple[dict, dict, dict] | None = None
+        # Unwrapped views the injector (and repairs) operate on.
+        self._backing = controller.backing
+        self._dram = controller.dram
+        controller.backing = _FaultingBackingStore(self._backing, self)
+        controller.dram = _FaultingDram(self._dram, self)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _record(self, fault_type: FaultType, line: int, detail: str) -> InjectedFault:
+        fault = InjectedFault(fault_type, line, detail)
+        self.injected.append(fault)
+        return fault
+
+    def _tree(self):
+        tree = self.controller.integrity_tree
+        if tree is None:
+            raise ValueError(
+                "this fault type needs a tree-protected controller "
+                "(integrity=True)"
+            )
+        return tree
+
+    @property
+    def pending_repairs(self) -> int:
+        """Persistent faults currently applied and not yet repaired."""
+        return len(self._undo)
+
+    def repair_all(self) -> int:
+        """Undo every outstanding persistent fault (most recent first)."""
+        count = len(self._undo)
+        while self._undo:
+            _, undo = self._undo.pop()
+            undo()
+        return count
+
+    # -- transient faults -------------------------------------------------------
+
+    def inject_bit_flip(self, line: int) -> InjectedFault:
+        """Arm a one-shot ciphertext corruption on the line's next read."""
+        line = self._backing.address_map.line_address(line)
+        position = self.rng.next_below(self._backing.address_map.line_bytes)
+        bit = 1 << self.rng.next_bits(3)
+        mask = bytearray(self._backing.address_map.line_bytes)
+        mask[position] = bit
+        self._armed_flips[line] = bytes(mask)
+        return self._record(
+            FaultType.BIT_FLIP, line, f"flip bit {bit:#04x} of byte {position}"
+        )
+
+    def inject_drop(self, line: int, count: int = 1) -> InjectedFault:
+        """Drop the next ``count`` DRAM line fetches."""
+        self._armed_drops += count
+        return self._record(FaultType.DROP, line, f"drop next {count} response(s)")
+
+    def inject_delay(self, line: int, cycles: int | None = None) -> InjectedFault:
+        """Delay the next DRAM line fetch by ``cycles`` (random if omitted)."""
+        if cycles is None:
+            cycles = 100 + self.rng.next_below(900)
+        self._armed_delay_cycles += cycles
+        return self._record(FaultType.DELAY, line, f"delay next response {cycles} cycles")
+
+    # -- persistent faults ------------------------------------------------------
+
+    def inject_counter_corruption(self, line: int) -> InjectedFault:
+        """Overwrite the line's stored counter with a random value."""
+        backing = self._backing
+        line = backing.address_map.line_address(line)
+        old = backing.read_seqnum(line)
+        if old is None:
+            raise ValueError(f"line {line:#x} has no stored counter to corrupt")
+        new = self.rng.next_u64()
+        backing.write_seqnum(line, new)
+        self._undo.append(
+            (f"counter {line:#x}", lambda: backing.write_seqnum(line, old))
+        )
+        return self._record(
+            FaultType.COUNTER_CORRUPT, line, f"counter {old} -> {new}"
+        )
+
+    def inject_mac_tamper(self, line: int) -> InjectedFault:
+        """Overwrite the line's MAC-tree leaf with random bytes."""
+        tree = self._tree()
+        index = tree.address_map.line_index(line)
+        old = tree.nodes.get((0, index))
+        tree.tamper_node(0, index, self.rng.next_bytes(32))
+
+        def undo():
+            if old is None:
+                tree.nodes.pop((0, index), None)
+            else:
+                tree.nodes[(0, index)] = old
+
+        self._undo.append((f"leaf {line:#x}", undo))
+        return self._record(FaultType.MAC_TAMPER, line, f"leaf index {index}")
+
+    def inject_tree_node_tamper(self, line: int, level: int = 1) -> InjectedFault:
+        """Overwrite an interior tree node on the line's verification path."""
+        tree = self._tree()
+        if not 1 <= level <= tree.levels:
+            raise ValueError(f"level must be in [1, {tree.levels}], got {level}")
+        index = tree.address_map.line_index(line) >> (
+            (tree.arity.bit_length() - 1) * level
+        )
+        old = tree.nodes.get((level, index))
+        tree.tamper_node(level, index, self.rng.next_bytes(32))
+
+        def undo():
+            if old is None:
+                tree.nodes.pop((level, index), None)
+            else:
+                tree.nodes[(level, index)] = old
+
+        self._undo.append((f"node L{level}/{index}", undo))
+        return self._record(
+            FaultType.TREE_NODE_TAMPER, line, f"level {level} index {index}"
+        )
+
+    # -- replay -----------------------------------------------------------------
+
+    def snapshot(self) -> None:
+        """Record the complete untrusted state (the adversary's tape)."""
+        tree = self.controller.integrity_tree
+        self._snapshot = (
+            dict(self._backing._data),
+            dict(self._backing._seqnums),
+            dict(tree.nodes) if tree is not None else {},
+        )
+
+    def inject_replay(self, line: int) -> InjectedFault:
+        """Roll every untrusted byte back to the last :meth:`snapshot`.
+
+        Ciphertexts, counters and tree nodes are restored *together*, so
+        each line's triple is self-consistent — the rollback a flat MAC
+        store cannot see and only the on-chip root catches.
+        """
+        if self._snapshot is None:
+            raise ValueError("snapshot() must be taken before inject_replay()")
+        tree = self.controller.integrity_tree
+        current = (
+            dict(self._backing._data),
+            dict(self._backing._seqnums),
+            dict(tree.nodes) if tree is not None else {},
+        )
+        data, seqnums, nodes = self._snapshot
+        self._restore(data, seqnums, nodes)
+        self._undo.append(("replay", lambda: self._restore(*current)))
+        return self._record(
+            FaultType.REPLAY, line, f"rolled back to snapshot ({len(data)} lines)"
+        )
+
+    def _restore(self, data: dict, seqnums: dict, nodes: dict) -> None:
+        self._backing._data.clear()
+        self._backing._data.update(data)
+        self._backing._seqnums.clear()
+        self._backing._seqnums.update(seqnums)
+        tree = self.controller.integrity_tree
+        if tree is not None:
+            tree.nodes.clear()
+            tree.nodes.update(nodes)
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def inject(self, fault_type: FaultType, line: int) -> InjectedFault:
+        """Apply one fault of ``fault_type`` targeted at ``line``."""
+        dispatch = {
+            FaultType.BIT_FLIP: self.inject_bit_flip,
+            FaultType.COUNTER_CORRUPT: self.inject_counter_corruption,
+            FaultType.MAC_TAMPER: self.inject_mac_tamper,
+            FaultType.TREE_NODE_TAMPER: self.inject_tree_node_tamper,
+            FaultType.REPLAY: self.inject_replay,
+            FaultType.DROP: self.inject_drop,
+            FaultType.DELAY: self.inject_delay,
+        }
+        return dispatch[fault_type](line)

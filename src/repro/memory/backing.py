@@ -86,5 +86,15 @@ class BackingStore:
         """Addresses of all lines ever written (adversary's observable set)."""
         return sorted(self._data)
 
+    def seqnum_lines(self) -> list[int]:
+        """Addresses of all lines with a stored counter.
+
+        In timing-only mode the counter array is populated while the data
+        array stays empty, so this set can be wider than
+        :meth:`stored_lines`; the page re-encryption path walks it to reach
+        every counter-bearing line of a page.
+        """
+        return sorted(self._seqnums)
+
     def __len__(self) -> int:
         return len(self._data)

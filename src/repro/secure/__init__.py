@@ -20,8 +20,17 @@ from repro.secure.controller import (
     ControllerStats,
     FetchClass,
     FetchResult,
+    RecoveryPolicy,
+    ResilienceStats,
     SecureMemoryController,
     WritebackResult,
+)
+from repro.secure.errors import (
+    CounterOverflowError,
+    FetchFailedError,
+    ReplayDetectedError,
+    SecureMemoryError,
+    TamperDetectedError,
 )
 from repro.secure.integrity import IntegrityError, IntegrityTree
 from repro.secure.direct import DirectEncryptionController
@@ -56,8 +65,15 @@ __all__ = [
     "ControllerStats",
     "FetchClass",
     "FetchResult",
+    "RecoveryPolicy",
+    "ResilienceStats",
     "SecureMemoryController",
     "WritebackResult",
+    "SecureMemoryError",
+    "CounterOverflowError",
+    "FetchFailedError",
+    "ReplayDetectedError",
+    "TamperDetectedError",
     "IntegrityError",
     "IntegrityTree",
     "DirectEncryptionController",

@@ -28,6 +28,11 @@ from repro.crypto.engine import CryptoEngine
 from repro.memory.address import AddressMap, DEFAULT_ADDRESS_MAP
 from repro.memory.backing import BackingStore
 from repro.memory.dram import Dram
+from repro.secure.errors import (
+    CounterOverflowError,
+    FetchFailedError,
+    IntegrityError,
+)
 from repro.secure.integrity import IntegrityTree
 from repro.secure.otp import OtpGenerator, blocks_per_line
 from repro.secure.predictors import NullPredictor, OtpPredictor
@@ -39,6 +44,8 @@ __all__ = [
     "FetchClass",
     "FetchResult",
     "WritebackResult",
+    "RecoveryPolicy",
+    "ResilienceStats",
     "ControllerStats",
     "SecureMemoryController",
 ]
@@ -90,6 +97,85 @@ class WritebackResult:
     seqnum: int
     completion_time: int
     rebased: bool
+    reencrypted_page: bool = False    # write-back triggered a page re-encryption
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How the controller responds when the pipeline faults.
+
+    Parameters
+    ----------
+    max_retries:
+        Bounded re-fetch attempts after an integrity failure or a dropped
+        DRAM response before the fetch is abandoned.
+    backoff_base_cycles / backoff_multiplier:
+        Cycle-modeled exponential backoff: retry *n* waits
+        ``base * multiplier**(n-1)`` cycles before re-issuing the fetch.
+    degrade_after_faults:
+        Consecutive unrecovered pipeline faults that trip graceful
+        degradation: speculation is disabled and fetches fall back to the
+        demand / sequence-number-cache path until
+        :meth:`SecureMemoryController.restore_speculation` is called.
+    reencrypt_on_overflow:
+        Respond to counter saturation by re-encrypting the page under a
+        fresh root instead of raising :class:`CounterOverflowError`.
+    """
+
+    max_retries: int = 2
+    backoff_base_cycles: int = 200
+    backoff_multiplier: int = 2
+    degrade_after_faults: int = 8
+    reencrypt_on_overflow: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base_cycles < 0:
+            raise ValueError(
+                f"backoff_base_cycles must be >= 0, got {self.backoff_base_cycles}"
+            )
+        if self.backoff_multiplier < 1:
+            raise ValueError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if self.degrade_after_faults < 1:
+            raise ValueError(
+                f"degrade_after_faults must be >= 1, got {self.degrade_after_faults}"
+            )
+
+    def backoff_cycles(self, attempt: int) -> int:
+        """Backoff before retry ``attempt`` (1-based)."""
+        return self.backoff_base_cycles * self.backoff_multiplier ** (attempt - 1)
+
+
+@dataclass
+class ResilienceStats:
+    """Fault / recovery counters (part of :class:`ControllerStats`)."""
+
+    integrity_faults: int = 0         # IntegrityError raised by the substrate
+    dram_faults: int = 0              # dropped DRAM responses observed
+    retries: int = 0                  # re-fetches issued by the policy
+    recovered_fetches: int = 0        # fetches that succeeded after >=1 retry
+    failed_fetches: int = 0           # fetches abandoned after retry exhaustion
+    quarantined_lines: int = 0        # lines moved to the quarantine set
+    counter_overflows: int = 0        # saturated counters detected on write-back
+    pages_reencrypted: int = 0        # overflow responses under a fresh root
+    degrade_events: int = 0           # times speculation was disabled
+
+    def as_dict(self) -> dict[str, int]:
+        """Machine-readable snapshot for reports."""
+        return {
+            "integrity_faults": self.integrity_faults,
+            "dram_faults": self.dram_faults,
+            "retries": self.retries,
+            "recovered_fetches": self.recovered_fetches,
+            "failed_fetches": self.failed_fetches,
+            "quarantined_lines": self.quarantined_lines,
+            "counter_overflows": self.counter_overflows,
+            "pages_reencrypted": self.pages_reencrypted,
+            "degrade_events": self.degrade_events,
+        }
 
 
 @dataclass
@@ -105,6 +191,7 @@ class ControllerStats:
     )
     total_exposed_latency: int = 0
     total_decryption_overhead: int = 0
+    resilience: ResilienceStats = field(default_factory=ResilienceStats)
 
     @property
     def coverage(self) -> float:
@@ -137,6 +224,12 @@ class SecureMemoryController:
     pad_buffer_entries:
         Capacity of the precomputed-pad table of Figure 5, in AES blocks.
         Guess lists that would overflow it are truncated.
+    recovery:
+        Optional :class:`RecoveryPolicy`.  Without one the controller keeps
+        its historical fail-fast behavior (integrity failures and counter
+        saturation propagate immediately); with one, faults are retried
+        with backoff, persistent offenders are quarantined, and counter
+        overflow triggers a page re-encryption.
     """
 
     def __init__(
@@ -152,6 +245,7 @@ class SecureMemoryController:
         integrity: bool = False,
         pad_buffer_entries: int = 64,
         backing: BackingStore | None = None,
+        recovery: RecoveryPolicy | None = None,
     ):
         self.engine = engine if engine is not None else CryptoEngine()
         self.dram = dram if dram is not None else Dram()
@@ -177,6 +271,10 @@ class SecureMemoryController:
                 f"({self.blocks} blocks), got {pad_buffer_entries}"
             )
         self.max_guesses = pad_buffer_entries // self.blocks
+        self.recovery = recovery
+        self.quarantine: set[int] = set()
+        self.degraded = False
+        self._consecutive_faults = 0
 
         self.functional = key is not None
         self.otp: OtpGenerator | None = None
@@ -207,22 +305,92 @@ class SecureMemoryController:
         page = self.address_map.page_number(line_address)
         return self.page_table.state(page).mapping_root
 
+    # -- resilience --------------------------------------------------------------
+
+    @property
+    def resilience(self) -> ResilienceStats:
+        """Fault/recovery counters (alias for ``stats.resilience``)."""
+        return self.stats.resilience
+
+    def restore_speculation(self) -> None:
+        """Re-enable speculation after graceful degradation."""
+        self.degraded = False
+        self._consecutive_faults = 0
+
+    def _note_fault(self) -> None:
+        """Record one unrecovered pipeline fault; maybe trip degradation."""
+        self._consecutive_faults += 1
+        if (
+            self.recovery is not None
+            and not self.degraded
+            and self._consecutive_faults >= self.recovery.degrade_after_faults
+        ):
+            self.degraded = True
+            self.stats.resilience.degrade_events += 1
+
+    def _note_recovery(self) -> None:
+        """A faulting fetch ultimately succeeded."""
+        self.stats.resilience.recovered_fetches += 1
+        self._consecutive_faults = 0
+
+    def _dram_fetch(self, now: int, line: int):
+        """Issue the DRAM round trip, retrying dropped responses.
+
+        Returns ``(timing, attempts_used)``; raises
+        :class:`FetchFailedError` once the policy's retry budget is spent
+        (or immediately without a policy).
+        """
+        attempt = 0
+        while True:
+            try:
+                timing = self.dram.fetch_line_with_seqnum(
+                    now, line, self.address_map.line_bytes
+                )
+                return timing, attempt
+            except FetchFailedError as err:
+                self.stats.resilience.dram_faults += 1
+                self._note_fault()
+                if self.recovery is None or attempt >= self.recovery.max_retries:
+                    self.stats.resilience.failed_fetches += 1
+                    raise FetchFailedError(
+                        f"line {line:#x}: DRAM response dropped "
+                        f"{attempt + 1} time(s)",
+                        line_address=line,
+                        attempts=attempt + 1,
+                        cause=err,
+                    ) from err
+                attempt += 1
+                self.stats.resilience.retries += 1
+                now += self.recovery.backoff_cycles(attempt)
+
     # -- fetch path --------------------------------------------------------------
 
     def fetch_line(self, now: int, address: int) -> FetchResult:
-        """Handle an L2 miss: fetch, (maybe) speculate, decrypt."""
+        """Handle an L2 miss: fetch, (maybe) speculate, decrypt, recover."""
         line = self.address_map.line_address(address)
+        if line in self.quarantine:
+            raise FetchFailedError(
+                f"line {line:#x} is quarantined after repeated integrity "
+                f"failures",
+                line_address=line,
+                attempts=0,
+                quarantined=True,
+            )
         page = self.address_map.page_number(line)
-        timing = self.dram.fetch_line_with_seqnum(
-            now, line, self.address_map.line_bytes
-        )
+        timing, dram_retries = self._dram_fetch(now, line)
         actual = self.current_seqnum(line)
 
         cache_hit = self.seqcache.lookup(line) if self.seqcache else False
 
         predicted = False
         guesses: list[int] = []
-        if not self.oracle and not isinstance(self.predictor, NullPredictor):
+        # Graceful degradation: with speculation disabled the fetch falls
+        # back to the demand / sequence-number-cache path.
+        if (
+            not self.oracle
+            and not self.degraded
+            and not isinstance(self.predictor, NullPredictor)
+        ):
             guesses = self.predictor.predict(page, line)[: self.max_guesses]
             predicted = self.predictor.record(guesses, actual)
 
@@ -236,7 +404,18 @@ class SecureMemoryController:
             self.seqcache.fill(line)
 
         data_ready = max(timing.line_ready, pad_ready, timing.seqnum_ready)
-        plaintext = self._decrypt(line, actual) if self.functional else None
+        retried = False
+        if self.functional:
+            plaintext, data_ready, retried = self._decrypt_with_recovery(
+                line, actual, data_ready
+            )
+        else:
+            plaintext = None
+        if dram_retries or retried:
+            self._note_recovery()
+        else:
+            # A clean fetch breaks any run of consecutive faults.
+            self._consecutive_faults = 0
 
         fetch_class = self._classify(cache_hit, predicted)
         self.stats.fetches += 1
@@ -307,18 +486,93 @@ class SecureMemoryController:
             self.integrity_tree.verify(line, seqnum, ciphertext)
         return self.otp.open(line, seqnum, ciphertext)
 
+    def _decrypt_with_recovery(
+        self, line: int, seqnum: int, data_ready: int
+    ) -> tuple[bytes, int, bool]:
+        """Decrypt, retrying integrity failures under the recovery policy.
+
+        Each retry models a full re-fetch: exponential backoff, a fresh
+        DRAM round trip, and a demand pad regeneration — so the returned
+        ``data_ready`` carries the true cycle cost of recovery.  Lines that
+        exhaust the retry budget join the quarantine set and the fetch
+        raises :class:`FetchFailedError`.
+
+        Returns ``(plaintext, data_ready, retried)``.
+        """
+        attempt = 0
+        while True:
+            try:
+                plaintext = self._decrypt(line, seqnum)
+                return plaintext, data_ready, attempt > 0
+            except IntegrityError as err:
+                self.stats.resilience.integrity_faults += 1
+                self._note_fault()
+                if self.recovery is None:
+                    raise
+                if attempt >= self.recovery.max_retries:
+                    self.quarantine.add(line)
+                    self.stats.resilience.quarantined_lines += 1
+                    self.stats.resilience.failed_fetches += 1
+                    raise FetchFailedError(
+                        f"line {line:#x}: integrity failure persisted through "
+                        f"{attempt + 1} attempt(s); line quarantined",
+                        line_address=line,
+                        attempts=attempt + 1,
+                        quarantined=True,
+                        cause=err,
+                    ) from err
+                attempt += 1
+                self.stats.resilience.retries += 1
+                retry_at = data_ready + self.recovery.backoff_cycles(attempt)
+                # The re-fetch itself may hit dropped responses; _dram_fetch
+                # applies the same bounded-retry discipline to those.
+                timing, _ = self._dram_fetch(retry_at, line)
+                pad_ready = self.engine.issue(
+                    timing.seqnum_ready, self.blocks, speculative=False
+                )[-1]
+                data_ready = max(timing.line_ready, pad_ready)
+
     # -- write-back path -----------------------------------------------------------
 
     def writeback_line(
         self, now: int, address: int, plaintext: bytes | None = None
     ) -> WritebackResult:
         """Handle a dirty L2 eviction: advance counter, encrypt, post write."""
+        # Validate *before* any state mutation so a rejected write-back
+        # leaves counters, the seqcache and the predictor untouched.
+        if self.functional:
+            if plaintext is None:
+                raise ValueError("functional mode write-back requires plaintext")
+            if len(plaintext) != self.address_map.line_bytes:
+                raise ValueError(
+                    f"plaintext must be {self.address_map.line_bytes} bytes, "
+                    f"got {len(plaintext)}"
+                )
         line = self.address_map.line_address(address)
         page = self.address_map.page_number(line)
         state = self.page_table.state(page)
         old = self.current_seqnum(line)
+        reencrypted = False
 
         if self.page_table.counts_from_current_root(page, old):
+            if old == _MASK64:
+                # Saturated counter: one more increment would wrap to a
+                # previously used value and reuse a pad.  Never wrap
+                # silently — re-encrypt the page under a fresh root, or
+                # refuse outright.
+                self.stats.resilience.counter_overflows += 1
+                if self.recovery is None or not self.recovery.reencrypt_on_overflow:
+                    raise CounterOverflowError(
+                        f"sequence number for line {line:#x} is saturated; "
+                        f"advancing would reuse a pad",
+                        line_address=line,
+                        page=page,
+                        seqnum=old,
+                    )
+                now = self._reencrypt_page(now, page)
+                state = self.page_table.state(page)
+                old = self.current_seqnum(line)
+                reencrypted = True
             new_seqnum = (old + 1) & _MASK64
             rebased = False
         else:
@@ -340,13 +594,6 @@ class SecureMemoryController:
         )
 
         if self.functional:
-            if plaintext is None:
-                raise ValueError("functional mode write-back requires plaintext")
-            if len(plaintext) != self.address_map.line_bytes:
-                raise ValueError(
-                    f"plaintext must be {self.address_map.line_bytes} bytes, "
-                    f"got {len(plaintext)}"
-                )
             assert self.otp is not None and self.auditor is not None
             self.auditor.on_seal(line, new_seqnum)
             ciphertext = self.otp.seal(line, new_seqnum, plaintext)
@@ -362,4 +609,51 @@ class SecureMemoryController:
             seqnum=new_seqnum,
             completion_time=completion,
             rebased=rebased,
+            reencrypted_page=reencrypted,
         )
+
+    def _reencrypt_page(self, now: int, page: int) -> int:
+        """Re-encrypt every counter-bearing line of ``page`` under a fresh root.
+
+        The overflow response of the recovery policy: decrypt each line
+        under its current counter, draw a new random root, and re-seal
+        everything starting from it — the page behaves as if freshly
+        mapped, and no (address, seqnum) pair repeats.  Returns the cycle
+        at which the re-encryption traffic has been issued.
+        """
+        lines = [
+            line
+            for line in self.backing.seqnum_lines()
+            if self.address_map.page_number(line) == page
+        ]
+        recovered: list[tuple[int, bytes | None]] = []
+        for line in lines:
+            if self.functional and self.backing.has_line(line):
+                seqnum = self.current_seqnum(line)
+                ciphertext = self.backing.read_line(line)
+                if self.integrity_tree is not None:
+                    self.integrity_tree.verify(line, seqnum, ciphertext)
+                assert self.otp is not None
+                recovered.append((line, self.otp.open(line, seqnum, ciphertext)))
+            else:
+                recovered.append((line, None))
+
+        new_root = self.page_table.reset_root(page)
+        # Timing: one decrypt + one encrypt pad per line through the demand
+        # port, plus the line+counter write traffic.
+        if lines:
+            now = self.engine.issue(
+                now, 2 * self.blocks * len(lines), speculative=False
+            )[-1]
+        for line, line_plaintext in recovered:
+            self.backing.write_seqnum(line, new_root)
+            now = self.dram.write(now, line, self.address_map.line_bytes + 8)
+            if line_plaintext is not None:
+                assert self.otp is not None and self.auditor is not None
+                self.auditor.on_seal(line, new_root)
+                ciphertext = self.otp.seal(line, new_root, line_plaintext)
+                self.backing.write_line(line, ciphertext)
+                if self.integrity_tree is not None:
+                    self.integrity_tree.update(line, new_root, ciphertext)
+        self.stats.resilience.pages_reencrypted += 1
+        return now

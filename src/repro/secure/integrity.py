@@ -22,12 +22,19 @@ from __future__ import annotations
 from repro.crypto.mac import HmacSha256
 from repro.crypto.sha256 import sha256
 from repro.memory.address import AddressMap, DEFAULT_ADDRESS_MAP
+from repro.secure.errors import (
+    IntegrityError,
+    ReplayDetectedError,
+    TamperDetectedError,
+)
 
-__all__ = ["IntegrityError", "IntegrityTree", "FlatMacStore"]
-
-
-class IntegrityError(Exception):
-    """Raised when a fetched line fails authentication."""
+__all__ = [
+    "IntegrityError",
+    "TamperDetectedError",
+    "ReplayDetectedError",
+    "IntegrityTree",
+    "FlatMacStore",
+]
 
 
 class FlatMacStore:
@@ -68,8 +75,10 @@ class FlatMacStore:
         line = self.address_map.line_address(line_address)
         stored = self.macs.get(line)
         if stored is None or stored != self._tag(line, seqnum, ciphertext):
-            raise IntegrityError(
-                f"MAC mismatch for line {line:#x} (seqnum {seqnum})"
+            raise TamperDetectedError(
+                f"MAC mismatch for line {line:#x} (seqnum {seqnum})",
+                line_address=line,
+                seqnum=seqnum,
             )
 
 
@@ -150,27 +159,41 @@ class IntegrityTree:
         """Fetch path: authenticate a line against the trusted root.
 
         Recomputes the leaf from the fetched (untrusted) data and hashes up
-        the path using stored (untrusted) siblings; raises
+        the path using stored (untrusted) siblings; raises a subclass of
         :class:`IntegrityError` unless the result matches the on-chip root.
+        The failure mode is classified: a mismatch between the fetched data
+        and stored nodes is :class:`TamperDetectedError`; a path that is
+        internally consistent but no longer reaches the on-chip root means
+        every untrusted byte was rolled back together —
+        :class:`ReplayDetectedError`.
         """
         self.verifications += 1
         index = self.address_map.line_index(line_address)
         digest = self._leaf_value(line_address, seqnum, ciphertext)
         stored_leaf = self._node(0, index)
         if digest != stored_leaf:
-            raise IntegrityError(
-                f"leaf MAC mismatch for line {line_address:#x} (seqnum {seqnum})"
+            raise TamperDetectedError(
+                f"leaf MAC mismatch for line {line_address:#x} (seqnum {seqnum})",
+                line_address=line_address,
+                seqnum=seqnum,
             )
         for level in range(1, self.levels + 1):
             index >>= self._arity_bits
             digest = self._parent_digest(level - 1, index)
             if digest != self._node(level, index):
-                raise IntegrityError(
-                    f"hash-tree mismatch at level {level} for line {line_address:#x}"
+                raise TamperDetectedError(
+                    f"hash-tree mismatch at level {level} for line {line_address:#x}",
+                    line_address=line_address,
+                    seqnum=seqnum,
+                    level=level,
                 )
         if digest != self._root:
-            raise IntegrityError(
-                f"root mismatch for line {line_address:#x}: memory was tampered"
+            raise ReplayDetectedError(
+                f"root mismatch for line {line_address:#x}: a consistent stale "
+                f"state was replayed",
+                line_address=line_address,
+                seqnum=seqnum,
+                level=self.levels,
             )
 
     def tamper_node(self, level: int, index: int, new_digest: bytes) -> None:

@@ -18,12 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.crypto.ctr import xor_bytes
+from repro.secure.errors import SecureMemoryError
 from repro.secure.otp import OtpGenerator
 
 __all__ = ["PadReuseError", "PadReuseAuditor", "pads_are_unique", "malleability_demo"]
 
 
-class PadReuseError(Exception):
+class PadReuseError(SecureMemoryError):
     """A (address, seqnum) pad was used to encrypt twice — security violation."""
 
 

@@ -1,8 +1,14 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
+import repro.cli as cli
 from repro.cli import build_parser, main
+from repro.cpu.tracefile import save_trace_file
+from repro.experiments.runner import RunFailure
+from repro.workloads.spec import build_workload
 
 
 class TestList:
@@ -56,6 +62,74 @@ class TestRun:
     def test_l2_selection(self, capsys):
         assert main(["run", "gzip", "baseline", "--refs", "1500", "--l2", "1M"]) == 0
         assert "table1-1M" in capsys.readouterr().out
+
+
+class TestRunTrace:
+    def test_trace_replay(self, tmp_path, capsys):
+        trace_path = tmp_path / "captured.rtrc"
+        save_trace_file(trace_path, build_workload("gzip", references=1500).trace)
+        assert main(["run", "captured", "baseline", "--trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "captured" in out and "baseline" in out
+
+    def test_missing_trace_file_is_one_line_error(self, capsys):
+        assert main(["run", "x", "baseline", "--trace", "/no/such/file.rtrc"]) == 1
+        err = capsys.readouterr().err
+        assert "file not found" in err
+        assert "Traceback" not in err
+
+    def test_corrupt_trace_file_is_one_line_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.rtrc"
+        bad.write_bytes(b"this is not a trace")
+        assert main(["run", "x", "baseline", "--trace", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "corrupt trace file" in err
+        assert "Traceback" not in err
+
+
+class TestKeepGoing:
+    def test_keep_going_reports_partial_failure(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            cli,
+            "run_benchmark_resilient",
+            lambda *args, **kwargs: (
+                {},
+                [RunFailure("gzip", "baseline", "RuntimeError", "boom", 2)],
+            ),
+        )
+        assert main(["run", "gzip", "baseline", "--keep-going"]) == 1
+        err = capsys.readouterr().err
+        assert "FAILED" in err and "boom" in err
+
+    def test_fail_fast_and_keep_going_conflict(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "gzip", "baseline", "--fail-fast", "--keep-going"]
+            )
+
+
+class TestFaults:
+    def test_faults_json_report(self, capsys):
+        code = main(
+            ["faults", "--ops", "8", "--types", "bit_flip", "--rates", "0.5", "--json"]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["all_detected"] is True
+        assert data["pad_reuse_free"] is True
+
+    def test_faults_table_report(self, capsys):
+        assert main(["faults", "--ops", "8", "--types", "drop", "--rates", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict:" in out and "drop" in out
+
+    def test_unknown_fault_type(self, capsys):
+        assert main(["faults", "--types", "gamma_ray"]) == 2
+        assert "unknown fault type" in capsys.readouterr().err
+
+    def test_bad_rate(self, capsys):
+        assert main(["faults", "--rates", "2.0"]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestParser:

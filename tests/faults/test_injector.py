@@ -1,0 +1,184 @@
+"""FaultInjector: every fault type lands as its typed error."""
+
+import pytest
+
+from repro.crypto.rng import HardwareRng
+from repro.faults import FaultInjector, FaultType
+from repro.secure.controller import SecureMemoryController
+from repro.secure.errors import (
+    FetchFailedError,
+    ReplayDetectedError,
+    TamperDetectedError,
+)
+from repro.secure.integrity import FlatMacStore, IntegrityTree
+from repro.secure.otp import OtpGenerator
+from repro.secure.seqnum import PageSecurityTable
+
+LINES = [0x40000 + i * 32 for i in range(4)]
+
+
+def pattern(line, version):
+    return bytes((line + version * 7 + i) & 0xFF for i in range(32))
+
+
+@pytest.fixture
+def setup(key256):
+    """Tree-protected functional controller, fail-fast (no recovery policy)."""
+    controller = SecureMemoryController(
+        page_table=PageSecurityTable(rng=HardwareRng(3)),
+        key=key256,
+        integrity=True,
+    )
+    injector = FaultInjector(controller, seed=42)
+    clock = 0
+    for line in LINES:
+        clock = controller.writeback_line(clock, line, pattern(line, 0)).completion_time
+    injector.snapshot()
+    for line in LINES:
+        clock = controller.writeback_line(clock, line, pattern(line, 1)).completion_time
+    return controller, injector, clock
+
+
+EXPECTED_ERROR = {
+    FaultType.BIT_FLIP: TamperDetectedError,
+    FaultType.COUNTER_CORRUPT: TamperDetectedError,
+    FaultType.MAC_TAMPER: TamperDetectedError,
+    FaultType.TREE_NODE_TAMPER: TamperDetectedError,
+    FaultType.REPLAY: ReplayDetectedError,
+    FaultType.DROP: FetchFailedError,
+}
+
+
+class TestTypedDetection:
+    @pytest.mark.parametrize(
+        "fault_type", list(EXPECTED_ERROR), ids=lambda ft: ft.value
+    )
+    def test_fault_raises_matching_error(self, setup, fault_type):
+        controller, injector, clock = setup
+        injector.inject(fault_type, LINES[0])
+        with pytest.raises(EXPECTED_ERROR[fault_type]):
+            controller.fetch_line(clock, LINES[0])
+
+    def test_interior_tamper_reports_its_level(self, setup):
+        controller, injector, clock = setup
+        injector.inject_tree_node_tamper(LINES[0], level=1)
+        with pytest.raises(TamperDetectedError) as exc:
+            controller.fetch_line(clock, LINES[0])
+        assert exc.value.level == 1
+
+    def test_replay_reports_root_level(self, setup):
+        controller, injector, clock = setup
+        injector.inject_replay(LINES[0])
+        with pytest.raises(ReplayDetectedError) as exc:
+            controller.fetch_line(clock, LINES[0])
+        assert exc.value.level == controller.integrity_tree.levels
+
+    def test_delay_is_slow_but_sound(self, setup):
+        controller, injector, clock = setup
+        injector.inject_delay(LINES[0], cycles=100_000)
+        result = controller.fetch_line(clock, LINES[0])
+        assert result.plaintext == pattern(LINES[0], 1)
+        assert result.exposed_latency >= 100_000
+
+
+class TestFaultLifecycle:
+    def test_bit_flip_is_transient(self, setup):
+        controller, injector, clock = setup
+        injector.inject_bit_flip(LINES[0])
+        with pytest.raises(TamperDetectedError):
+            controller.fetch_line(clock, LINES[0])
+        # The stored bytes were never touched; a re-fetch sees clean data.
+        result = controller.fetch_line(clock, LINES[0])
+        assert result.plaintext == pattern(LINES[0], 1)
+
+    def test_persistent_faults_are_repairable(self, setup):
+        controller, injector, clock = setup
+        injector.inject_counter_corruption(LINES[1])
+        injector.inject_mac_tamper(LINES[2])
+        assert injector.pending_repairs == 2
+        assert injector.repair_all() == 2
+        for line in LINES:
+            assert controller.fetch_line(clock, line).plaintext == pattern(line, 1)
+
+    def test_replay_is_repairable(self, setup):
+        controller, injector, clock = setup
+        injector.inject_replay(LINES[0])
+        injector.repair_all()
+        result = controller.fetch_line(clock, LINES[0])
+        assert result.plaintext == pattern(LINES[0], 1)
+
+    def test_replay_requires_snapshot(self, key256):
+        controller = SecureMemoryController(
+            page_table=PageSecurityTable(rng=HardwareRng(3)),
+            key=key256,
+            integrity=True,
+        )
+        injector = FaultInjector(controller, seed=42)
+        with pytest.raises(ValueError):
+            injector.inject_replay(LINES[0])
+
+    def test_tree_faults_need_a_tree(self, key256):
+        controller = SecureMemoryController(key=key256)   # no integrity tree
+        injector = FaultInjector(controller, seed=42)
+        with pytest.raises(ValueError):
+            injector.inject_mac_tamper(LINES[0])
+
+    def test_identical_seeds_replay_identical_faults(self, key256):
+        details = []
+        for _ in range(2):
+            controller = SecureMemoryController(
+                page_table=PageSecurityTable(rng=HardwareRng(3)),
+                key=key256,
+                integrity=True,
+            )
+            injector = FaultInjector(controller, seed=99)
+            controller.writeback_line(0, LINES[0], pattern(LINES[0], 0))
+            fault = injector.inject_bit_flip(LINES[0])
+            details.append(fault.detail)
+        assert details[0] == details[1]
+
+
+class TestTaxonomy:
+    def test_integrity_violating_set(self):
+        violating = {ft for ft in FaultType if ft.integrity_violating}
+        assert violating == {
+            FaultType.BIT_FLIP,
+            FaultType.COUNTER_CORRUPT,
+            FaultType.MAC_TAMPER,
+            FaultType.TREE_NODE_TAMPER,
+            FaultType.REPLAY,
+        }
+
+    def test_transient_set(self):
+        transient = {ft for ft in FaultType if ft.transient}
+        assert transient == {FaultType.BIT_FLIP, FaultType.DROP, FaultType.DELAY}
+
+
+class TestStaleTripleReplay:
+    """The flat-MAC / tree distinction the paper's assumption rests on."""
+
+    def test_stale_triple_fools_flat_mac_but_not_tree(self, key256):
+        line = 0x40000
+        flat = FlatMacStore(key256)
+        tree = IntegrityTree(key256 + b"integrity")
+        otp = OtpGenerator(key256, line_bytes=32)
+
+        old_plain, new_plain = bytes(32), bytes(range(32))
+        old_ct = otp.seal(line, 1, old_plain)
+        flat.update(line, 1, old_ct)
+        tree.update(line, 1, old_ct)
+        stale_mac = flat.macs[line]
+        stale_nodes = dict(tree.nodes)
+
+        new_ct = otp.seal(line, 2, new_plain)
+        flat.update(line, 2, new_ct)
+        tree.update(line, 2, new_ct)
+
+        # Adversary rolls back ciphertext + counter + MAC together.
+        flat.macs[line] = stale_mac
+        flat.verify(line, 1, old_ct)        # accepted: replay goes unseen
+
+        tree.nodes.clear()
+        tree.nodes.update(stale_nodes)      # same rollback, whole image
+        with pytest.raises(ReplayDetectedError):
+            tree.verify(line, 1, old_ct)    # on-chip root catches it

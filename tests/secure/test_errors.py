@@ -1,0 +1,84 @@
+"""The structured error taxonomy."""
+
+import pytest
+
+from repro.secure.errors import (
+    CounterOverflowError,
+    FetchFailedError,
+    IntegrityError,
+    ReplayDetectedError,
+    SecureMemoryError,
+    TamperDetectedError,
+)
+from repro.secure.threat import PadReuseError
+
+
+class TestHierarchy:
+    def test_everything_derives_from_secure_memory_error(self):
+        for error_class in (
+            IntegrityError,
+            TamperDetectedError,
+            ReplayDetectedError,
+            CounterOverflowError,
+            FetchFailedError,
+            PadReuseError,
+        ):
+            assert issubclass(error_class, SecureMemoryError)
+
+    def test_tamper_and_replay_refine_integrity(self):
+        assert issubclass(TamperDetectedError, IntegrityError)
+        assert issubclass(ReplayDetectedError, IntegrityError)
+        # ... but the operational errors are NOT integrity errors.
+        assert not issubclass(CounterOverflowError, IntegrityError)
+        assert not issubclass(FetchFailedError, IntegrityError)
+
+    def test_legacy_import_location_still_works(self):
+        from repro.secure.integrity import IntegrityError as legacy
+
+        assert legacy is IntegrityError
+
+    def test_package_reexports(self):
+        import repro.secure as secure
+
+        assert secure.SecureMemoryError is SecureMemoryError
+        assert secure.TamperDetectedError is TamperDetectedError
+        assert secure.FetchFailedError is FetchFailedError
+
+
+class TestContext:
+    def test_tamper_carries_location(self):
+        err = TamperDetectedError("bad", line_address=0x40, seqnum=7, level=2)
+        assert (err.line_address, err.seqnum, err.level) == (0x40, 7, 2)
+
+    def test_tamper_level_defaults_to_leaf(self):
+        assert TamperDetectedError("bad", line_address=0, seqnum=0).level == 0
+
+    def test_replay_carries_location(self):
+        err = ReplayDetectedError("stale", line_address=0x80, seqnum=3, level=14)
+        assert (err.line_address, err.seqnum, err.level) == (0x80, 3, 14)
+
+    def test_overflow_carries_page(self):
+        err = CounterOverflowError(
+            "saturated", line_address=0x1000, page=1, seqnum=(1 << 64) - 1
+        )
+        assert err.page == 1
+        assert err.seqnum == (1 << 64) - 1
+
+    def test_fetch_failed_carries_outcome(self):
+        cause = TamperDetectedError("bad", line_address=0x40, seqnum=7)
+        err = FetchFailedError(
+            "gave up", line_address=0x40, attempts=3, quarantined=True, cause=cause
+        )
+        assert err.attempts == 3
+        assert err.quarantined
+        assert err.cause is cause
+
+    def test_fetch_failed_defaults(self):
+        err = FetchFailedError("dropped", line_address=0x40)
+        assert err.attempts == 1
+        assert not err.quarantined
+        assert err.cause is None
+
+    def test_errors_are_catchable_as_base(self):
+        with pytest.raises(SecureMemoryError):
+            raise ReplayDetectedError("stale", line_address=0, seqnum=0, level=1)

@@ -1,0 +1,277 @@
+"""RecoveryPolicy semantics: retries, quarantine, degradation, overflow."""
+
+import pytest
+
+from repro.crypto.rng import HardwareRng
+from repro.faults import FaultInjector
+from repro.secure.controller import RecoveryPolicy, SecureMemoryController
+from repro.secure.errors import (
+    CounterOverflowError,
+    FetchFailedError,
+    TamperDetectedError,
+)
+from repro.secure.predictors import RegularOtpPredictor
+from repro.secure.seqcache import SequenceNumberCache
+from repro.secure.seqnum import PageSecurityTable
+
+_MASK64 = (1 << 64) - 1
+LINE = 0x40000
+
+
+def make_controller(key, recovery=None, predictor_depth=None, seqcache=None):
+    table = PageSecurityTable(rng=HardwareRng(11))
+    predictor = (
+        RegularOtpPredictor(table, depth=predictor_depth)
+        if predictor_depth
+        else None
+    )
+    return SecureMemoryController(
+        page_table=table,
+        predictor=predictor,
+        key=key,
+        integrity=True,
+        recovery=recovery,
+        seqcache=seqcache,
+    )
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RecoveryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RecoveryPolicy(backoff_base_cycles=-1)
+        with pytest.raises(ValueError):
+            RecoveryPolicy(backoff_multiplier=0)
+        with pytest.raises(ValueError):
+            RecoveryPolicy(degrade_after_faults=0)
+
+    def test_backoff_is_geometric(self):
+        policy = RecoveryPolicy(backoff_base_cycles=100, backoff_multiplier=3)
+        assert [policy.backoff_cycles(n) for n in (1, 2, 3)] == [100, 300, 900]
+
+
+class TestTransientRecovery:
+    def test_bit_flip_is_retried_and_recovered(self, key256):
+        controller = make_controller(key256, RecoveryPolicy(max_retries=2))
+        injector = FaultInjector(controller, seed=7)
+        plaintext = bytes(range(32))
+        clock = controller.writeback_line(0, LINE, plaintext).completion_time
+
+        injector.inject_bit_flip(LINE)
+        result = controller.fetch_line(clock, LINE)
+
+        assert result.plaintext == plaintext
+        stats = controller.resilience
+        assert stats.integrity_faults == 1
+        assert stats.retries == 1
+        assert stats.recovered_fetches == 1
+        assert stats.quarantined_lines == 0
+        assert LINE not in controller.quarantine
+
+    def test_recovery_costs_cycles(self, key256):
+        recovered = make_controller(key256, RecoveryPolicy(max_retries=2))
+        clean = make_controller(key256, RecoveryPolicy(max_retries=2))
+        plaintext = bytes(32)
+        clock = recovered.writeback_line(0, LINE, plaintext).completion_time
+        clean.writeback_line(0, LINE, plaintext)
+        FaultInjector(recovered, seed=7).inject_bit_flip(LINE)
+
+        faulty = recovered.fetch_line(clock, LINE)
+        baseline = clean.fetch_line(clock, LINE)
+        assert faulty.exposed_latency > baseline.exposed_latency
+
+    def test_dropped_response_is_retried(self, key256):
+        controller = make_controller(key256, RecoveryPolicy(max_retries=2))
+        injector = FaultInjector(controller, seed=7)
+        clock = controller.writeback_line(0, LINE, bytes(32)).completion_time
+
+        injector.inject_drop(LINE)
+        result = controller.fetch_line(clock, LINE)
+        assert result.plaintext == bytes(32)
+        assert controller.resilience.dram_faults == 1
+        assert controller.resilience.recovered_fetches == 1
+
+    def test_drop_storm_exhausts_retries(self, key256):
+        controller = make_controller(key256, RecoveryPolicy(max_retries=2))
+        injector = FaultInjector(controller, seed=7)
+        clock = controller.writeback_line(0, LINE, bytes(32)).completion_time
+
+        injector.inject_drop(LINE, count=4)
+        with pytest.raises(FetchFailedError) as exc:
+            controller.fetch_line(clock, LINE)
+        assert exc.value.attempts == 3          # initial + 2 retries
+        assert controller.resilience.failed_fetches == 1
+
+    def test_without_policy_integrity_failure_propagates(self, key256):
+        controller = make_controller(key256, recovery=None)
+        injector = FaultInjector(controller, seed=7)
+        clock = controller.writeback_line(0, LINE, bytes(32)).completion_time
+        injector.inject_bit_flip(LINE)
+        with pytest.raises(TamperDetectedError):
+            controller.fetch_line(clock, LINE)
+
+
+class TestQuarantine:
+    def test_persistent_fault_quarantines_line(self, key256):
+        controller = make_controller(key256, RecoveryPolicy(max_retries=1))
+        injector = FaultInjector(controller, seed=7)
+        clock = controller.writeback_line(0, LINE, bytes(32)).completion_time
+
+        injector.inject_counter_corruption(LINE)
+        with pytest.raises(FetchFailedError) as exc:
+            controller.fetch_line(clock, LINE)
+        assert exc.value.quarantined
+        assert exc.value.attempts == 2
+        assert isinstance(exc.value.cause, TamperDetectedError)
+        assert LINE in controller.quarantine
+        assert controller.resilience.quarantined_lines == 1
+
+    def test_quarantined_line_refuses_fetches_immediately(self, key256):
+        controller = make_controller(key256, RecoveryPolicy(max_retries=0))
+        injector = FaultInjector(controller, seed=7)
+        clock = controller.writeback_line(0, LINE, bytes(32)).completion_time
+        injector.inject_counter_corruption(LINE)
+        with pytest.raises(FetchFailedError):
+            controller.fetch_line(clock, LINE)
+
+        fetches_before = controller.stats.fetches
+        with pytest.raises(FetchFailedError) as exc:
+            controller.fetch_line(clock, LINE)
+        assert exc.value.quarantined
+        assert exc.value.attempts == 0          # refused before any DRAM work
+        assert controller.stats.fetches == fetches_before
+
+
+class TestGracefulDegradation:
+    def test_consecutive_faults_disable_speculation(self, key256):
+        policy = RecoveryPolicy(max_retries=0, degrade_after_faults=2)
+        controller = make_controller(key256, policy, predictor_depth=5)
+        injector = FaultInjector(controller, seed=7)
+        lines = [LINE, LINE + 32, LINE + 64]
+        clock = 0
+        for line in lines:
+            clock = controller.writeback_line(clock, line, bytes(32)).completion_time
+
+        # A healthy fetch speculates.
+        controller.fetch_line(clock, lines[2])
+        assert controller.engine.stats.speculative_blocks > 0
+
+        for line in lines[:2]:
+            injector.inject_mac_tamper(line)
+            with pytest.raises(FetchFailedError):
+                controller.fetch_line(clock, line)
+            injector.repair_all()
+        assert controller.degraded
+        assert controller.resilience.degrade_events == 1
+
+        # Degraded: the same fetch path issues no speculative work.
+        speculative_before = controller.engine.stats.speculative_blocks
+        result = controller.fetch_line(clock, lines[2])
+        assert result.plaintext == bytes(32)
+        assert controller.engine.stats.speculative_blocks == speculative_before
+
+        controller.restore_speculation()
+        assert not controller.degraded
+        controller.fetch_line(clock, lines[2])
+        assert controller.engine.stats.speculative_blocks > speculative_before
+
+    def test_clean_fetches_reset_the_fault_run(self, key256):
+        policy = RecoveryPolicy(max_retries=0, degrade_after_faults=2)
+        controller = make_controller(key256, policy)
+        injector = FaultInjector(controller, seed=7)
+        lines = [LINE, LINE + 32]
+        clock = 0
+        for line in lines:
+            clock = controller.writeback_line(clock, line, bytes(32)).completion_time
+
+        injector.inject_mac_tamper(lines[0])
+        with pytest.raises(FetchFailedError):
+            controller.fetch_line(clock, lines[0])
+        injector.repair_all()
+        controller.fetch_line(clock, lines[1])   # clean: breaks the run
+
+        injector.inject_mac_tamper(lines[1])
+        with pytest.raises(FetchFailedError):
+            controller.fetch_line(clock, lines[1])
+        assert not controller.degraded
+
+
+def saturate_line(controller, line, plaintext):
+    """Install a consistent sealed state at the counter's saturation point."""
+    page = controller.address_map.page_number(line)
+    controller.page_table.state(page).root = _MASK64
+    ciphertext = controller.otp.seal(line, _MASK64, plaintext)
+    controller.auditor.on_seal(line, _MASK64)
+    controller.backing.write_line(line, ciphertext)
+    controller.backing.write_seqnum(line, _MASK64)
+    controller.integrity_tree.update(line, _MASK64, ciphertext)
+
+
+class TestCounterOverflow:
+    def test_without_policy_saturation_raises(self, key256):
+        controller = make_controller(key256, recovery=None)
+        saturate_line(controller, LINE, bytes(32))
+        with pytest.raises(CounterOverflowError) as exc:
+            controller.writeback_line(0, LINE, bytes(32))
+        assert exc.value.line_address == LINE
+        assert exc.value.seqnum == _MASK64
+        # Refused before any state mutation.
+        assert controller.current_seqnum(LINE) == _MASK64
+        assert controller.stats.writebacks == 0
+
+    def test_reencrypt_disabled_policy_also_raises(self, key256):
+        policy = RecoveryPolicy(reencrypt_on_overflow=False)
+        controller = make_controller(key256, policy)
+        saturate_line(controller, LINE, bytes(32))
+        with pytest.raises(CounterOverflowError):
+            controller.writeback_line(0, LINE, bytes(32))
+
+    def test_forced_wrap_never_reuses_a_pad(self, key256):
+        """Regression: counter saturation must not silently wrap.
+
+        The strict PadReuseAuditor raises on any (line, seqnum) repeat, so
+        simply completing this write-back proves the wrap was not silent
+        and no pad was reused.
+        """
+        controller = make_controller(key256, RecoveryPolicy())
+        sibling = LINE + 32
+        old = bytes(range(32))
+        saturate_line(controller, LINE, old)
+        saturate_line(controller, sibling, bytes(reversed(range(32))))
+
+        new = bytes(reversed(range(32)))
+        result = controller.writeback_line(0, LINE, new)
+
+        assert result.reencrypted_page
+        page = controller.address_map.page_number(LINE)
+        new_root = controller.page_table.state(page).root
+        assert result.seqnum == (new_root + 1) & _MASK64
+        assert controller.auditor.reuses == 0
+        assert controller.resilience.counter_overflows == 1
+        assert controller.resilience.pages_reencrypted == 1
+
+        # Both the written line and its re-encrypted sibling round-trip.
+        fetched = controller.fetch_line(result.completion_time, LINE)
+        assert fetched.plaintext == new
+        fetched = controller.fetch_line(fetched.data_ready, sibling)
+        assert fetched.plaintext == bytes(reversed(range(32)))
+
+
+class TestWritebackValidation:
+    def test_rejected_writeback_mutates_nothing(self, key256):
+        seqcache = SequenceNumberCache(4 * 1024)
+        controller = make_controller(
+            key256, RecoveryPolicy(), predictor_depth=5, seqcache=seqcache
+        )
+        before = controller.current_seqnum(LINE)
+
+        with pytest.raises(ValueError):
+            controller.writeback_line(0, LINE, None)
+        with pytest.raises(ValueError):
+            controller.writeback_line(0, LINE, b"short")
+
+        assert controller.current_seqnum(LINE) == before
+        assert controller.stats.writebacks == 0
+        assert not seqcache.lookup(LINE)
+        assert controller.backing.read_seqnum(LINE) is None
