@@ -4,11 +4,17 @@ Examples::
 
     python -m repro list                      # benchmarks, schemes, figures
     python -m repro table1
-    python -m repro figure figure7 --refs 20000
+    python -m repro figure figure7 --refs 20000 --jobs 4
     python -m repro run swim pred_context --refs 20000
-    python -m repro run mcf oracle baseline pred_regular --l2 1M
+    python -m repro run mcf oracle baseline pred_regular --l2 1M --jobs 0
     python -m repro run captured baseline --trace trace.rtrc
-    python -m repro faults --ops 40 --json
+    python -m repro faults --ops 40 --json --jobs 4
+    python -m repro cache stats               # the on-disk result cache
+    python -m repro bench                     # writes BENCH_perf.json
+
+Commands that run grid cells cache finished results under ``.repro-cache``
+(``--no-cache`` bypasses) and accept ``--jobs N`` worker processes
+(``0`` = auto).
 
 Errors (missing or corrupt trace files, integrity violations) are reported
 as a single line on stderr with a nonzero exit code; ``--keep-going`` on
@@ -23,15 +29,12 @@ import sys
 
 from repro.cpu.system import collect_miss_trace, replay_miss_trace
 from repro.cpu.tracefile import TraceFormatError, load_trace_file
+from repro.experiments import cache as result_cache
 from repro.experiments.config import TABLE1_1M, TABLE1_256K, table1_rows
 from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.parallel import run_benchmark_parallel
 from repro.experiments.report import render_figure
-from repro.experiments.runner import (
-    SCHEMES,
-    make_controller,
-    run_benchmark,
-    run_benchmark_resilient,
-)
+from repro.experiments.runner import SCHEMES, make_controller
 from repro.faults.campaign import DEFAULT_RATES, FaultCampaign
 from repro.faults.injector import FaultType
 from repro.memory.hierarchy import MemoryHierarchy
@@ -67,7 +70,12 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         return 2
     if args.name == "table1":
         return _cmd_table1(args)
-    result = figure_fn(references=args.refs, seed=args.seed)
+    result = figure_fn(
+        references=args.refs,
+        seed=args.seed,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+    )
     print(render_figure(result))
     return 0
 
@@ -108,17 +116,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     failures: list[str] = []
     if args.trace is not None:
         results, failures = _trace_results(args, machine)
-    elif args.keep_going:
-        results, run_failures = run_benchmark_resilient(
+    else:
+        results, run_failures = run_benchmark_parallel(
             args.benchmark, args.schemes, machine=machine,
             references=args.refs, seed=args.seed,
+            keep_going=args.keep_going, jobs=args.jobs,
+            use_cache=not args.no_cache,
         )
         failures = [str(failure) for failure in run_failures]
-    else:
-        results = run_benchmark(
-            args.benchmark, args.schemes, machine=machine,
-            references=args.refs, seed=args.seed,
-        )
     oracle = results.get("oracle")
     header = (
         f"{'scheme':<22}{'IPC':>9}{'pred':>8}{'seq$':>8}"
@@ -164,13 +169,67 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     except ValueError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
-    report = campaign.run()
+    report = campaign.run(jobs=args.jobs)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.render())
     ok = report.all_detected and report.pad_reuse_free
     return 0 if ok else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.bench import render_report, run_bench
+
+    report = run_bench(
+        output=args.output,
+        references=args.refs,
+        operations=args.ops,
+        jobs=args.jobs,
+        seed=args.seed,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_report(report))
+        print(f"report written to {args.output}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = result_cache.ResultCache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} "
+              f"from {cache.root}")
+        return 0
+    stats = cache.disk_stats()
+    print(f"cache root:  {stats['root']}")
+    print(f"fingerprint: {stats['fingerprint']}")
+    for tier in ("results", "traces"):
+        tier_stats = stats[tier]
+        print(f"{tier:<8}  {tier_stats['entries']:>6} entries  "
+              f"{tier_stats['bytes']:>10} bytes")
+    return 0
+
+
+def _jobs_arg(value: str) -> int | None:
+    """``--jobs N``; 0 means auto (``$REPRO_JOBS`` or the CPU count)."""
+    jobs = int(value)
+    return None if jobs == 0 else jobs
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by every command that runs grid cells."""
+    parser.add_argument(
+        "--jobs", type=_jobs_arg, default=1, metavar="N",
+        help="worker processes (default 1 = serial; 0 = auto from "
+             "REPRO_JOBS or the CPU count)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk result cache (.repro-cache)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -190,6 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("name", help="e.g. figure7 .. figure16")
     figure.add_argument("--refs", type=int, default=None, help="trace length")
     figure.add_argument("--seed", type=int, default=1)
+    _add_engine_flags(figure)
     figure.set_defaults(func=_cmd_figure)
 
     run = sub.add_parser("run", help="run schemes on one benchmark")
@@ -211,6 +271,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--keep-going", dest="keep_going", action="store_true",
         help="report failed schemes on stderr and keep partial results",
     )
+    _add_engine_flags(run)
     run.set_defaults(func=_cmd_run, keep_going=False)
 
     faults = sub.add_parser(
@@ -229,7 +290,40 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument(
         "--json", action="store_true", help="machine-readable report"
     )
+    faults.add_argument(
+        "--jobs", type=_jobs_arg, default=1, metavar="N",
+        help="worker processes for campaign cells (0 = auto)",
+    )
     faults.set_defaults(func=_cmd_faults)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk result cache"
+    )
+    cache.add_argument("action", choices=["stats", "clear"])
+    cache.set_defaults(func=_cmd_cache)
+
+    bench = sub.add_parser(
+        "bench", help="measure crypto/pipeline/grid performance"
+    )
+    bench.add_argument(
+        "--refs", type=int, default=6000, help="trace length per grid cell"
+    )
+    bench.add_argument(
+        "--ops", type=int, default=2000, help="functional pipeline operations"
+    )
+    bench.add_argument("--seed", type=int, default=1)
+    bench.add_argument(
+        "--jobs", type=_jobs_arg, default=None, metavar="N",
+        help="workers for the parallel grid pass (default: auto)",
+    )
+    bench.add_argument(
+        "--output", default="BENCH_perf.json", metavar="FILE",
+        help="where to write the JSON report",
+    )
+    bench.add_argument(
+        "--json", action="store_true", help="print the full report as JSON"
+    )
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

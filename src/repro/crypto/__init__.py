@@ -7,9 +7,15 @@ libraries).  The functional primitives (:class:`~repro.crypto.aes.AES`,
 implementation would deliver those results.
 """
 
-from repro.crypto.aes import AES, BLOCK_SIZE, KEY_SIZES
+from repro.crypto.aes import AES, BLOCK_SIZE, KEY_SIZES, set_vectorized, vectorized_enabled
 from repro.crypto.ctr import CtrMode, make_counter_block, xor_bytes
-from repro.crypto.engine import CryptoEngine, CryptoEngineConfig, CryptoEngineStats
+from repro.crypto.engine import (
+    CryptoEngine,
+    CryptoEngineConfig,
+    CryptoEngineStats,
+    PadCache,
+    PadCacheStats,
+)
 from repro.crypto.mac import CbcMac, HmacSha256, constant_time_equal
 from repro.crypto.rng import HardwareRng
 from repro.crypto.sha256 import Sha256, sha256
@@ -18,12 +24,16 @@ __all__ = [
     "AES",
     "BLOCK_SIZE",
     "KEY_SIZES",
+    "set_vectorized",
+    "vectorized_enabled",
     "CtrMode",
     "make_counter_block",
     "xor_bytes",
     "CryptoEngine",
     "CryptoEngineConfig",
     "CryptoEngineStats",
+    "PadCache",
+    "PadCacheStats",
     "CbcMac",
     "HmacSha256",
     "constant_time_equal",

@@ -12,14 +12,30 @@ the first three stages into four precomputed 32-bit lookup tables
 realization of the round function.  Decryption uses the equivalent inverse
 cipher with inverse tables.
 
-All table contents are *derived* at import time from GF(2^8) arithmetic
-rather than pasted in as magic constants, so the full derivation of the
-cipher lives in this file.
+All table contents are *derived* from GF(2^8) arithmetic rather than pasted
+in as magic constants, so the full derivation of the cipher lives in this
+file.  Counter mode only ever *encrypts* (decryption is the same XOR), so
+the inverse tables and the inverse key schedule are built lazily on the
+first real decrypt — imports and CTR-only workloads never pay for them.
+
+Two functional paths share the encryption tables:
+
+* :meth:`AES.encrypt_block` — the scalar path, one 16-byte block per call;
+* :meth:`AES.encrypt_blocks` — a batch path that runs every round over an
+  ``n x 4`` uint32 state matrix with numpy gathers on the same T-tables.
+  It is bit-exact with the scalar path (both are checked against the
+  FIPS-197 vectors) and is how the pad pipeline amortizes cipher cost
+  across a whole speculative candidate set at once.
 """
 
 from __future__ import annotations
 
-__all__ = ["AES", "BLOCK_SIZE", "KEY_SIZES"]
+try:  # numpy accelerates the batch path; everything works without it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
+
+__all__ = ["AES", "BLOCK_SIZE", "KEY_SIZES", "set_vectorized", "vectorized_enabled"]
 
 BLOCK_SIZE = 16
 KEY_SIZES = (16, 24, 32)
@@ -125,7 +141,63 @@ def _build_dec_tables() -> list[list[int]]:
 
 
 _TE0, _TE1, _TE2, _TE3 = _build_enc_tables()
-_TD0, _TD1, _TD2, _TD3 = _build_dec_tables()
+
+# Inverse-cipher tables, built on first decrypt (CTR mode never needs them).
+_DEC_TABLES: list[list[int]] | None = None
+
+# numpy mirrors of the encryption tables for the batch path, built on first
+# use of encrypt_blocks.
+_ENC_ARRAYS = None
+
+# Module-wide switch for the numpy batch path; flipping it off forces
+# encrypt_blocks through the scalar loop (used by benchmarks to measure the
+# pre-vectorization baseline, and automatic when numpy is absent).
+_VECTORIZED = _np is not None
+
+# Below this many blocks per call the scalar loop beats the numpy path
+# (fixed per-ufunc dispatch overhead dominates tiny gathers; measured
+# crossover on CPython 3.11/numpy 2.x is ~40-50 blocks).  encrypt_blocks
+# switches implementation on this bound; both sides are bit-exact.
+BATCH_THRESHOLD = 48
+
+
+def set_vectorized(enabled: bool) -> bool:
+    """Enable/disable the numpy batch path; returns the previous setting.
+
+    Requests to enable are ignored when numpy is unavailable.  The scalar
+    and vector paths are bit-exact, so this only affects throughput.
+    """
+    global _VECTORIZED
+    previous = _VECTORIZED
+    _VECTORIZED = bool(enabled) and _np is not None
+    return previous
+
+
+def vectorized_enabled() -> bool:
+    """True when encrypt_blocks will use the numpy batch path."""
+    return _VECTORIZED
+
+
+def _dec_tables() -> list[list[int]]:
+    """The inverse-cipher T-tables, derived once on first decrypt."""
+    global _DEC_TABLES
+    if _DEC_TABLES is None:
+        _DEC_TABLES = _build_dec_tables()
+    return _DEC_TABLES
+
+
+def _enc_arrays():
+    """uint32 numpy views of the encryption tables (plus the S-box)."""
+    global _ENC_ARRAYS
+    if _ENC_ARRAYS is None:
+        _ENC_ARRAYS = (
+            _np.array(_TE0, dtype=_np.uint32),
+            _np.array(_TE1, dtype=_np.uint32),
+            _np.array(_TE2, dtype=_np.uint32),
+            _np.array(_TE3, dtype=_np.uint32),
+            _np.array(_SBOX, dtype=_np.uint32),
+        )
+    return _ENC_ARRAYS
 
 _RCON = [0x01]
 while len(_RCON) < 14:
@@ -186,7 +258,10 @@ class AES:
         self.key_size = len(key)
         self.rounds = {16: 10, 24: 12, 32: 14}[self.key_size]
         self._enc_keys = self._expand_key(key)
-        self._dec_keys = self._invert_key_schedule(self._enc_keys)
+        # Inverse schedule is derived on first decrypt; encrypt-only users
+        # (CTR mode, the OTP pipeline) never pay for the inversion.
+        self._dec_keys_lazy: list[int] | None = None
+        self._enc_key_array = None  # uint32 numpy copy, built on first batch
 
     # -- key schedule -------------------------------------------------------
 
@@ -215,6 +290,13 @@ class AES:
                     word = _inv_mix_word(word)
                 dec[4 * round_index + col] = word
         return dec
+
+    @property
+    def _dec_keys(self) -> list[int]:
+        """The inverse key schedule, derived on first use."""
+        if self._dec_keys_lazy is None:
+            self._dec_keys_lazy = self._invert_key_schedule(self._enc_keys)
+        return self._dec_keys_lazy
 
     # -- block operations ----------------------------------------------------
 
@@ -281,6 +363,91 @@ class AES:
             out[4 * col: 4 * col + 4] = word.to_bytes(4, "big")
         return bytes(out)
 
+    def encrypt_blocks(self, data: bytes) -> bytes:
+        """Encrypt ``n`` concatenated 16-byte blocks in ECB (one batch).
+
+        Bit-exact with calling :meth:`encrypt_block` on each 16-byte slice;
+        with numpy available the whole batch runs each round as a handful
+        of vectorized table gathers, which is how the OTP pipeline makes a
+        speculative candidate set cost barely more than a single block.
+        """
+        if len(data) % BLOCK_SIZE:
+            raise ValueError(
+                f"data must be a multiple of {BLOCK_SIZE} bytes, got {len(data)}"
+            )
+        count = len(data) // BLOCK_SIZE
+        if count == 0:
+            return b""
+        if not _VECTORIZED or count < BATCH_THRESHOLD:
+            return b"".join(
+                self.encrypt_block(data[i * BLOCK_SIZE: (i + 1) * BLOCK_SIZE])
+                for i in range(count)
+            )
+        return self._encrypt_blocks_numpy(data, count)
+
+    def _encrypt_blocks_numpy(self, data: bytes, count: int) -> bytes:
+        """The numpy batch path: state is four length-n uint32 columns."""
+        te0, te1, te2, te3, sbox = _enc_arrays()
+        if self._enc_key_array is None:
+            self._enc_key_array = _np.array(self._enc_keys, dtype=_np.uint32)
+        keys = self._enc_key_array
+
+        state = _np.frombuffer(data, dtype=">u4").astype(_np.uint32).reshape(count, 4)
+        s0 = state[:, 0] ^ keys[0]
+        s1 = state[:, 1] ^ keys[1]
+        s2 = state[:, 2] ^ keys[2]
+        s3 = state[:, 3] ^ keys[3]
+
+        offset = 4
+        for _ in range(self.rounds - 1):
+            t0 = (
+                te0[(s0 >> 24) & 0xFF]
+                ^ te1[(s1 >> 16) & 0xFF]
+                ^ te2[(s2 >> 8) & 0xFF]
+                ^ te3[s3 & 0xFF]
+                ^ keys[offset]
+            )
+            t1 = (
+                te0[(s1 >> 24) & 0xFF]
+                ^ te1[(s2 >> 16) & 0xFF]
+                ^ te2[(s3 >> 8) & 0xFF]
+                ^ te3[s0 & 0xFF]
+                ^ keys[offset + 1]
+            )
+            t2 = (
+                te0[(s2 >> 24) & 0xFF]
+                ^ te1[(s3 >> 16) & 0xFF]
+                ^ te2[(s0 >> 8) & 0xFF]
+                ^ te3[s1 & 0xFF]
+                ^ keys[offset + 2]
+            )
+            t3 = (
+                te0[(s3 >> 24) & 0xFF]
+                ^ te1[(s0 >> 16) & 0xFF]
+                ^ te2[(s1 >> 8) & 0xFF]
+                ^ te3[s2 & 0xFF]
+                ^ keys[offset + 3]
+            )
+            s0, s1, s2, s3 = t0, t1, t2, t3
+            offset += 4
+
+        out = _np.empty((count, 4), dtype=_np.uint32)
+        for col, (a, b, c, d) in enumerate(
+            (
+                (s0, s1, s2, s3),
+                (s1, s2, s3, s0),
+                (s2, s3, s0, s1),
+                (s3, s0, s1, s2),
+            )
+        ):
+            out[:, col] = (
+                (sbox[(a >> 24) & 0xFF] << _np.uint32(24))
+                | (sbox[(b >> 16) & 0xFF] << _np.uint32(16))
+                | (sbox[(c >> 8) & 0xFF] << _np.uint32(8))
+                | sbox[d & 0xFF]
+            ) ^ keys[offset + col]
+        return out.astype(">u4").tobytes()
+
     def decrypt_block(self, block: bytes) -> bytes:
         """Decrypt a single 16-byte block."""
         if len(block) != BLOCK_SIZE:
@@ -291,7 +458,7 @@ class AES:
         s2 = int.from_bytes(block[8:12], "big") ^ keys[2]
         s3 = int.from_bytes(block[12:16], "big") ^ keys[3]
 
-        td0, td1, td2, td3 = _TD0, _TD1, _TD2, _TD3
+        td0, td1, td2, td3 = _dec_tables()
         offset = 4
         for _ in range(self.rounds - 1):
             t0 = (

@@ -63,17 +63,20 @@ class CtrMode:
         self._cipher = AES(key)
 
     def keystream(self, counter: int, length: int) -> bytes:
-        """Generate ``length`` bytes of pad starting at ``counter``."""
+        """Generate ``length`` bytes of pad starting at ``counter``.
+
+        All counter blocks for the message are assembled up front and
+        encrypted in one :meth:`~repro.crypto.aes.AES.encrypt_blocks`
+        batch, so long messages pay vectorized rather than per-block cost.
+        """
         if length < 0:
             raise ValueError(f"length must be non-negative, got {length}")
-        blocks = []
-        produced = 0
-        while produced < length:
-            block_input = (counter & _MASK128).to_bytes(BLOCK_SIZE, "big")
-            blocks.append(self._cipher.encrypt_block(block_input))
-            counter += 1
-            produced += BLOCK_SIZE
-        return b"".join(blocks)[:length]
+        count = -(-length // BLOCK_SIZE)
+        inputs = b"".join(
+            ((counter + i) & _MASK128).to_bytes(BLOCK_SIZE, "big")
+            for i in range(count)
+        )
+        return self._cipher.encrypt_blocks(inputs)[:length]
 
     def encrypt(self, plaintext: bytes, counter: int) -> bytes:
         """Encrypt ``plaintext`` with the pad starting at ``counter``."""

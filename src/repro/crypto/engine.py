@@ -12,14 +12,28 @@ interval and a fixed pipeline depth.  It does not perform cryptography (the
 functional path lives in :mod:`repro.crypto.aes`); it accounts for *when*
 pads become available and how speculative work steals slots from demand work.
 
+It also hosts :class:`PadCache`, the functional analogue of the paper's
+precomputed-pad buffer (Figure 5): a bounded memo of already-computed pads
+keyed by ``(key_id, address, seqnum)``.  Pads are pure functions of that
+triple, so memoized entries can never go stale; the cache turns repeated
+probes of the same candidate — and re-fetches of an unchanged line — into
+lookups instead of AES work.
+
 All times are in CPU cycles.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
-__all__ = ["CryptoEngineConfig", "CryptoEngineStats", "CryptoEngine"]
+__all__ = [
+    "CryptoEngineConfig",
+    "CryptoEngineStats",
+    "CryptoEngine",
+    "PadCacheStats",
+    "PadCache",
+]
 
 
 @dataclass(frozen=True)
@@ -132,3 +146,77 @@ class CryptoEngine:
         if deadline <= start:
             return 0
         return (deadline - start) // self.config.issue_interval
+
+
+@dataclass
+class PadCacheStats:
+    """Hit/miss/eviction counters for one :class:`PadCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the memo."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+
+class PadCache:
+    """Bounded LRU memo of computed one-time pads.
+
+    Keys are ``(key_id, address, seqnum)`` triples and values the pad bytes
+    for that unit.  A pad is a pure function of its key, so entries never
+    invalidate; capacity is the only eviction reason.  ``capacity`` of 0
+    disables the memo entirely (every lookup misses, nothing is stored) —
+    benchmarks use that to measure the memo-less baseline.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.stats = PadCacheStats()
+        self._entries: OrderedDict[tuple, bytes] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def enabled(self) -> bool:
+        """False when capacity 0 turned the memo off."""
+        return self.capacity > 0
+
+    def get(self, key: tuple) -> bytes | None:
+        """The memoized pad for ``key``, refreshing its recency."""
+        pad = self._entries.get(key)
+        if pad is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return pad
+
+    def put(self, key: tuple, pad: bytes) -> None:
+        """Memoize ``pad``, evicting the least-recently-used overflow."""
+        if not self.capacity:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = pad
+            return
+        self._entries[key] = pad
+        self.stats.stores += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are kept)."""
+        self._entries.clear()

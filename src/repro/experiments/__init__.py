@@ -1,5 +1,11 @@
 """Experiment harness: machine configs, scheme runner, figures, reporting."""
 
+from repro.experiments.cache import (
+    ResultCache,
+    code_fingerprint,
+    default_cache,
+    reset_default_cache,
+)
 from repro.experiments.config import (
     MachineConfig,
     PredictionConfig,
@@ -8,6 +14,13 @@ from repro.experiments.config import (
     table1_rows,
 )
 from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.parallel import (
+    default_jobs,
+    parallel_map,
+    run_benchmark_parallel,
+    run_grid_cells,
+    run_seeds,
+)
 from repro.experiments.paper_data import PAPER_AVERAGES, PAPER_CLAIMS, check_claims
 from repro.experiments.report import (
     FigureResult,
@@ -36,6 +49,15 @@ from repro.experiments.runner import (
 )
 
 __all__ = [
+    "ResultCache",
+    "code_fingerprint",
+    "default_cache",
+    "reset_default_cache",
+    "default_jobs",
+    "parallel_map",
+    "run_benchmark_parallel",
+    "run_grid_cells",
+    "run_seeds",
     "MachineConfig",
     "PredictionConfig",
     "TABLE1_1M",

@@ -1,0 +1,339 @@
+"""Performance benchmark: measure what the fast paths actually buy.
+
+Three layers, mirroring where this codebase spends its time:
+
+* **crypto** — raw AES-CTR throughput (blocks/sec) of the scalar T-table
+  loop vs the numpy-vectorized :meth:`~repro.crypto.aes.AES.encrypt_blocks`
+  batch path, on the same inputs.
+* **otp** — the functional secure-memory pipeline (real pads, integrity
+  tree, speculative candidate batches) run twice over an identical seeded
+  fetch/write-back workload: once with vectorization and the pad memo
+  disabled, once with both enabled.
+* **grid** — a smoke experiment grid through the public engine: a cold
+  serial pass that populates the on-disk result cache, a warm pass served
+  from it, and a cold parallel pass with ``--jobs`` workers.  The warm
+  metrics are compared field-for-field against the cold ones — a cache hit
+  must be indistinguishable from a fresh run.
+
+``run_bench`` writes the whole report to ``BENCH_perf.json`` (CI uploads it
+as an artifact) and returns it as a dict.  All workloads are seeded; wall
+clocks are the only nondeterministic values in the report.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.crypto.aes import AES, set_vectorized, vectorized_enabled
+from repro.crypto.engine import PadCache
+from repro.crypto.rng import HardwareRng
+from repro.experiments import cache as result_cache
+from repro.experiments import runner
+from repro.experiments.sweep import SweepResult, run_grid
+from repro.secure.controller import SecureMemoryController
+from repro.secure.predictors import RegularOtpPredictor
+from repro.secure.seqnum import PageSecurityTable
+
+__all__ = [
+    "BENCH_BENCHMARKS",
+    "BENCH_SCHEMES",
+    "crypto_bench",
+    "otp_bench",
+    "grid_bench",
+    "run_bench",
+    "render_report",
+]
+
+#: Trace-heavy smoke grid: hierarchy simulation dominates these cells, so
+#: the trace tier of the cache matters as much as the result tier.
+BENCH_BENCHMARKS = ("gzip", "art", "gcc")
+BENCH_SCHEMES = ("oracle", "pred_regular", "pred_plus_cache_32k")
+
+_MASK64 = (1 << 64) - 1
+
+
+def _now() -> float:
+    return time.perf_counter()
+
+
+# -- crypto layer --------------------------------------------------------------
+
+
+def crypto_bench(blocks: int = 4096, repeats: int = 3) -> dict:
+    """Blocks/sec of one AES-128 key over ``blocks``-block batches."""
+    cipher = AES(bytes(range(16)))
+    rng = HardwareRng(0xAE5)
+    data = b"".join(
+        rng.next_u64().to_bytes(8, "big") for _ in range(2 * blocks)
+    )
+
+    def throughput() -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = _now()
+            cipher.encrypt_blocks(data)
+            best = min(best, _now() - start)
+        return blocks / best
+
+    previous = set_vectorized(False)
+    try:
+        scalar = throughput()
+    finally:
+        set_vectorized(previous)
+    vector = None
+    if vectorized_enabled():
+        vector = throughput()
+    return {
+        "blocks": blocks,
+        "scalar_blocks_per_sec": round(scalar, 1),
+        "vector_blocks_per_sec": round(vector, 1) if vector else None,
+        "vector_speedup": round(vector / scalar, 2) if vector else None,
+    }
+
+
+# -- otp pipeline layer --------------------------------------------------------
+
+
+def _pattern(line: int, version: int, line_bytes: int) -> bytes:
+    seed = (line * 0x9E3779B97F4A7C15 + version * 0xBF58476D1CE4E5B9) & _MASK64
+    return seed.to_bytes(8, "big") * (line_bytes // 8)
+
+
+def _functional_workload(operations: int, seed: int, lines_count: int = 32) -> float:
+    """Seconds to run one seeded fetch/write-back workload functionally.
+
+    Integrity is off: the MAC tree's SHA-256 work would otherwise dwarf the
+    pad path this layer is measuring (the grid layer covers end-to-end).
+    """
+    table = PageSecurityTable(rng=HardwareRng(seed))
+    controller = SecureMemoryController(
+        page_table=table,
+        predictor=RegularOtpPredictor(table, depth=5),
+        key=bytes(range(32)),
+        integrity=False,
+    )
+    line_bytes = controller.address_map.line_bytes
+    page_bytes = controller.address_map.page_bytes
+    per_page = max(1, lines_count // 4)
+    lines = [
+        0x20000
+        + (index // per_page) * page_bytes
+        + (index % per_page) * line_bytes
+        for index in range(lines_count)
+    ]
+    rng = HardwareRng(seed ^ 0xBEAC4)
+    start = _now()
+    clock = 0
+    for version, line in enumerate(lines):
+        clock = controller.writeback_line(
+            clock, line, _pattern(line, version, line_bytes)
+        ).completion_time
+    for op in range(operations):
+        line = lines[rng.next_below(len(lines))]
+        result = controller.fetch_line(clock, line)
+        clock = result.data_ready
+        if op % 6 == 5:
+            target = lines[rng.next_below(len(lines))]
+            clock = controller.writeback_line(
+                clock, target, _pattern(target, 2 + op, line_bytes)
+            ).completion_time
+    return _now() - start
+
+
+def otp_bench(operations: int = 2000, seed: int = 7) -> dict:
+    """Functional pipeline ops/sec, baseline vs vectorized + pad memo.
+
+    The baseline turns *off* the numpy batch path and shrinks the pad memo
+    to capacity 0 (every pad recomputed), i.e. the pre-optimization
+    pipeline; the optimized run is the code's defaults.
+    """
+    import repro.secure.otp as otp_module
+
+    previous = set_vectorized(False)
+    saved_entries = otp_module.DEFAULT_PAD_CACHE_ENTRIES
+    otp_module.DEFAULT_PAD_CACHE_ENTRIES = 0
+    try:
+        baseline_seconds = _functional_workload(operations, seed)
+    finally:
+        otp_module.DEFAULT_PAD_CACHE_ENTRIES = saved_entries
+        set_vectorized(previous)
+    optimized_seconds = _functional_workload(operations, seed)
+    return {
+        "operations": operations,
+        "baseline_ops_per_sec": round(operations / baseline_seconds, 1),
+        "optimized_ops_per_sec": round(operations / optimized_seconds, 1),
+        "speedup": round(baseline_seconds / optimized_seconds, 2),
+        "vectorized": vectorized_enabled(),
+    }
+
+
+# -- experiment grid layer -----------------------------------------------------
+
+
+def _metrics_dicts(sweep) -> dict:
+    import dataclasses
+
+    return {
+        f"{benchmark}/{scheme}": dataclasses.asdict(metrics)
+        for (benchmark, scheme), metrics in sweep.results.items()
+    }
+
+
+def grid_bench(
+    references: int = 6000,
+    seed: int = 1,
+    jobs: int | None = None,
+    benchmarks: tuple[str, ...] = BENCH_BENCHMARKS,
+    schemes: tuple[str, ...] = BENCH_SCHEMES,
+) -> dict:
+    """Cold / warm / parallel timings of the smoke grid, plus equality.
+
+    Runs against a private temporary cache directory so benchmarking never
+    touches (or is helped by) the user's ``.repro-cache``.
+    """
+    jobs = jobs or (os.cpu_count() or 1)
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    saved_env = os.environ.get(result_cache.CACHE_DIR_ENV)
+    os.environ[result_cache.CACHE_DIR_ENV] = cache_dir
+    result_cache.reset_default_cache()
+    runner._MISS_TRACE_CACHE.clear()
+    try:
+        # Cold serial pass, timed per cell, populating the cache.
+        cells = []
+        cold_start = _now()
+        cold = SweepResult(machine="table1-256K", references=references)
+        for benchmark in benchmarks:
+            for scheme in schemes:
+                cell_start = _now()
+                metrics = runner.run_scheme(
+                    benchmark, scheme, references=references, seed=seed,
+                    use_cache=True,
+                )
+                cells.append(
+                    {
+                        "benchmark": benchmark,
+                        "scheme": scheme,
+                        "cold_seconds": round(_now() - cell_start, 4),
+                    }
+                )
+                cold.results[(benchmark, scheme)] = metrics
+        cold_seconds = _now() - cold_start
+
+        # Warm pass: same grid, everything should come from the cache.
+        warm_cache = result_cache.default_cache()
+        warm_cache.stats = result_cache.CacheStats()
+        runner._MISS_TRACE_CACHE.clear()
+        warm_start = _now()
+        warm = run_grid(
+            list(benchmarks),
+            list(schemes),
+            references=references,
+            seed=seed,
+            use_cache=True,
+        )
+        warm_seconds = _now() - warm_start
+        hit_rate = warm_cache.stats.hit_rate
+
+        # Cold parallel pass: cache and in-process memo wiped first.
+        warm_cache.clear()
+        result_cache.reset_default_cache()
+        runner._MISS_TRACE_CACHE.clear()
+        parallel_start = _now()
+        parallel = run_grid(
+            list(benchmarks),
+            list(schemes),
+            references=references,
+            seed=seed,
+            jobs=jobs,
+            use_cache=True,
+        )
+        parallel_seconds = _now() - parallel_start
+
+        cold_metrics = _metrics_dicts(cold)
+        return {
+            "benchmarks": list(benchmarks),
+            "schemes": list(schemes),
+            "references": references,
+            "seed": seed,
+            "jobs": jobs,
+            "cells": cells,
+            "cold_seconds": round(cold_seconds, 4),
+            "warm_seconds": round(warm_seconds, 4),
+            "warm_speedup": round(cold_seconds / warm_seconds, 2),
+            "parallel_seconds": round(parallel_seconds, 4),
+            "parallel_speedup": round(cold_seconds / parallel_seconds, 2),
+            "warm_cache_hit_rate": round(hit_rate, 4),
+            "metrics_identical": (
+                cold_metrics == _metrics_dicts(warm)
+                and cold_metrics == _metrics_dicts(parallel)
+            ),
+        }
+    finally:
+        if saved_env is None:
+            os.environ.pop(result_cache.CACHE_DIR_ENV, None)
+        else:
+            os.environ[result_cache.CACHE_DIR_ENV] = saved_env
+        result_cache.reset_default_cache()
+        runner._MISS_TRACE_CACHE.clear()
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+# -- entry point ---------------------------------------------------------------
+
+
+def run_bench(
+    output: str | Path | None = "BENCH_perf.json",
+    references: int = 6000,
+    operations: int = 2000,
+    jobs: int | None = None,
+    seed: int = 1,
+) -> dict:
+    """Run all three layers and (optionally) write the JSON report."""
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    report = {
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": numpy_version,
+            "cpus": os.cpu_count(),
+            "platform": platform.system().lower(),
+        },
+        "crypto": crypto_bench(),
+        "otp": otp_bench(operations=operations, seed=seed + 6),
+        "grid": grid_bench(references=references, seed=seed, jobs=jobs),
+    }
+    if output is not None:
+        Path(output).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def render_report(report: dict) -> str:
+    """Human-readable summary of a :func:`run_bench` report."""
+    crypto = report["crypto"]
+    otp = report["otp"]
+    grid = report["grid"]
+    lines = [
+        "Performance benchmark",
+        f"crypto: scalar {crypto['scalar_blocks_per_sec']:.0f} blocks/s, "
+        f"vector {crypto['vector_blocks_per_sec'] or 0:.0f} blocks/s "
+        f"(x{crypto['vector_speedup'] or 0:.1f})",
+        f"otp:    baseline {otp['baseline_ops_per_sec']:.0f} ops/s, "
+        f"optimized {otp['optimized_ops_per_sec']:.0f} ops/s "
+        f"(x{otp['speedup']:.1f})",
+        f"grid:   cold {grid['cold_seconds']:.2f}s, "
+        f"warm {grid['warm_seconds']:.2f}s (x{grid['warm_speedup']:.1f}), "
+        f"parallel[{grid['jobs']}] {grid['parallel_seconds']:.2f}s "
+        f"(x{grid['parallel_speedup']:.1f})",
+        f"        warm cache hit rate {grid['warm_cache_hit_rate']:.0%}, "
+        f"metrics identical: {grid['metrics_identical']}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,287 @@
+"""On-disk experiment cache: content-addressed RunMetrics and miss traces.
+
+Every grid cell the runner executes is a pure function of
+``(machine config, scheme spec, workload spec, references, seed)`` *and* of
+the simulator's source code.  This module hashes exactly that tuple — the
+code enters through :func:`code_fingerprint`, a digest of every ``.py``
+file in the ``repro`` package — into a content key, and stores the
+resulting :class:`~repro.cpu.core.RunMetrics` as JSON under
+``.repro-cache/results/``.  Re-rendering a figure after an edit that does
+not touch package sources is then pure cache hits; any simulator change
+rotates the fingerprint and silently invalidates everything it could have
+affected.
+
+A second tier under ``.repro-cache/traces/`` memoizes the scheme-
+independent L2 miss traces (pickled), so a grid extended with new schemes —
+or a different process in a parallel sweep — reuses each benchmark's
+one-off hierarchy simulation instead of regenerating it.
+
+Layout and controls::
+
+    .repro-cache/
+      results/<2-char shard>/<sha256>.json
+      traces/<2-char shard>/<sha256>.pkl
+
+    REPRO_CACHE_DIR   override the cache root (default ./.repro-cache)
+    REPRO_NO_CACHE    any non-empty value disables reads and writes
+
+The CLI exposes ``repro cache stats`` / ``repro cache clear`` and a
+``--no-cache`` flag on the commands that consult the cache.  Library entry
+points default to *not* caching (`use_cache=False`) so tests and embedders
+stay hermetic unless they opt in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+
+from repro.cpu.core import RunMetrics
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_DISABLE_ENV",
+    "code_fingerprint",
+    "result_key",
+    "trace_key",
+    "ResultCache",
+    "default_cache",
+    "reset_default_cache",
+]
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+CACHE_DISABLE_ENV = "REPRO_NO_CACHE"
+_DEFAULT_DIRNAME = ".repro-cache"
+
+_FINGERPRINT: str | None = None
+
+
+def code_fingerprint() -> str:
+    """Digest of every Python source file in the ``repro`` package.
+
+    Computed once per process (the sources cannot change under a running
+    simulation that already imported them).  File order is path-sorted so
+    the digest is stable across filesystems.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+def _canonical(value) -> object:
+    """Reduce config objects to JSON-stable primitives."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _canonical(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    return value
+
+
+def _digest(payload: dict) -> str:
+    return hashlib.sha256(
+        json.dumps(_canonical(payload), sort_keys=True).encode()
+    ).hexdigest()
+
+
+def result_key(benchmark: str, spec, machine, references: int, seed: int) -> str:
+    """Content key for one (benchmark, scheme, machine, refs, seed) cell."""
+    return _digest(
+        {
+            "kind": "run-metrics",
+            "benchmark": benchmark,
+            "scheme": spec,
+            "machine": machine,
+            "references": references,
+            "seed": seed,
+            "code": code_fingerprint(),
+        }
+    )
+
+
+def trace_key(benchmark: str, machine, references: int, seed: int) -> str:
+    """Content key for one scheme-independent miss trace."""
+    return _digest(
+        {
+            "kind": "miss-trace",
+            "benchmark": benchmark,
+            "machine": machine,
+            "references": references,
+            "seed": seed,
+            "code": code_fingerprint(),
+        }
+    )
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Per-process hit/miss counters for one :class:`ResultCache`."""
+
+    result_hits: int = 0
+    result_misses: int = 0
+    result_stores: int = 0
+    trace_hits: int = 0
+    trace_misses: int = 0
+    trace_stores: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.result_hits + self.result_misses
+        return self.result_hits / lookups if lookups else 0.0
+
+
+class ResultCache:
+    """Content-addressed store for run metrics and miss traces.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; defaults to ``$REPRO_CACHE_DIR`` or
+        ``./.repro-cache``.
+    enabled:
+        Force-enable/disable; defaults to enabled unless
+        ``$REPRO_NO_CACHE`` is set.  A disabled cache never touches disk.
+    """
+
+    def __init__(self, root: str | Path | None = None, enabled: bool | None = None):
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV) or _DEFAULT_DIRNAME
+        self.root = Path(root)
+        if enabled is None:
+            enabled = not os.environ.get(CACHE_DISABLE_ENV)
+        self.enabled = enabled
+        self.stats = CacheStats()
+
+    # -- paths -----------------------------------------------------------------
+
+    def _result_path(self, key: str) -> Path:
+        return self.root / "results" / key[:2] / f"{key}.json"
+
+    def _trace_path(self, key: str) -> Path:
+        return self.root / "traces" / key[:2] / f"{key}.pkl"
+
+    # -- results ---------------------------------------------------------------
+
+    def lookup_result(self, key: str) -> RunMetrics | None:
+        """The cached metrics for ``key``, or None."""
+        if not self.enabled:
+            return None
+        path = self._result_path(key)
+        try:
+            payload = json.loads(path.read_text())
+            metrics = RunMetrics(**payload["metrics"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing or corrupt entry: treat as a miss (a later store
+            # rewrites it).
+            self.stats.result_misses += 1
+            return None
+        self.stats.result_hits += 1
+        return metrics
+
+    def store_result(self, key: str, metrics: RunMetrics) -> None:
+        """Persist one cell's metrics under its content key."""
+        if not self.enabled:
+            return
+        path = self._result_path(key)
+        payload = {"metrics": dataclasses.asdict(metrics)}
+        self._write_atomic(path, json.dumps(payload, sort_keys=True).encode())
+        self.stats.result_stores += 1
+
+    # -- traces ----------------------------------------------------------------
+
+    def lookup_trace(self, key: str):
+        """The cached ``(miss_trace, preseed)`` pair for ``key``, or None."""
+        if not self.enabled:
+            return None
+        path = self._trace_path(key)
+        try:
+            with path.open("rb") as handle:
+                pair = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            self.stats.trace_misses += 1
+            return None
+        self.stats.trace_hits += 1
+        return pair
+
+    def store_trace(self, key: str, miss_trace, preseed) -> None:
+        """Persist one benchmark's miss trace + preseed."""
+        if not self.enabled:
+            return
+        self._write_atomic(
+            self._trace_path(key), pickle.dumps((miss_trace, preseed))
+        )
+        self.stats.trace_stores += 1
+
+    # -- maintenance -----------------------------------------------------------
+
+    @staticmethod
+    def _write_atomic(path: Path, data: bytes) -> None:
+        """Write via rename so concurrent workers never see torn entries."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+
+    def _entry_paths(self):
+        for tier in ("results", "traces"):
+            base = self.root / tier
+            if base.is_dir():
+                yield from (p for p in base.rglob("*") if p.is_file())
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns how many files were removed."""
+        removed = 0
+        for path in list(self._entry_paths()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def disk_stats(self) -> dict:
+        """Entry counts and byte totals per tier (for ``repro cache stats``)."""
+        stats = {"root": str(self.root), "fingerprint": code_fingerprint()[:16]}
+        for tier in ("results", "traces"):
+            base = self.root / tier
+            files = (
+                [p for p in base.rglob("*") if p.is_file()] if base.is_dir() else []
+            )
+            stats[tier] = {
+                "entries": len(files),
+                "bytes": sum(p.stat().st_size for p in files),
+            }
+        return stats
+
+
+_DEFAULT_CACHE: ResultCache | None = None
+
+
+def default_cache() -> ResultCache:
+    """The process-wide cache honoring the environment controls."""
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None:
+        _DEFAULT_CACHE = ResultCache()
+    return _DEFAULT_CACHE
+
+
+def reset_default_cache() -> None:
+    """Forget the process-wide cache (tests use this to re-read the env)."""
+    global _DEFAULT_CACHE
+    _DEFAULT_CACHE = None

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from repro.experiments.config import MachineConfig, TABLE1_1M, TABLE1_256K, table1_rows
 from repro.experiments.report import FigureResult
-from repro.experiments.runner import run_benchmark, run_scheme
+from repro.experiments.sweep import run_grid
 from repro.workloads.spec import SPEC_BENCHMARKS
 
 __all__ = [
@@ -56,24 +56,37 @@ def table1() -> FigureResult:
 
 
 def _hit_rate_figure(
-    figure_id: str, machine: MachineConfig, references: int | None, seed: int
+    figure_id: str,
+    machine: MachineConfig,
+    references: int | None,
+    seed: int,
+    jobs: int | None,
+    use_cache: bool,
 ) -> FigureResult:
+    grid = run_grid(
+        list(SPEC_BENCHMARKS),
+        ["seqcache_128k", "seqcache_512k", "pred_regular"],
+        machine=machine,
+        references=references,
+        seed=seed,
+        jobs=jobs,
+        use_cache=use_cache,
+    )
     series: dict[str, dict[str, float]] = {
         "128K_cache": {},
         "512K_cache": {},
         "Pred": {},
     }
     for benchmark in SPEC_BENCHMARKS:
-        results = run_benchmark(
-            benchmark,
-            ["seqcache_128k", "seqcache_512k", "pred_regular"],
-            machine=machine,
-            references=references,
-            seed=seed,
-        )
-        series["128K_cache"][benchmark] = results["seqcache_128k"].seqcache_hit_rate
-        series["512K_cache"][benchmark] = results["seqcache_512k"].seqcache_hit_rate
-        series["Pred"][benchmark] = results["pred_regular"].prediction_rate
+        series["128K_cache"][benchmark] = grid.metrics(
+            benchmark, "seqcache_128k"
+        ).seqcache_hit_rate
+        series["512K_cache"][benchmark] = grid.metrics(
+            benchmark, "seqcache_512k"
+        ).seqcache_hit_rate
+        series["Pred"][benchmark] = grid.metrics(
+            benchmark, "pred_regular"
+        ).prediction_rate
     return FigureResult(
         figure_id=figure_id,
         title=f"Sequence number hit rates, {machine.l2_kb}KB L2",
@@ -82,35 +95,53 @@ def _hit_rate_figure(
     )
 
 
-def figure7(references: int | None = None, seed: int = 1) -> FigureResult:
+def figure7(
+    references: int | None = None,
+    seed: int = 1,
+    jobs: int | None = 1,
+    use_cache: bool = False,
+) -> FigureResult:
     """Fig. 7 — sequence-number hit rates, 256KB L2, long window."""
-    return _hit_rate_figure("Figure 7", TABLE1_256K, references, seed)
+    return _hit_rate_figure("Figure 7", TABLE1_256K, references, seed, jobs, use_cache)
 
 
-def figure8(references: int | None = None, seed: int = 1) -> FigureResult:
+def figure8(
+    references: int | None = None,
+    seed: int = 1,
+    jobs: int | None = 1,
+    use_cache: bool = False,
+) -> FigureResult:
     """Fig. 8 — sequence-number hit rates, 1MB L2, long window."""
-    return _hit_rate_figure("Figure 8", TABLE1_1M, references, seed)
+    return _hit_rate_figure("Figure 8", TABLE1_1M, references, seed, jobs, use_cache)
 
 
-def figure9(references: int | None = None, seed: int = 1) -> FigureResult:
+def figure9(
+    references: int | None = None,
+    seed: int = 1,
+    jobs: int | None = 1,
+    use_cache: bool = False,
+) -> FigureResult:
     """Fig. 9 — breakdown of hits: 32KB sequence-number cache + prediction.
 
     Stacks, per benchmark, the fraction of fetches covered by prediction
     only, by the cache only, and by both (as fractions of all fetches).
     """
+    grid = run_grid(
+        list(SPEC_BENCHMARKS),
+        ["pred_plus_cache_32k"],
+        machine=TABLE1_256K,
+        references=references,
+        seed=seed,
+        jobs=jobs,
+        use_cache=use_cache,
+    )
     series: dict[str, dict[str, float]] = {
         "Pred_Hit": {},
         "Seq_Only": {},
         "Both_Hit": {},
     }
     for benchmark in SPEC_BENCHMARKS:
-        metrics = run_scheme(
-            benchmark,
-            "pred_plus_cache_32k",
-            machine=TABLE1_256K,
-            references=references,
-            seed=seed,
-        )
+        metrics = grid.metrics(benchmark, "pred_plus_cache_32k")
         fetches = max(1, metrics.fetches)
         series["Pred_Hit"][benchmark] = metrics.class_pred_only / fetches
         series["Seq_Only"][benchmark] = metrics.class_cache_only / fetches
@@ -133,24 +164,40 @@ _IPC_CACHE_SCHEMES = [
 
 
 def _ipc_cache_figure(
-    figure_id: str, machine: MachineConfig, references: int | None, seed: int
+    figure_id: str,
+    machine: MachineConfig,
+    references: int | None,
+    seed: int,
+    jobs: int | None,
+    use_cache: bool,
 ) -> FigureResult:
+    grid = run_grid(
+        list(SPEC_BENCHMARKS),
+        _IPC_CACHE_SCHEMES,
+        machine=machine,
+        references=references,
+        seed=seed,
+        jobs=jobs,
+        use_cache=use_cache,
+    )
     series: dict[str, dict[str, float]] = {
         "Seq_Cache_4K": {},
         "Seq_Cache_128K": {},
         "Seq_Cache_512K": {},
         "Pred": {},
     }
+    labels = {
+        "Seq_Cache_4K": "seqcache_4k",
+        "Seq_Cache_128K": "seqcache_128k",
+        "Seq_Cache_512K": "seqcache_512k",
+        "Pred": "pred_regular",
+    }
     for benchmark in SPEC_BENCHMARKS:
-        results = run_benchmark(
-            benchmark, _IPC_CACHE_SCHEMES, machine=machine,
-            references=references, seed=seed,
-        )
-        oracle = results["oracle"]
-        series["Seq_Cache_4K"][benchmark] = results["seqcache_4k"].normalized_ipc(oracle)
-        series["Seq_Cache_128K"][benchmark] = results["seqcache_128k"].normalized_ipc(oracle)
-        series["Seq_Cache_512K"][benchmark] = results["seqcache_512k"].normalized_ipc(oracle)
-        series["Pred"][benchmark] = results["pred_regular"].normalized_ipc(oracle)
+        oracle = grid.metrics(benchmark, "oracle")
+        for label, scheme in labels.items():
+            series[label][benchmark] = grid.metrics(
+                benchmark, scheme
+            ).normalized_ipc(oracle)
     return FigureResult(
         figure_id=figure_id,
         title=f"Normalized IPC: sequence-number caches vs OTP prediction, {machine.l2_kb}KB L2",
@@ -159,35 +206,61 @@ def _ipc_cache_figure(
     )
 
 
-def figure10(references: int | None = None, seed: int = 1) -> FigureResult:
+def figure10(
+    references: int | None = None,
+    seed: int = 1,
+    jobs: int | None = 1,
+    use_cache: bool = False,
+) -> FigureResult:
     """Fig. 10 — normalized IPC, caches vs prediction, 256KB L2."""
-    return _ipc_cache_figure("Figure 10", TABLE1_256K, references, seed)
+    return _ipc_cache_figure("Figure 10", TABLE1_256K, references, seed, jobs, use_cache)
 
 
-def figure11(references: int | None = None, seed: int = 1) -> FigureResult:
+def figure11(
+    references: int | None = None,
+    seed: int = 1,
+    jobs: int | None = 1,
+    use_cache: bool = False,
+) -> FigureResult:
     """Fig. 11 — normalized IPC, caches vs prediction, 1MB L2."""
-    return _ipc_cache_figure("Figure 11", TABLE1_1M, references, seed)
+    return _ipc_cache_figure("Figure 11", TABLE1_1M, references, seed, jobs, use_cache)
 
 
 _OPT_SCHEMES = ["pred_regular", "pred_two_level", "pred_context"]
 
 
 def _opt_hit_figure(
-    figure_id: str, machine: MachineConfig, references: int | None, seed: int
+    figure_id: str,
+    machine: MachineConfig,
+    references: int | None,
+    seed: int,
+    jobs: int | None,
+    use_cache: bool,
 ) -> FigureResult:
+    grid = run_grid(
+        list(SPEC_BENCHMARKS),
+        _OPT_SCHEMES,
+        machine=machine,
+        references=references,
+        seed=seed,
+        jobs=jobs,
+        use_cache=use_cache,
+    )
     series: dict[str, dict[str, float]] = {
         "Regular": {},
         "Two_Level": {},
         "Context": {},
     }
     for benchmark in SPEC_BENCHMARKS:
-        results = run_benchmark(
-            benchmark, _OPT_SCHEMES, machine=machine,
-            references=references, seed=seed,
-        )
-        series["Regular"][benchmark] = results["pred_regular"].prediction_rate
-        series["Two_Level"][benchmark] = results["pred_two_level"].prediction_rate
-        series["Context"][benchmark] = results["pred_context"].prediction_rate
+        series["Regular"][benchmark] = grid.metrics(
+            benchmark, "pred_regular"
+        ).prediction_rate
+        series["Two_Level"][benchmark] = grid.metrics(
+            benchmark, "pred_two_level"
+        ).prediction_rate
+        series["Context"][benchmark] = grid.metrics(
+            benchmark, "pred_context"
+        ).prediction_rate
     return FigureResult(
         figure_id=figure_id,
         title=f"Hit rate: two-level vs context-based vs regular, {machine.l2_kb}KB L2",
@@ -195,17 +268,32 @@ def _opt_hit_figure(
     )
 
 
-def figure12(references: int | None = None, seed: int = 1) -> FigureResult:
+def figure12(
+    references: int | None = None,
+    seed: int = 1,
+    jobs: int | None = 1,
+    use_cache: bool = False,
+) -> FigureResult:
     """Fig. 12 — optimized prediction hit rates, 256KB L2."""
-    return _opt_hit_figure("Figure 12", TABLE1_256K, references, seed)
+    return _opt_hit_figure("Figure 12", TABLE1_256K, references, seed, jobs, use_cache)
 
 
-def figure13(references: int | None = None, seed: int = 1) -> FigureResult:
+def figure13(
+    references: int | None = None,
+    seed: int = 1,
+    jobs: int | None = 1,
+    use_cache: bool = False,
+) -> FigureResult:
     """Fig. 13 — optimized prediction hit rates, 1MB L2."""
-    return _opt_hit_figure("Figure 13", TABLE1_1M, references, seed)
+    return _opt_hit_figure("Figure 13", TABLE1_1M, references, seed, jobs, use_cache)
 
 
-def figure14(references: int | None = None, seed: int = 1) -> FigureResult:
+def figure14(
+    references: int | None = None,
+    seed: int = 1,
+    jobs: int | None = 1,
+    use_cache: bool = False,
+) -> FigureResult:
     """Fig. 14 — absolute number of predictions, 256KB vs 1MB L2.
 
     Larger L2s filter more misses, so fewer predictions are made (the
@@ -213,12 +301,18 @@ def figure14(references: int | None = None, seed: int = 1) -> FigureResult:
     while absolute mispredictions shrink).
     """
     series: dict[str, dict[str, float]] = {"L2_256K": {}, "L2_1M": {}}
-    for benchmark in SPEC_BENCHMARKS:
-        for label, machine in (("L2_256K", TABLE1_256K), ("L2_1M", TABLE1_1M)):
-            metrics = run_scheme(
-                benchmark, "pred_regular", machine=machine,
-                references=references, seed=seed,
-            )
+    for label, machine in (("L2_256K", TABLE1_256K), ("L2_1M", TABLE1_1M)):
+        grid = run_grid(
+            list(SPEC_BENCHMARKS),
+            ["pred_regular"],
+            machine=machine,
+            references=references,
+            seed=seed,
+            jobs=jobs,
+            use_cache=use_cache,
+        )
+        for benchmark in SPEC_BENCHMARKS:
+            metrics = grid.metrics(benchmark, "pred_regular")
             series[label][benchmark] = float(metrics.prediction_lookups)
     return FigureResult(
         figure_id="Figure 14",
@@ -229,22 +323,38 @@ def figure14(references: int | None = None, seed: int = 1) -> FigureResult:
 
 
 def _opt_ipc_figure(
-    figure_id: str, machine: MachineConfig, references: int | None, seed: int
+    figure_id: str,
+    machine: MachineConfig,
+    references: int | None,
+    seed: int,
+    jobs: int | None,
+    use_cache: bool,
 ) -> FigureResult:
+    grid = run_grid(
+        list(SPEC_BENCHMARKS),
+        ["oracle"] + _OPT_SCHEMES,
+        machine=machine,
+        references=references,
+        seed=seed,
+        jobs=jobs,
+        use_cache=use_cache,
+    )
     series: dict[str, dict[str, float]] = {
         "Regular": {},
         "Two_Level": {},
         "Context": {},
     }
     for benchmark in SPEC_BENCHMARKS:
-        results = run_benchmark(
-            benchmark, ["oracle"] + _OPT_SCHEMES, machine=machine,
-            references=references, seed=seed,
-        )
-        oracle = results["oracle"]
-        series["Regular"][benchmark] = results["pred_regular"].normalized_ipc(oracle)
-        series["Two_Level"][benchmark] = results["pred_two_level"].normalized_ipc(oracle)
-        series["Context"][benchmark] = results["pred_context"].normalized_ipc(oracle)
+        oracle = grid.metrics(benchmark, "oracle")
+        series["Regular"][benchmark] = grid.metrics(
+            benchmark, "pred_regular"
+        ).normalized_ipc(oracle)
+        series["Two_Level"][benchmark] = grid.metrics(
+            benchmark, "pred_two_level"
+        ).normalized_ipc(oracle)
+        series["Context"][benchmark] = grid.metrics(
+            benchmark, "pred_context"
+        ).normalized_ipc(oracle)
     return FigureResult(
         figure_id=figure_id,
         title=f"Normalized IPC: two-level vs context vs regular, {machine.l2_kb}KB L2",
@@ -253,14 +363,24 @@ def _opt_ipc_figure(
     )
 
 
-def figure15(references: int | None = None, seed: int = 1) -> FigureResult:
+def figure15(
+    references: int | None = None,
+    seed: int = 1,
+    jobs: int | None = 1,
+    use_cache: bool = False,
+) -> FigureResult:
     """Fig. 15 — normalized IPC of the optimizations, 256KB L2."""
-    return _opt_ipc_figure("Figure 15", TABLE1_256K, references, seed)
+    return _opt_ipc_figure("Figure 15", TABLE1_256K, references, seed, jobs, use_cache)
 
 
-def figure16(references: int | None = None, seed: int = 1) -> FigureResult:
+def figure16(
+    references: int | None = None,
+    seed: int = 1,
+    jobs: int | None = 1,
+    use_cache: bool = False,
+) -> FigureResult:
     """Fig. 16 — normalized IPC of the optimizations, 1MB L2."""
-    return _opt_ipc_figure("Figure 16", TABLE1_1M, references, seed)
+    return _opt_ipc_figure("Figure 16", TABLE1_1M, references, seed, jobs, use_cache)
 
 
 ALL_FIGURES = {

@@ -18,6 +18,7 @@ from repro.cpu.core import RunMetrics
 from repro.cpu.system import MissTrace, collect_miss_trace, replay_miss_trace
 from repro.crypto.engine import CryptoEngine
 from repro.crypto.rng import HardwareRng
+from repro.experiments import cache as result_cache
 from repro.experiments.config import MachineConfig, TABLE1_256K
 from repro.memory.dram import Dram
 from repro.memory.hierarchy import MemoryHierarchy
@@ -104,13 +105,32 @@ def get_miss_trace(
     machine: MachineConfig = TABLE1_256K,
     references: int | None = None,
     seed: int = 1,
+    use_cache: bool = False,
 ) -> tuple[MissTrace, dict[int, int]]:
-    """Miss trace + fast-forward preseed for one (benchmark, machine)."""
+    """Miss trace + fast-forward preseed for one (benchmark, machine).
+
+    Memoized in-process always (all schemes of a grid share one generated
+    trace); with ``use_cache`` the trace is additionally persisted through
+    :mod:`repro.experiments.cache`, so later processes — parallel sweep
+    workers, or a grid extended with new schemes — skip the hierarchy
+    simulation entirely.
+    """
     references = references or default_references()
     key = (benchmark, machine.name, references, seed)
     cached = _MISS_TRACE_CACHE.get(key)
     if cached is not None:
         return cached
+    disk = result_cache.default_cache() if use_cache else None
+    disk_key = (
+        result_cache.trace_key(benchmark, machine, references, seed)
+        if disk is not None
+        else None
+    )
+    if disk is not None:
+        pair = disk.lookup_trace(disk_key)
+        if pair is not None:
+            _MISS_TRACE_CACHE[key] = pair
+            return pair
     workload = build_workload(benchmark, references=references, seed=seed)
     hierarchy = MemoryHierarchy(machine.hierarchy)
     miss_trace = collect_miss_trace(
@@ -119,6 +139,8 @@ def get_miss_trace(
         flush_interval_instructions=machine.flush_interval_instructions,
     )
     _MISS_TRACE_CACHE[key] = (miss_trace, workload.preseed)
+    if disk is not None:
+        disk.store_trace(disk_key, miss_trace, workload.preseed)
     return miss_trace, workload.preseed
 
 
@@ -213,15 +235,36 @@ def run_scheme(
     machine: MachineConfig = TABLE1_256K,
     references: int | None = None,
     seed: int = 1,
+    use_cache: bool = False,
 ) -> RunMetrics:
-    """Run one (benchmark, scheme, machine) point."""
+    """Run one (benchmark, scheme, machine) point.
+
+    With ``use_cache`` the cell is served from / stored into the on-disk
+    result cache (content-keyed, including a source-code fingerprint, so a
+    hit is always byte-identical to a fresh run of the same code).
+    """
     spec = SCHEMES[scheme] if isinstance(scheme, str) else scheme
-    miss_trace, preseed = get_miss_trace(benchmark, machine, references, seed)
+    references = references or default_references()
+    disk = result_cache.default_cache() if use_cache else None
+    cache_key = None
+    if disk is not None:
+        cache_key = result_cache.result_key(
+            benchmark, spec, machine, references, seed
+        )
+        cached = disk.lookup_result(cache_key)
+        if cached is not None:
+            return cached
+    miss_trace, preseed = get_miss_trace(
+        benchmark, machine, references, seed, use_cache=use_cache
+    )
     controller = make_controller(spec, machine, seed)
     apply_preseed(controller, preseed)
-    return replay_miss_trace(
+    metrics = replay_miss_trace(
         miss_trace, controller, core=machine.core, scheme=spec.name
     )
+    if disk is not None:
+        disk.store_result(cache_key, metrics)
+    return metrics
 
 
 def run_benchmark(
@@ -230,10 +273,11 @@ def run_benchmark(
     machine: MachineConfig = TABLE1_256K,
     references: int | None = None,
     seed: int = 1,
+    use_cache: bool = False,
 ) -> dict[str, RunMetrics]:
     """Run several schemes on one benchmark's shared miss trace."""
     return {
-        scheme: run_scheme(benchmark, scheme, machine, references, seed)
+        scheme: run_scheme(benchmark, scheme, machine, references, seed, use_cache)
         for scheme in schemes
     }
 
@@ -265,6 +309,7 @@ def run_scheme_isolated(
     references: int | None = None,
     seed: int = 1,
     retries: int = 1,
+    use_cache: bool = False,
 ) -> RunMetrics | RunFailure:
     """Run one point behind an isolation boundary.
 
@@ -280,7 +325,7 @@ def run_scheme_isolated(
     for _ in range(max(0, retries) + 1):
         attempts += 1
         try:
-            return run_scheme(benchmark, scheme, machine, references, seed)
+            return run_scheme(benchmark, scheme, machine, references, seed, use_cache)
         except KeyboardInterrupt:
             raise
         except Exception as err:
@@ -301,6 +346,7 @@ def run_benchmark_resilient(
     references: int | None = None,
     seed: int = 1,
     retries: int = 1,
+    use_cache: bool = False,
 ) -> tuple[dict[str, RunMetrics], list[RunFailure]]:
     """Like :func:`run_benchmark`, but failures yield partial results.
 
@@ -312,7 +358,7 @@ def run_benchmark_resilient(
     failures: list[RunFailure] = []
     for scheme in schemes:
         outcome = run_scheme_isolated(
-            benchmark, scheme, machine, references, seed, retries
+            benchmark, scheme, machine, references, seed, retries, use_cache
         )
         if isinstance(outcome, RunFailure):
             failures.append(outcome)

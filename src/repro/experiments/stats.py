@@ -10,9 +10,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.cpu.core import RunMetrics
 from repro.experiments.config import MachineConfig, TABLE1_256K
-from repro.experiments.runner import run_scheme
+from repro.experiments.parallel import run_seeds
 
 __all__ = ["SeedSummary", "summarize", "metric_across_seeds", "METRICS"]
 
@@ -82,17 +81,26 @@ def metric_across_seeds(
     seeds: list[int],
     machine: MachineConfig = TABLE1_256K,
     references: int | None = None,
+    jobs: int | None = 1,
+    use_cache: bool = False,
 ) -> SeedSummary:
-    """Run one (benchmark, scheme) point under several seeds."""
+    """Run one (benchmark, scheme) point under several seeds.
+
+    Seeds are independent simulations, so ``jobs`` fans them out across
+    worker processes; values come back in seed order either way.
+    """
     extractor = METRICS.get(metric)
     if extractor is None:
         raise ValueError(
             f"unknown metric {metric!r}; choose from {', '.join(sorted(METRICS))}"
         )
-    values = []
-    for seed in seeds:
-        metrics: RunMetrics = run_scheme(
-            benchmark, scheme, machine=machine, references=references, seed=seed
-        )
-        values.append(extractor(metrics))
-    return summarize(values)
+    runs = run_seeds(
+        benchmark,
+        scheme,
+        seeds,
+        machine=machine,
+        references=references,
+        jobs=jobs,
+        use_cache=use_cache,
+    )
+    return summarize([extractor(metrics) for metrics in runs])

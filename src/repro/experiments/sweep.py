@@ -13,12 +13,9 @@ from dataclasses import dataclass, field
 
 from repro.cpu.core import RunMetrics
 from repro.experiments.config import MachineConfig, TABLE1_256K
+from repro.experiments.parallel import run_grid_cells
 from repro.experiments.report import FigureResult
-from repro.experiments.runner import (
-    RunFailure,
-    run_benchmark,
-    run_benchmark_resilient,
-)
+from repro.experiments.runner import RunFailure
 
 __all__ = ["SweepResult", "run_grid"]
 
@@ -43,18 +40,10 @@ class SweepResult:
         return not self.failures
 
     def benchmarks(self) -> list[str]:
-        seen: list[str] = []
-        for benchmark, _ in self.results:
-            if benchmark not in seen:
-                seen.append(benchmark)
-        return seen
+        return list(dict.fromkeys(benchmark for benchmark, _ in self.results))
 
     def schemes(self) -> list[str]:
-        seen: list[str] = []
-        for _, scheme in self.results:
-            if scheme not in seen:
-                seen.append(scheme)
-        return seen
+        return list(dict.fromkeys(scheme for _, scheme in self.results))
 
     def metrics(self, benchmark: str, scheme: str) -> RunMetrics:
         return self.results[(benchmark, scheme)]
@@ -98,6 +87,8 @@ def run_grid(
     seed: int = 1,
     keep_going: bool = False,
     retries: int = 1,
+    jobs: int | None = 1,
+    use_cache: bool = False,
 ) -> SweepResult:
     """Run every (benchmark, scheme) combination, sharing miss traces.
 
@@ -106,23 +97,27 @@ def run_grid(
     whatever points succeeded and records the rest in
     :attr:`SweepResult.failures`.  Without it, the first error propagates
     (the historical behavior).
+
+    ``jobs`` fans the grid out one benchmark per worker process (each
+    worker still shares its benchmark's miss trace across schemes);
+    results are identical to the serial run for the same seed.
+    ``use_cache`` serves cells from / stores them into the on-disk
+    result cache.
     """
     sweep = SweepResult(machine=machine.name, references=references)
-    for benchmark in benchmarks:
-        if keep_going:
-            per_scheme, failures = run_benchmark_resilient(
-                benchmark,
-                schemes,
-                machine=machine,
-                references=references,
-                seed=seed,
-                retries=retries,
-            )
-            sweep.failures.extend(failures)
-        else:
-            per_scheme = run_benchmark(
-                benchmark, schemes, machine=machine, references=references, seed=seed
-            )
+    cells = run_grid_cells(
+        benchmarks,
+        schemes,
+        machine=machine,
+        references=references,
+        seed=seed,
+        keep_going=keep_going,
+        retries=retries,
+        jobs=jobs,
+        use_cache=use_cache,
+    )
+    for benchmark, per_scheme, failures in cells:
+        sweep.failures.extend(failures)
         for scheme, metrics in per_scheme.items():
             sweep.results[(benchmark, scheme)] = metrics
     return sweep

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.crypto.rng import HardwareRng
+from repro.experiments.parallel import parallel_map
 from repro.faults.injector import FaultInjector, FaultType
 from repro.secure.controller import RecoveryPolicy, SecureMemoryController
 from repro.secure.errors import FetchFailedError, SecureMemoryError
@@ -256,15 +257,21 @@ class FaultCampaign:
 
     # -- the sweep ---------------------------------------------------------------
 
-    def run(self) -> CampaignReport:
-        """Run the full grid plus the degradation and overflow demos."""
-        cells = []
+    def run(self, jobs: int | None = 1) -> CampaignReport:
+        """Run the full grid plus the degradation and overflow demos.
+
+        Each (fault type, rate) cell derives its own seeds from the master
+        seed, so cells are independent; ``jobs`` fans them out across
+        worker processes with cell-for-cell identical results.
+        """
+        tasks = []
         for type_index, fault_type in enumerate(self.fault_types):
             for rate_index, rate in enumerate(self.rates):
                 cell_seed = (
                     self.seed * 0x1000 + type_index * 0x100 + rate_index + 1
                 )
-                cells.append(self._run_cell(fault_type, rate, cell_seed))
+                tasks.append((self, fault_type, rate, cell_seed))
+        cells = parallel_map(_run_campaign_cell, tasks, jobs=jobs)
         return CampaignReport(
             seed=self.seed,
             operations=self.operations,
@@ -404,6 +411,12 @@ class FaultCampaign:
             "seals": controller.auditor.seals,
             "roundtrip_ok": fetched.plaintext == new_plaintext,
         }
+
+
+def _run_campaign_cell(task) -> CampaignCell:
+    """Module-level (picklable) worker body for one campaign cell."""
+    campaign, fault_type, rate, cell_seed = task
+    return campaign._run_cell(fault_type, rate, cell_seed)
 
 
 def run_smoke_campaign(seed: int = 1) -> CampaignReport:

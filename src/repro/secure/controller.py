@@ -397,6 +397,13 @@ class SecureMemoryController:
         pad_ready = self._schedule_pads(
             now, timing.seqnum_ready, cache_hit, guesses, actual
         )
+        if self.functional and guesses and self.otp.memo_enabled:
+            # Functional counterpart of the speculative issue slots above:
+            # the whole candidate set (depth x blocks per line) goes through
+            # one batched AES call and lands in the pad memo, so the decrypt
+            # below — and any later fetch whose counter a guess anticipated —
+            # reuses precomputed pads instead of re-running the cipher.
+            self.otp.pads(line, guesses)
 
         if not self.oracle:
             self.predictor.observe_fetch(page, line, actual, predicted)

@@ -6,14 +6,29 @@ concatenated with the line's 64-bit sequence number.  Because the address
 participates, lines sharing a sequence number (e.g. all lines of a freshly
 mapped page) still receive distinct pads — the security argument of
 Section 4.
+
+Performance: all AES inputs needed by one call — every block of a line,
+and every line-pad of a speculative candidate set — are assembled up front
+and pushed through :meth:`~repro.crypto.aes.AES.encrypt_blocks` as a single
+batch.  Computed pads land in a bounded
+:class:`~repro.crypto.engine.PadCache` keyed ``(key_id, address, seqnum)``,
+so repeated probes of the same candidate (re-fetches of an unchanged line,
+a predictor guessing the sequence number a later write-back reaches) never
+recompute; pads are pure functions of their key, so memo entries cannot go
+stale.
 """
 
 from __future__ import annotations
 
 from repro.crypto.aes import AES, BLOCK_SIZE
 from repro.crypto.ctr import make_counter_block, xor_bytes
+from repro.crypto.engine import PadCache
+from repro.crypto.sha256 import sha256
 
-__all__ = ["OtpGenerator", "blocks_per_line"]
+__all__ = ["OtpGenerator", "blocks_per_line", "DEFAULT_PAD_CACHE_ENTRIES"]
+
+#: Default capacity (in line pads) of a generator's memo; 0 disables it.
+DEFAULT_PAD_CACHE_ENTRIES = 4096
 
 
 def blocks_per_line(line_bytes: int) -> int:
@@ -26,22 +41,89 @@ def blocks_per_line(line_bytes: int) -> int:
 
 
 class OtpGenerator:
-    """Functional pad generator bound to one process key."""
+    """Functional pad generator bound to one process key.
 
-    def __init__(self, key: bytes, line_bytes: int = 32):
+    Parameters
+    ----------
+    key:
+        AES key (16/24/32 bytes).
+    line_bytes:
+        Cache-line size; every pad is this long.
+    pad_cache:
+        Optional externally owned :class:`~repro.crypto.engine.PadCache`
+        (sharable between generators holding different keys — entries are
+        key_id-disambiguated).  Defaults to a private cache of
+        :data:`DEFAULT_PAD_CACHE_ENTRIES` line pads.
+    """
+
+    def __init__(
+        self,
+        key: bytes,
+        line_bytes: int = 32,
+        pad_cache: PadCache | None = None,
+    ):
         self._cipher = AES(key)
         self.line_bytes = line_bytes
         self.blocks = blocks_per_line(line_bytes)
+        self.pad_cache = (
+            pad_cache
+            if pad_cache is not None
+            else PadCache(DEFAULT_PAD_CACHE_ENTRIES)
+        )
+        # Short stable identifier separating this key's memo entries from
+        # any other generator sharing the cache.
+        self._key_id = sha256(b"otp-key-id" + key)[:8]
+
+    @property
+    def memo_enabled(self) -> bool:
+        """True when the pad memo is active (capacity > 0)."""
+        return self.pad_cache.enabled
+
+    def _pad_inputs(self, line_address: int, seqnum: int) -> bytes:
+        """Concatenated AES inputs covering one line."""
+        return b"".join(
+            make_counter_block(line_address + index * BLOCK_SIZE, seqnum)
+            for index in range(self.blocks)
+        )
 
     def pad(self, line_address: int, seqnum: int) -> bytes:
         """The full one-time pad for the line at ``line_address``."""
-        pieces = []
-        for block_index in range(self.blocks):
-            address = line_address + block_index * BLOCK_SIZE
-            pieces.append(
-                self._cipher.encrypt_block(make_counter_block(address, seqnum))
+        key = (self._key_id, line_address, seqnum)
+        cached = self.pad_cache.get(key)
+        if cached is not None:
+            return cached
+        pad = self._cipher.encrypt_blocks(self._pad_inputs(line_address, seqnum))
+        self.pad_cache.put(key, pad)
+        return pad
+
+    def pads(self, line_address: int, seqnums) -> dict[int, bytes]:
+        """Pads for a whole candidate set of sequence numbers, one batch.
+
+        This is the speculative-probe entry point: the predictor's ``depth``
+        guesses become ``depth x blocks_per_line`` AES inputs encrypted in a
+        single :meth:`~repro.crypto.aes.AES.encrypt_blocks` call, skipping
+        any candidate the memo already holds.
+        """
+        result: dict[int, bytes] = {}
+        missing: list[int] = []
+        for seqnum in seqnums:
+            if seqnum in result:
+                continue
+            cached = self.pad_cache.get((self._key_id, line_address, seqnum))
+            if cached is not None:
+                result[seqnum] = cached
+            else:
+                missing.append(seqnum)
+                result[seqnum] = b""  # placeholder keeps candidate order
+        if missing:
+            batch = self._cipher.encrypt_blocks(
+                b"".join(self._pad_inputs(line_address, s) for s in missing)
             )
-        return b"".join(pieces)
+            for index, seqnum in enumerate(missing):
+                pad = batch[index * self.line_bytes: (index + 1) * self.line_bytes]
+                self.pad_cache.put((self._key_id, line_address, seqnum), pad)
+                result[seqnum] = pad
+        return result
 
     def seal(self, line_address: int, seqnum: int, plaintext: bytes) -> bytes:
         """Encrypt one line for write-back."""

@@ -3,6 +3,21 @@
 import pytest
 
 from repro.crypto.rng import HardwareRng
+from repro.experiments import cache as result_cache
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the on-disk result cache at a per-test directory.
+
+    The CLI caches by default, so without this any test driving ``main``
+    would drop a ``.repro-cache`` into the working directory — and could
+    be served stale results by a previous test's entries.
+    """
+    monkeypatch.setenv(result_cache.CACHE_DIR_ENV, str(tmp_path / "repro-cache"))
+    result_cache.reset_default_cache()
+    yield
+    result_cache.reset_default_cache()
 
 
 @pytest.fixture

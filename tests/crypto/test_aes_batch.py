@@ -1,0 +1,132 @@
+"""Vectorized batch encryption: bit-exactness, fallback, lazy tables."""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.aes import (
+    AES,
+    BATCH_THRESHOLD,
+    BLOCK_SIZE,
+    set_vectorized,
+    vectorized_enabled,
+)
+
+FIPS_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+FIPS_CASES = [
+    # (key hex, expected ciphertext hex) — FIPS-197 Appendix C.
+    (
+        "000102030405060708090a0b0c0d0e0f",
+        "69c4e0d86a7b0430d8cdb78070b4c55a",
+    ),
+    (
+        "000102030405060708090a0b0c0d0e0f1011121314151617",
+        "dda97ca4864cdfe06eaf70a0ec0d7191",
+    ),
+    (
+        "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        "8ea2b7ca516745bfeafc49904b496089",
+    ),
+]
+
+
+@pytest.fixture
+def force_vectorized():
+    """Run a test with the numpy path on (skipping if numpy is absent)."""
+    if not vectorized_enabled():
+        pytest.skip("numpy unavailable")
+    yield
+
+
+def _scalar_reference(cipher: AES, data: bytes) -> bytes:
+    previous = set_vectorized(False)
+    try:
+        return b"".join(
+            cipher.encrypt_block(data[i : i + BLOCK_SIZE])
+            for i in range(0, len(data), BLOCK_SIZE)
+        )
+    finally:
+        set_vectorized(previous)
+
+
+class TestBatchCorrectness:
+    @pytest.mark.parametrize("key_hex,ct_hex", FIPS_CASES)
+    def test_fips_vectors_through_batch_path(self, key_hex, ct_hex, force_vectorized):
+        # Repeat the FIPS block enough times to clear the batch threshold,
+        # so the numpy path (not the small-batch scalar loop) is exercised.
+        count = BATCH_THRESHOLD + 5
+        cipher = AES(bytes.fromhex(key_hex))
+        out = cipher.encrypt_blocks(FIPS_PLAINTEXT * count)
+        assert out == bytes.fromhex(ct_hex) * count
+
+    @pytest.mark.parametrize("key_size", [16, 24, 32])
+    def test_batch_matches_scalar_on_random_blocks(
+        self, key_size, rng, force_vectorized
+    ):
+        cipher = AES(rng.next_bytes(key_size))
+        data = rng.next_bytes((BATCH_THRESHOLD * 3 + 7) * BLOCK_SIZE)
+        assert cipher.encrypt_blocks(data) == _scalar_reference(cipher, data)
+
+    @given(count=st.integers(min_value=0, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_small_batches_match_scalar(self, count):
+        cipher = AES(bytes(range(16)))
+        data = bytes(range(256))[: count * BLOCK_SIZE]
+        assert cipher.encrypt_blocks(data) == _scalar_reference(cipher, data)
+
+    def test_empty_input(self):
+        assert AES(bytes(16)).encrypt_blocks(b"") == b""
+
+    @pytest.mark.parametrize("bad_length", [1, 15, 17, 47])
+    def test_rejects_non_multiple_of_block(self, bad_length):
+        with pytest.raises(ValueError, match="multiple"):
+            AES(bytes(16)).encrypt_blocks(bytes(bad_length))
+
+
+class TestVectorizedToggle:
+    def test_set_vectorized_returns_previous(self):
+        previous = set_vectorized(False)
+        try:
+            assert vectorized_enabled() is False
+            assert set_vectorized(previous) is False
+        finally:
+            set_vectorized(previous)
+
+    def test_disabled_path_still_correct(self):
+        cipher = AES(bytes(range(16)))
+        data = FIPS_PLAINTEXT * (BATCH_THRESHOLD + 1)
+        previous = set_vectorized(False)
+        try:
+            scalar_out = cipher.encrypt_blocks(data)
+        finally:
+            set_vectorized(previous)
+        assert scalar_out == cipher.encrypt_blocks(data)
+
+
+class TestLazyDecryptTables:
+    def test_ctr_style_use_never_builds_inverse_tables(self):
+        # CTR mode only ever encrypts; a fresh interpreter that encrypts
+        # must not pay for the decryption T-tables or inverse key schedule.
+        code = (
+            "import repro.crypto.aes as aes\n"
+            "cipher = aes.AES(bytes(16))\n"
+            "cipher.encrypt_blocks(bytes(64 * 16))\n"
+            "assert aes._DEC_TABLES is None, 'decrypt tables built eagerly'\n"
+            "assert cipher._dec_keys_lazy is None, 'inverse schedule built eagerly'\n"
+            "cipher.decrypt_block(bytes(16))\n"
+            "assert aes._DEC_TABLES is not None\n"
+        )
+        src = pathlib.Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ, PYTHONPATH=str(src))
+        subprocess.run([sys.executable, "-c", code], check=True, env=env)
+
+    def test_decrypt_still_inverts_after_batch_encrypt(self, rng):
+        cipher = AES(rng.next_bytes(32))
+        block = rng.next_bytes(16)
+        batch = cipher.encrypt_blocks(block * (BATCH_THRESHOLD + 1))
+        assert cipher.decrypt_block(batch[:16]) == block

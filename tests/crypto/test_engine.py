@@ -86,3 +86,55 @@ class TestIdleSlots:
         assert engine.next_free_slot(5) == 5
         engine.issue(5, 3)
         assert engine.next_free_slot(5) == 8
+
+
+class TestPadCache:
+    def test_round_trip(self):
+        from repro.crypto.engine import PadCache
+
+        cache = PadCache(4)
+        key = (b"id", 0x1000, 7)
+        assert cache.get(key) is None
+        cache.put(key, b"pad")
+        assert cache.get(key) == b"pad"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        from repro.crypto.engine import PadCache
+
+        cache = PadCache(2)
+        cache.put(("a",), b"1")
+        cache.put(("b",), b"2")
+        cache.get(("a",))          # refresh 'a'; 'b' is now the LRU entry
+        cache.put(("c",), b"3")
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) == b"1"
+        assert cache.get(("c",)) == b"3"
+        assert cache.stats.evictions == 1
+
+    def test_capacity_zero_disables(self):
+        from repro.crypto.engine import PadCache
+
+        cache = PadCache(0)
+        assert not cache.enabled
+        cache.put(("a",), b"1")
+        assert len(cache) == 0
+        assert cache.get(("a",)) is None
+
+    def test_negative_capacity_rejected(self):
+        from repro.crypto.engine import PadCache
+        import pytest
+
+        with pytest.raises(ValueError):
+            PadCache(-1)
+
+    def test_clear_keeps_stats(self):
+        from repro.crypto.engine import PadCache
+
+        cache = PadCache(4)
+        cache.put(("a",), b"1")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.stores == 1

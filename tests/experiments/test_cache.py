@@ -1,0 +1,136 @@
+"""On-disk result cache: keys, round-trips, controls, runner integration."""
+
+import dataclasses
+import json
+
+from repro.experiments import cache as result_cache
+from repro.experiments.cache import ResultCache, code_fingerprint, result_key, trace_key
+from repro.experiments.config import TABLE1_1M, TABLE1_256K
+from repro.experiments.runner import SCHEMES, get_miss_trace, run_scheme
+from repro.experiments import runner
+
+REFS = 2500
+SPEC = SCHEMES["pred_regular"]
+
+
+class TestKeys:
+    def test_key_is_stable(self):
+        a = result_key("gzip", SPEC, TABLE1_256K, REFS, 1)
+        b = result_key("gzip", SPEC, TABLE1_256K, REFS, 1)
+        assert a == b
+
+    def test_key_varies_with_every_input(self):
+        base = result_key("gzip", SPEC, TABLE1_256K, REFS, 1)
+        assert result_key("mcf", SPEC, TABLE1_256K, REFS, 1) != base
+        assert result_key("gzip", SCHEMES["oracle"], TABLE1_256K, REFS, 1) != base
+        assert result_key("gzip", SPEC, TABLE1_1M, REFS, 1) != base
+        assert result_key("gzip", SPEC, TABLE1_256K, REFS + 1, 1) != base
+        assert result_key("gzip", SPEC, TABLE1_256K, REFS, 2) != base
+
+    def test_trace_key_is_scheme_independent(self):
+        assert trace_key("gzip", TABLE1_256K, REFS, 1) == trace_key(
+            "gzip", TABLE1_256K, REFS, 1
+        )
+        assert trace_key("gzip", TABLE1_256K, REFS, 1) != trace_key(
+            "gzip", TABLE1_1M, REFS, 1
+        )
+
+    def test_code_fingerprint_is_hex_and_process_stable(self):
+        fingerprint = code_fingerprint()
+        assert len(fingerprint) == 64
+        int(fingerprint, 16)
+        assert code_fingerprint() == fingerprint
+
+
+class TestResultRoundTrip:
+    def test_store_then_lookup(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        metrics = run_scheme("gzip", "oracle", references=REFS)
+        cache.store_result("k" * 64, metrics)
+        loaded = cache.lookup_result("k" * 64)
+        assert dataclasses.asdict(loaded) == dataclasses.asdict(metrics)
+
+    def test_missing_key_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.lookup_result("0" * 64) is None
+        assert cache.stats.result_misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        metrics = run_scheme("gzip", "oracle", references=REFS)
+        cache.store_result("a" * 64, metrics)
+        cache._result_path("a" * 64).write_text("{not json")
+        assert cache.lookup_result("a" * 64) is None
+
+    def test_trace_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        miss_trace, preseed = get_miss_trace("gzip", references=REFS)
+        cache.store_trace("b" * 64, miss_trace, preseed)
+        loaded_trace, loaded_preseed = cache.lookup_trace("b" * 64)
+        assert loaded_trace == miss_trace
+        assert loaded_preseed == preseed
+
+    def test_clear_and_disk_stats(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        metrics = run_scheme("gzip", "oracle", references=REFS)
+        cache.store_result("c" * 64, metrics)
+        stats = cache.disk_stats()
+        assert stats["results"]["entries"] == 1
+        assert stats["results"]["bytes"] > 0
+        assert cache.clear() == 1
+        assert cache.disk_stats()["results"]["entries"] == 0
+
+
+class TestControls:
+    def test_env_dir_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(result_cache.CACHE_DIR_ENV, str(tmp_path / "alt"))
+        assert ResultCache().root == tmp_path / "alt"
+
+    def test_disable_env_turns_cache_off(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(result_cache.CACHE_DISABLE_ENV, "1")
+        cache = ResultCache(tmp_path)
+        assert not cache.enabled
+        metrics = run_scheme("gzip", "oracle", references=REFS)
+        cache.store_result("d" * 64, metrics)
+        assert not any(cache._entry_paths())
+        assert cache.lookup_result("d" * 64) is None
+
+    def test_default_cache_is_a_singleton_until_reset(self):
+        first = result_cache.default_cache()
+        assert result_cache.default_cache() is first
+        result_cache.reset_default_cache()
+        assert result_cache.default_cache() is not first
+
+
+class TestRunnerIntegration:
+    def test_cached_run_is_byte_identical(self):
+        fresh = run_scheme("gzip", "pred_regular", references=REFS)
+        stored = run_scheme("gzip", "pred_regular", references=REFS, use_cache=True)
+        runner._MISS_TRACE_CACHE.clear()
+        cached = run_scheme("gzip", "pred_regular", references=REFS, use_cache=True)
+        assert dataclasses.asdict(fresh) == dataclasses.asdict(stored)
+        assert dataclasses.asdict(fresh) == dataclasses.asdict(cached)
+        stats = result_cache.default_cache().stats
+        assert stats.result_hits == 1
+        assert stats.result_stores == 1
+
+    def test_trace_tier_serves_new_schemes(self):
+        run_scheme("gzip", "oracle", references=REFS, use_cache=True)
+        runner._MISS_TRACE_CACHE.clear()
+        # Different scheme, same benchmark: result misses, trace hits.
+        run_scheme("gzip", "baseline", references=REFS, use_cache=True)
+        stats = result_cache.default_cache().stats
+        assert stats.trace_hits == 1
+
+    def test_no_cache_runs_touch_nothing(self):
+        run_scheme("gzip", "oracle", references=REFS)
+        cache = result_cache.default_cache()
+        assert not any(cache._entry_paths())
+
+    def test_entries_are_canonical_json(self):
+        run_scheme("gzip", "oracle", references=REFS, use_cache=True)
+        cache = result_cache.default_cache()
+        paths = [p for p in cache._entry_paths() if p.suffix == ".json"]
+        assert len(paths) == 1
+        payload = json.loads(paths[0].read_text())
+        assert payload["metrics"]["scheme"] == "oracle"

@@ -91,7 +91,7 @@ class TestKeepGoing:
     def test_keep_going_reports_partial_failure(self, monkeypatch, capsys):
         monkeypatch.setattr(
             cli,
-            "run_benchmark_resilient",
+            "run_benchmark_parallel",
             lambda *args, **kwargs: (
                 {},
                 [RunFailure("gzip", "baseline", "RuntimeError", "boom", 2)],
@@ -130,6 +130,87 @@ class TestFaults:
     def test_bad_rate(self, capsys):
         assert main(["faults", "--rates", "2.0"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestJobsAndCacheFlags:
+    def test_run_with_jobs_matches_serial(self, capsys):
+        assert main(["run", "gzip", "oracle", "baseline", "--refs", "1500"]) == 0
+        serial_out = capsys.readouterr().out
+        assert (
+            main(
+                ["run", "gzip", "oracle", "baseline", "--refs", "1500",
+                 "--jobs", "2", "--no-cache"]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == serial_out
+
+    def test_jobs_zero_means_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        args = build_parser().parse_args(["run", "gzip", "oracle", "--jobs", "0"])
+        assert args.jobs is None
+
+    def test_run_populates_cache_by_default(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        assert main(["run", "gzip", "oracle", "--refs", "1500"]) == 0
+        capsys.readouterr()
+        result_files = list((tmp_path / "c" / "results").rglob("*.json"))
+        assert len(result_files) == 1
+
+    def test_no_cache_leaves_cache_empty(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        assert main(["run", "gzip", "oracle", "--refs", "1500", "--no-cache"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        assert not (tmp_path / "c" / "results").exists()
+
+    def test_figure_accepts_jobs(self, capsys):
+        assert main(
+            ["figure", "figure9", "--refs", "1500", "--jobs", "2", "--no-cache"]
+        ) == 0
+        assert "Figure 9" in capsys.readouterr().out
+
+    def test_faults_accepts_jobs(self, capsys):
+        code = main(
+            ["faults", "--ops", "8", "--types", "bit_flip", "--rates", "0.5",
+             "--jobs", "2", "--json"]
+        )
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["all_detected"] is True
+
+
+class TestCacheCommand:
+    def test_cache_clear(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        assert main(["run", "gzip", "oracle", "--refs", "1500"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear"]) == 0
+        out = capsys.readouterr().out
+        assert "removed" in out
+        assert main(["cache", "clear"]) == 0
+        assert "removed 0" in capsys.readouterr().out
+
+    def test_cache_stats_reports_fingerprint(self, capsys):
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprint:" in out
+        assert "results" in out and "traces" in out
+
+
+class TestBench:
+    def test_bench_writes_report(self, capsys, tmp_path):
+        output = tmp_path / "BENCH_perf.json"
+        code = main(
+            ["bench", "--refs", "1200", "--ops", "30", "--jobs", "1",
+             "--output", str(output)]
+        )
+        assert code == 0
+        assert "Performance benchmark" in capsys.readouterr().out
+        report = json.loads(output.read_text())
+        assert report["grid"]["metrics_identical"] is True
+        assert report["grid"]["warm_cache_hit_rate"] == 1.0
+        assert report["crypto"]["scalar_blocks_per_sec"] > 0
+        assert report["otp"]["optimized_ops_per_sec"] > 0
 
 
 class TestParser:

@@ -1,0 +1,129 @@
+"""Parallel engine: determinism vs serial, failure isolation, jobs plumbing."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.parallel import (
+    default_jobs,
+    parallel_map,
+    resolve_jobs,
+    run_benchmark_parallel,
+    run_seeds,
+)
+from repro.experiments.runner import RunFailure, SchemeSpec
+from repro.experiments.sweep import run_grid
+
+REFS = 2500
+
+# A scheme guaranteed to fail construction inside a worker process:
+# direct encryption and predecryption are mutually exclusive.
+BOGUS = SchemeSpec("bogus", direct=True, predecrypt=True)
+
+
+def _metric_dicts(sweep):
+    return {
+        key: dataclasses.asdict(metrics) for key, metrics in sweep.results.items()
+    }
+
+
+class TestJobsResolution:
+    def test_explicit_jobs_pass_through(self):
+        assert resolve_jobs(3) == 3
+
+    def test_zero_and_negative_clamp_to_one(self):
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(-4) == 1
+
+    def test_none_uses_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+        assert default_jobs() == 5
+
+    def test_bad_env_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert default_jobs() >= 1
+
+
+class TestParallelMap:
+    def test_serial_path_preserves_order(self):
+        assert parallel_map(str, [3, 1, 2], jobs=1) == ["3", "1", "2"]
+
+    def test_parallel_path_preserves_order(self):
+        assert parallel_map(str, list(range(8)), jobs=2) == [
+            str(i) for i in range(8)
+        ]
+
+    def test_single_item_never_spawns_a_pool(self):
+        # A lambda is not picklable; jobs collapsing to 1 for one item means
+        # it runs in-process and succeeds anyway.
+        assert parallel_map(lambda x: x + 1, [41], jobs=4) == [42]
+
+
+class TestGridEquivalence:
+    def test_parallel_grid_identical_to_serial(self):
+        kwargs = dict(references=REFS, seed=3)
+        serial = run_grid(["gzip", "mcf"], ["oracle", "pred_regular"], **kwargs)
+        parallel = run_grid(
+            ["gzip", "mcf"], ["oracle", "pred_regular"], jobs=2, **kwargs
+        )
+        assert _metric_dicts(serial) == _metric_dicts(parallel)
+        assert serial.benchmarks() == parallel.benchmarks()
+        assert serial.schemes() == parallel.schemes()
+
+    def test_grid_ordering_is_input_ordering(self):
+        sweep = run_grid(
+            ["mcf", "gzip"], ["pred_regular", "oracle"],
+            references=REFS, jobs=2,
+        )
+        assert sweep.benchmarks() == ["mcf", "gzip"]
+        assert sweep.schemes() == ["pred_regular", "oracle"]
+
+
+class TestFailureIsolation:
+    def test_keep_going_isolates_failures_through_the_pool(self):
+        sweep = run_grid(
+            ["gzip", "mcf"],
+            ["oracle", BOGUS],
+            references=REFS,
+            keep_going=True,
+            retries=0,
+            jobs=2,
+        )
+        assert len(sweep.failures) == 2  # bogus fails on both benchmarks
+        assert all(failure.scheme == "bogus" for failure in sweep.failures)
+        assert ("gzip", "oracle") in sweep.results
+        assert ("mcf", "oracle") in sweep.results
+        assert not sweep.complete
+
+    def test_fail_fast_propagates_worker_exception(self):
+        with pytest.raises(ValueError, match="direct encryption"):
+            run_grid(["gzip"], [BOGUS], references=REFS, jobs=2)
+
+    def test_run_benchmark_parallel_keep_going(self):
+        results, failures = run_benchmark_parallel(
+            "gzip",
+            ["oracle", BOGUS],
+            references=REFS,
+            keep_going=True,
+            retries=0,
+            jobs=2,
+        )
+        assert "oracle" in results
+        assert len(failures) == 1
+        assert isinstance(failures[0], RunFailure)
+
+
+class TestRunSeeds:
+    def test_parallel_seeds_match_serial(self):
+        serial = run_seeds("gzip", "pred_regular", [1, 2, 3], references=REFS)
+        parallel = run_seeds(
+            "gzip", "pred_regular", [1, 2, 3], references=REFS, jobs=2
+        )
+        assert [dataclasses.asdict(m) for m in serial] == [
+            dataclasses.asdict(m) for m in parallel
+        ]
+
+    def test_different_seeds_differ(self):
+        runs = run_seeds("gzip", "pred_regular", [1, 2], references=REFS)
+        assert dataclasses.asdict(runs[0]) != dataclasses.asdict(runs[1])

@@ -36,11 +36,14 @@ class TestRunSchemeIsolated:
         calls = {"n": 0}
         real = runner.run_scheme
 
-        def flaky(benchmark, scheme, machine=TABLE1_256K, references=None, seed=1):
+        def flaky(
+            benchmark, scheme, machine=TABLE1_256K, references=None, seed=1,
+            use_cache=False,
+        ):
             calls["n"] += 1
             if calls["n"] == 1:
                 raise RuntimeError("transient")
-            return real(benchmark, scheme, machine, references, seed)
+            return real(benchmark, scheme, machine, references, seed, use_cache)
 
         monkeypatch.setattr(runner, "run_scheme", flaky)
         metrics = run_scheme_isolated("gzip", "baseline", references=REFS)

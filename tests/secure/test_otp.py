@@ -79,3 +79,70 @@ class TestSealOpen:
     def test_roundtrip_property(self, plaintext, address, seqnum):
         generator = OtpGenerator(bytes(32))
         assert generator.open(address, seqnum, generator.seal(address, seqnum, plaintext)) == plaintext
+
+
+class TestPadMemo:
+    def test_memo_enabled_by_default(self, key256):
+        assert OtpGenerator(key256).memo_enabled
+
+    def test_zero_capacity_disables_memo(self, key256):
+        from repro.crypto.engine import PadCache
+
+        generator = OtpGenerator(key256, pad_cache=PadCache(0))
+        assert not generator.memo_enabled
+        generator.pad(0x1000, 1)
+        assert generator.pad_cache.stats.stores == 0
+
+    def test_repeated_pad_hits_memo(self, key256):
+        generator = OtpGenerator(key256)
+        first = generator.pad(0x1000, 7)
+        second = generator.pad(0x1000, 7)
+        assert first == second
+        assert generator.pad_cache.stats.hits == 1
+        assert generator.pad_cache.stats.misses == 1
+
+    def test_memoized_pad_matches_fresh_generator(self, key256):
+        warm = OtpGenerator(key256)
+        warm.pad(0x2000, 3)
+        assert warm.pad(0x2000, 3) == OtpGenerator(key256).pad(0x2000, 3)
+
+    def test_shared_cache_separates_keys(self, key256):
+        from repro.crypto.engine import PadCache
+
+        shared = PadCache(16)
+        a = OtpGenerator(key256, pad_cache=shared)
+        b = OtpGenerator(bytes(32), pad_cache=shared)
+        assert a.pad(0x1000, 1) != b.pad(0x1000, 1)
+
+
+class TestPadsBatch:
+    def test_batch_matches_individual_pads(self, key256):
+        generator = OtpGenerator(key256)
+        reference = OtpGenerator(key256)
+        seqnums = [5, 6, 7, 8, 9]
+        batch = generator.pads(0x3000, seqnums)
+        assert list(batch) == seqnums
+        for seqnum in seqnums:
+            assert batch[seqnum] == reference.pad(0x3000, seqnum)
+
+    def test_batch_skips_memoized_candidates(self, key256):
+        generator = OtpGenerator(key256)
+        generator.pad(0x3000, 5)
+        stores_before = generator.pad_cache.stats.stores
+        batch = generator.pads(0x3000, [5, 6])
+        assert generator.pad_cache.stats.stores == stores_before + 1
+        assert batch[5] == OtpGenerator(key256).pad(0x3000, 5)
+
+    def test_batch_dedups_candidates(self, key256):
+        generator = OtpGenerator(key256)
+        batch = generator.pads(0x3000, [4, 4, 4, 5])
+        assert list(batch) == [4, 5]
+
+    def test_batch_with_memo_disabled_still_correct(self, key256):
+        from repro.crypto.engine import PadCache
+
+        generator = OtpGenerator(key256, pad_cache=PadCache(0))
+        batch = generator.pads(0x3000, [1, 2])
+        reference = OtpGenerator(key256)
+        assert batch[1] == reference.pad(0x3000, 1)
+        assert batch[2] == reference.pad(0x3000, 2)
