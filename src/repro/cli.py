@@ -11,10 +11,14 @@ Examples::
     python -m repro faults --ops 40 --json --jobs 4
     python -m repro cache stats               # the on-disk result cache
     python -m repro bench                     # writes BENCH_perf.json
+    python -m repro bench --check BENCH_perf.json   # regression guard
+    python -m repro trace swim --out trace.json     # chrome://tracing view
+    python -m repro --emit-metrics m.json run swim oracle pred_regular
 
 Commands that run grid cells cache finished results under ``.repro-cache``
 (``--no-cache`` bypasses) and accept ``--jobs N`` worker processes
-(``0`` = auto).
+(``0`` = auto).  The global ``--emit-metrics PATH`` flag writes the
+telemetry snapshot of supporting commands (``run``, ``trace``) as JSON.
 
 Errors (missing or corrupt trace files, integrity violations) are reported
 as a single line on stderr with a nonzero exit code; ``--keep-going`` on
@@ -32,13 +36,16 @@ from repro.cpu.tracefile import TraceFormatError, load_trace_file
 from repro.experiments import cache as result_cache
 from repro.experiments.config import TABLE1_1M, TABLE1_256K, table1_rows
 from repro.experiments.figures import ALL_FIGURES
-from repro.experiments.parallel import run_benchmark_parallel
+from repro.experiments.parallel import run_benchmark_cells_parallel
 from repro.experiments.report import render_figure
-from repro.experiments.runner import SCHEMES, make_controller
+from repro.experiments.runner import SCHEMES, make_controller, run_cell
 from repro.faults.campaign import DEFAULT_RATES, FaultCampaign
 from repro.faults.injector import FaultType
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.secure.errors import SecureMemoryError
+from repro.telemetry.events import EventTracer
+from repro.telemetry.profile import PROFILER
+from repro.telemetry.snapshot import merge_snapshots
 from repro.workloads.spec import SPEC_BENCHMARKS
 
 __all__ = ["main"]
@@ -104,6 +111,18 @@ def _trace_results(args: argparse.Namespace, machine):
     return results, failures
 
 
+def _emit_snapshot(path: str, snapshots: dict) -> bool:
+    """Merge per-cell snapshots and write them where ``--emit-metrics`` asks."""
+    if not snapshots:
+        print("note: no telemetry snapshots collected; nothing emitted",
+              file=sys.stderr)
+        return False
+    merged = merge_snapshots(snapshots[key] for key in sorted(snapshots))
+    merged.save(path)
+    print(f"metrics snapshot ({len(merged.values)} metrics) written to {path}")
+    return True
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     unknown = [s for s in args.schemes if s not in SCHEMES]
     if unknown:
@@ -114,15 +133,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     machine = _MACHINES[args.l2]
     failures: list[str] = []
+    snapshots: dict[str, object] = {}
     if args.trace is not None:
         results, failures = _trace_results(args, machine)
     else:
-        results, run_failures = run_benchmark_parallel(
+        cells, run_failures = run_benchmark_cells_parallel(
             args.benchmark, args.schemes, machine=machine,
             references=args.refs, seed=args.seed,
             keep_going=args.keep_going, jobs=args.jobs,
             use_cache=not args.no_cache,
         )
+        results = {name: cell.metrics for name, cell in cells.items()}
+        snapshots = {name: cell.snapshot for name, cell in cells.items()}
         failures = [str(failure) for failure in run_failures]
     oracle = results.get("oracle")
     header = (
@@ -139,9 +161,57 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if oracle is not None:
             row += f"{metrics.normalized_ipc(oracle):>8.3f}"
         print(row)
+    if args.emit_metrics:
+        _emit_snapshot(args.emit_metrics, snapshots)
     for failure in failures:
         print(f"FAILED {failure}", file=sys.stderr)
     return 1 if failures else 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.benchmark not in SPEC_BENCHMARKS:
+        print(f"unknown benchmark {args.benchmark!r}", file=sys.stderr)
+        return 2
+    if args.scheme not in SCHEMES:
+        print(f"unknown scheme {args.scheme!r}", file=sys.stderr)
+        return 2
+    machine = _MACHINES[args.l2]
+    tracer = EventTracer(capacity=args.events)
+    if args.profile:
+        PROFILER.enable()
+        PROFILER.reset()
+    cell = run_cell(
+        args.benchmark,
+        args.scheme,
+        machine=machine,
+        references=args.refs,
+        seed=args.seed,
+        tracer=tracer,
+    )
+    tracer.write_chrome(
+        args.out,
+        metadata={
+            "benchmark": args.benchmark,
+            "scheme": args.scheme,
+            "machine": machine.name,
+            "references": args.refs or "default",
+            "seed": args.seed,
+        },
+    )
+    captured = len(tracer.events())
+    print(
+        f"{args.benchmark}/{args.scheme}: captured {captured} events "
+        f"({tracer.dropped} dropped beyond --events {args.events})"
+    )
+    print(f"trace written to {args.out}")
+    print("open it at chrome://tracing or https://ui.perfetto.dev")
+    if args.profile:
+        print(PROFILER.render())
+    if args.emit_metrics:
+        cell.snapshot.save(args.emit_metrics)
+        print(f"metrics snapshot ({len(cell.snapshot.values)} metrics) "
+              f"written to {args.emit_metrics}")
+    return 0
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
@@ -179,8 +249,12 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.experiments.bench import render_report, run_bench
+    from repro.experiments.bench import check_regression, render_report, run_bench
 
+    baseline = None
+    if args.check:
+        with open(args.check) as handle:
+            baseline = json.load(handle)
     report = run_bench(
         output=args.output,
         references=args.refs,
@@ -193,6 +267,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     else:
         print(render_report(report))
         print(f"report written to {args.output}")
+    if baseline is not None:
+        violations = check_regression(report, baseline, tolerance=args.tolerance)
+        if violations:
+            print(f"REGRESSION against {args.check}:", file=sys.stderr)
+            for violation in violations:
+                print(f"  {violation}", file=sys.stderr)
+            return 1
+        print(f"regression check against {args.check} passed "
+              f"(tolerance {args.tolerance:.0%})")
     return 0
 
 
@@ -238,6 +321,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Counter-mode security architecture reproduction (ISCA 2005)",
     )
+    parser.add_argument(
+        "--emit-metrics", default=None, metavar="PATH",
+        help="write the command's telemetry snapshot as JSON "
+             "(honored by run and trace)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list benchmarks, schemes and figures").set_defaults(
@@ -273,6 +361,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_flags(run)
     run.set_defaults(func=_cmd_run, keep_going=False)
+
+    trace = sub.add_parser(
+        "trace",
+        help="capture a cycle-stamped event trace (Chrome trace_event JSON)",
+    )
+    trace.add_argument("benchmark", help="benchmark name")
+    trace.add_argument(
+        "--scheme", default="pred_regular",
+        help="scheme to trace (default pred_regular)",
+    )
+    trace.add_argument("--refs", type=int, default=None, help="trace length")
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument("--l2", choices=sorted(_MACHINES), default="256K")
+    trace.add_argument(
+        "--out", default="trace.json", metavar="FILE",
+        help="output path for the Chrome trace (default trace.json)",
+    )
+    trace.add_argument(
+        "--events", type=int, default=65536, metavar="N",
+        help="ring-buffer capacity; oldest events drop beyond this",
+    )
+    trace.add_argument(
+        "--profile", action="store_true",
+        help="also print wall-time profiler scopes for the run",
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     faults = sub.add_parser(
         "faults", help="run a seeded fault-injection campaign"
@@ -322,6 +436,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--json", action="store_true", help="print the full report as JSON"
+    )
+    bench.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="compare against a baseline BENCH_perf.json; exit 1 on regression",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=0.2, metavar="FRAC",
+        help="allowed fractional speedup drop vs the baseline (default 0.2)",
     )
     bench.set_defaults(func=_cmd_bench)
     return parser

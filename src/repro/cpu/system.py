@@ -24,6 +24,7 @@ from repro.cpu.trace import MemoryAccess
 from repro.memory.address import AddressMap, DEFAULT_ADDRESS_MAP
 from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
 from repro.secure.controller import FetchClass, SecureMemoryController
+from repro.telemetry.profile import profile_scope
 
 __all__ = [
     "MissEvent",
@@ -67,6 +68,22 @@ class MissTrace:
         if not self.total_instructions:
             return 0.0
         return 1000.0 * self.l2_misses / self.total_instructions
+
+    def publish(self, registry, prefix: str = "memory.hierarchy") -> None:
+        """Export the hierarchy-level outcome of the trace under ``prefix``.
+
+        The live :class:`~repro.memory.hierarchy.MemoryHierarchy` is
+        discarded once the trace is collected (and cached traces never had
+        one in-process), so cell snapshots publish the cache behaviour from
+        this summary rather than from per-level tag arrays.
+        """
+        registry.counter(f"{prefix}.references").inc(self.total_references)
+        registry.counter(f"{prefix}.instructions").inc(self.total_instructions)
+        registry.counter(f"{prefix}.l1_hits").inc(self.l1_hits)
+        registry.counter(f"{prefix}.l2_hits").inc(self.l2_hits)
+        registry.counter(f"{prefix}.l2_misses").inc(self.l2_misses)
+        registry.gauge(f"{prefix}.miss_rate").set(self.miss_rate)
+        registry.gauge(f"{prefix}.mpki").set(self.misses_per_kilo_instruction)
 
 
 def collect_miss_trace(
@@ -292,8 +309,9 @@ class SecureSystem:
 
     def run(self, trace: list[MemoryAccess]) -> "SecureSystem":
         """Run a whole trace; returns self for chaining."""
-        for access in trace:
-            self.access(access)
+        with profile_scope("sim.secure_system_run"):
+            for access in trace:
+                self.access(access)
         return self
 
     def flush(self) -> int:

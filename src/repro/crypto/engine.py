@@ -82,6 +82,25 @@ class CryptoEngineStats:
             return 0.0
         return min(1.0, self.busy_cycles / elapsed_cycles)
 
+    def publish(self, registry, prefix: str = "crypto.engine") -> None:
+        """Export these counters into a telemetry registry under ``prefix``.
+
+        ``occupancy`` is utilization measured to the last issue — the
+        fraction of issue slots the run actually filled, the quantity the
+        paper's engine-occupancy argument (Section 5.2) is about.
+        """
+        registry.counter(f"{prefix}.demand_blocks").inc(self.demand_blocks)
+        registry.counter(f"{prefix}.speculative_blocks").inc(
+            self.speculative_blocks
+        )
+        registry.counter(f"{prefix}.queue_delay_cycles").inc(
+            self.queue_delay_cycles
+        )
+        registry.counter(f"{prefix}.busy_cycles").inc(self.busy_cycles)
+        registry.gauge(f"{prefix}.occupancy").set(
+            self.utilization(self.last_issue_time)
+        )
+
 
 class CryptoEngine:
     """Fully pipelined block-cipher engine with a single issue port.
@@ -166,6 +185,14 @@ class PadCacheStats:
         """Fraction of lookups served from the memo."""
         lookups = self.lookups
         return self.hits / lookups if lookups else 0.0
+
+    def publish(self, registry, prefix: str = "crypto.pad_cache") -> None:
+        """Export these counters into a telemetry registry under ``prefix``."""
+        registry.counter(f"{prefix}.hits").inc(self.hits)
+        registry.counter(f"{prefix}.misses").inc(self.misses)
+        registry.counter(f"{prefix}.stores").inc(self.stores)
+        registry.counter(f"{prefix}.evictions").inc(self.evictions)
+        registry.gauge(f"{prefix}.hit_rate").set(self.hit_rate)
 
 
 class PadCache:

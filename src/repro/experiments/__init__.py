@@ -17,6 +17,7 @@ from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.parallel import (
     default_jobs,
     parallel_map,
+    run_benchmark_cells_parallel,
     run_benchmark_parallel,
     run_grid_cells,
     run_seeds,
@@ -38,13 +39,17 @@ from repro.experiments.stats import (
 )
 from repro.experiments.sweep import SweepResult, run_grid
 from repro.experiments.runner import (
+    CellResult,
     SCHEMES,
     SchemeSpec,
     apply_preseed,
+    collect_cell_snapshot,
     default_references,
     get_miss_trace,
     make_controller,
     run_benchmark,
+    run_benchmark_cells,
+    run_cell,
     run_scheme,
 )
 
@@ -55,6 +60,7 @@ __all__ = [
     "reset_default_cache",
     "default_jobs",
     "parallel_map",
+    "run_benchmark_cells_parallel",
     "run_benchmark_parallel",
     "run_grid_cells",
     "run_seeds",
@@ -79,12 +85,16 @@ __all__ = [
     "summarize",
     "SweepResult",
     "run_grid",
+    "CellResult",
     "SCHEMES",
     "SchemeSpec",
     "apply_preseed",
+    "collect_cell_snapshot",
     "default_references",
     "get_miss_trace",
     "make_controller",
     "run_benchmark",
+    "run_benchmark_cells",
+    "run_cell",
     "run_scheme",
 ]

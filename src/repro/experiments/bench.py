@@ -31,7 +31,6 @@ import time
 from pathlib import Path
 
 from repro.crypto.aes import AES, set_vectorized, vectorized_enabled
-from repro.crypto.engine import PadCache
 from repro.crypto.rng import HardwareRng
 from repro.experiments import cache as result_cache
 from repro.experiments import runner
@@ -48,6 +47,7 @@ __all__ = [
     "grid_bench",
     "run_bench",
     "render_report",
+    "check_regression",
 ]
 
 #: Trace-heavy smoke grid: hierarchy simulation dominates these cells, so
@@ -314,6 +314,62 @@ def run_bench(
     if output is not None:
         Path(output).write_text(json.dumps(report, indent=2) + "\n")
     return report
+
+
+#: Speedup ratios compared against the baseline report by
+#: :func:`check_regression`; every path is optional on either side (a
+#: missing value — e.g. no numpy, so no vector speedup — is skipped, not
+#: failed, so the guard works across heterogeneous CI runners).
+_GUARDED_SPEEDUPS = (
+    ("crypto", "vector_speedup"),
+    ("otp", "speedup"),
+    ("grid", "warm_speedup"),
+    ("grid", "parallel_speedup"),
+)
+
+
+def check_regression(current: dict, baseline: dict, tolerance: float = 0.2) -> list[str]:
+    """Compare a fresh bench report against a committed baseline.
+
+    Two classes of check:
+
+    * **Hard invariants** of the current report alone — a warm grid pass
+      must be pure cache hits and every pass must produce identical
+      metrics.  These are correctness properties, not timings, so no
+      tolerance applies.
+    * **Speedup ratios** (:data:`_GUARDED_SPEEDUPS`) must stay within
+      ``tolerance`` of the baseline's value.  Ratios are compared rather
+      than absolute wall clocks so the guard survives slower CI hardware;
+      the tolerance absorbs scheduler noise on top of that.
+
+    Returns a list of human-readable violations (empty = pass).
+    """
+    if not 0 <= tolerance < 1:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    violations: list[str] = []
+    grid = current.get("grid", {})
+    if grid.get("metrics_identical") is not True:
+        violations.append(
+            "grid.metrics_identical: warm/parallel metrics differ from the "
+            "cold serial pass"
+        )
+    hit_rate = grid.get("warm_cache_hit_rate")
+    if hit_rate != 1.0:
+        violations.append(
+            f"grid.warm_cache_hit_rate: expected 1.0, got {hit_rate}"
+        )
+    for section, field in _GUARDED_SPEEDUPS:
+        expected = (baseline.get(section) or {}).get(field)
+        actual = (current.get(section) or {}).get(field)
+        if expected is None or actual is None:
+            continue
+        floor = expected * (1.0 - tolerance)
+        if actual < floor:
+            violations.append(
+                f"{section}.{field}: {actual:.2f} < {floor:.2f} "
+                f"(baseline {expected:.2f}, tolerance {tolerance:.0%})"
+            )
+    return violations
 
 
 def render_report(report: dict) -> str:

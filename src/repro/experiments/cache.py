@@ -194,12 +194,38 @@ class ResultCache:
         self.stats.result_hits += 1
         return metrics
 
-    def store_result(self, key: str, metrics: RunMetrics) -> None:
-        """Persist one cell's metrics under its content key."""
+    def lookup_cell(self, key: str):
+        """The cached ``(metrics, snapshot)`` pair for ``key``, or None.
+
+        Entries written before snapshots existed (or by
+        :meth:`store_result` without one) count as misses here — the code
+        fingerprint in the key already rotates them out in practice, but a
+        hand-planted metrics-only entry must not surface as a snapshotless
+        cell.
+        """
+        if not self.enabled:
+            return None
+        from repro.telemetry.snapshot import MetricsSnapshot
+
+        path = self._result_path(key)
+        try:
+            payload = json.loads(path.read_text())
+            metrics = RunMetrics(**payload["metrics"])
+            snapshot = MetricsSnapshot.from_dict(payload["snapshot"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.result_misses += 1
+            return None
+        self.stats.result_hits += 1
+        return metrics, snapshot
+
+    def store_result(self, key: str, metrics: RunMetrics, snapshot=None) -> None:
+        """Persist one cell's metrics (and telemetry snapshot) under its key."""
         if not self.enabled:
             return
         path = self._result_path(key)
         payload = {"metrics": dataclasses.asdict(metrics)}
+        if snapshot is not None:
+            payload["snapshot"] = snapshot.to_dict()
         self._write_atomic(path, json.dumps(payload, sort_keys=True).encode())
         self.stats.result_stores += 1
 

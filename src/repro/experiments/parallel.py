@@ -32,11 +32,12 @@ from dataclasses import dataclass
 from repro.cpu.core import RunMetrics
 from repro.experiments.config import MachineConfig, TABLE1_256K
 from repro.experiments.runner import (
+    CellResult,
     RunFailure,
-    run_benchmark,
-    run_benchmark_resilient,
+    run_benchmark_cells,
+    run_cell,
+    run_cell_isolated,
     run_scheme,
-    run_scheme_isolated,
 )
 
 __all__ = [
@@ -45,6 +46,7 @@ __all__ = [
     "resolve_jobs",
     "parallel_map",
     "run_grid_cells",
+    "run_benchmark_cells_parallel",
     "run_benchmark_parallel",
     "run_seeds",
 ]
@@ -105,27 +107,17 @@ class _BenchmarkTask:
 
 def _run_benchmark_task(task: _BenchmarkTask):
     """Worker body: run one benchmark's schemes over its shared trace."""
-    if task.keep_going:
-        results, failures = run_benchmark_resilient(
-            task.benchmark,
-            list(task.schemes),
-            machine=task.machine,
-            references=task.references,
-            seed=task.seed,
-            retries=task.retries,
-            use_cache=task.use_cache,
-        )
-    else:
-        results = run_benchmark(
-            task.benchmark,
-            list(task.schemes),
-            machine=task.machine,
-            references=task.references,
-            seed=task.seed,
-            use_cache=task.use_cache,
-        )
-        failures = []
-    return task.benchmark, results, failures
+    cells, failures = run_benchmark_cells(
+        task.benchmark,
+        list(task.schemes),
+        machine=task.machine,
+        references=task.references,
+        seed=task.seed,
+        keep_going=task.keep_going,
+        retries=task.retries,
+        use_cache=task.use_cache,
+    )
+    return task.benchmark, cells, failures
 
 
 def run_grid_cells(
@@ -141,9 +133,12 @@ def run_grid_cells(
 ):
     """Run a whole grid, one benchmark per worker unit.
 
-    Returns ``[(benchmark, {scheme: metrics}, [failures])]`` in benchmark
-    input order — the exact material :func:`repro.experiments.sweep.run_grid`
-    assembles into a :class:`~repro.experiments.sweep.SweepResult`.
+    Returns ``[(benchmark, {scheme: CellResult}, [failures])]`` in
+    benchmark input order — metrics plus telemetry snapshot per cell, the
+    exact material :func:`repro.experiments.sweep.run_grid` assembles into
+    a :class:`~repro.experiments.sweep.SweepResult`.  Snapshots ride back
+    through the worker pickle boundary just like metrics, so a parallel
+    grid merges to the same totals as the serial loop.
     """
     tasks = [
         _BenchmarkTask(
@@ -180,7 +175,7 @@ class _SchemeTask:
 
 def _run_scheme_task(task: _SchemeTask):
     if task.keep_going:
-        return run_scheme_isolated(
+        return run_cell_isolated(
             task.benchmark,
             task.scheme,
             machine=task.machine,
@@ -189,7 +184,7 @@ def _run_scheme_task(task: _SchemeTask):
             retries=task.retries,
             use_cache=task.use_cache,
         )
-    return run_scheme(
+    return run_cell(
         task.benchmark,
         task.scheme,
         machine=task.machine,
@@ -199,7 +194,7 @@ def _run_scheme_task(task: _SchemeTask):
     )
 
 
-def run_benchmark_parallel(
+def run_benchmark_cells_parallel(
     benchmark: str,
     schemes,
     machine: MachineConfig = TABLE1_256K,
@@ -209,11 +204,10 @@ def run_benchmark_parallel(
     retries: int = 1,
     jobs: int | None = 1,
     use_cache: bool = False,
-) -> tuple[dict[str, RunMetrics], list[RunFailure]]:
-    """One benchmark, schemes fanned out across workers.
+) -> tuple[dict[str, CellResult], list[RunFailure]]:
+    """One benchmark, schemes fanned out across workers, snapshots included.
 
-    Mirrors :func:`~repro.experiments.runner.run_benchmark` /
-    :func:`~repro.experiments.runner.run_benchmark_resilient` semantics
+    Mirrors :func:`~repro.experiments.runner.run_benchmark_cells` semantics
     (including ``keep_going`` failure capture), with scheme-level
     parallelism for the CLI's single-benchmark ``run`` command.
     """
@@ -231,15 +225,41 @@ def run_benchmark_parallel(
         for scheme in schemes
     ]
     outcomes = parallel_map(_run_scheme_task, tasks, jobs=jobs)
-    results: dict[str, RunMetrics] = {}
+    cells: dict[str, CellResult] = {}
     failures: list[RunFailure] = []
     for scheme, outcome in zip(schemes, outcomes):
         if isinstance(outcome, RunFailure):
             failures.append(outcome)
         else:
             name = scheme if isinstance(scheme, str) else scheme.name
-            results[name] = outcome
-    return results, failures
+            cells[name] = outcome
+    return cells, failures
+
+
+def run_benchmark_parallel(
+    benchmark: str,
+    schemes,
+    machine: MachineConfig = TABLE1_256K,
+    references: int | None = None,
+    seed: int = 1,
+    keep_going: bool = False,
+    retries: int = 1,
+    jobs: int | None = 1,
+    use_cache: bool = False,
+) -> tuple[dict[str, RunMetrics], list[RunFailure]]:
+    """Metrics-only view of :func:`run_benchmark_cells_parallel`."""
+    cells, failures = run_benchmark_cells_parallel(
+        benchmark,
+        schemes,
+        machine=machine,
+        references=references,
+        seed=seed,
+        keep_going=keep_going,
+        retries=retries,
+        jobs=jobs,
+        use_cache=use_cache,
+    )
+    return {name: cell.metrics for name, cell in cells.items()}, failures
 
 
 # -- per-seed partitioning (multi-seed statistics) -----------------------------

@@ -35,19 +35,27 @@ from repro.secure.predictors import (
 )
 from repro.secure.seqcache import SequenceNumberCache
 from repro.secure.seqnum import PageSecurityTable
+from repro.telemetry.profile import profile_scope
+from repro.telemetry.registry import MetricRegistry
+from repro.telemetry.snapshot import MetricsSnapshot
 from repro.workloads.spec import build_workload
 
 __all__ = [
     "SchemeSpec",
     "SCHEMES",
+    "CellResult",
     "RunFailure",
     "default_references",
     "get_miss_trace",
     "make_controller",
     "apply_preseed",
+    "collect_cell_snapshot",
+    "run_cell",
+    "run_cell_isolated",
     "run_scheme",
     "run_scheme_isolated",
     "run_benchmark",
+    "run_benchmark_cells",
     "run_benchmark_resilient",
 ]
 
@@ -133,11 +141,12 @@ def get_miss_trace(
             return pair
     workload = build_workload(benchmark, references=references, seed=seed)
     hierarchy = MemoryHierarchy(machine.hierarchy)
-    miss_trace = collect_miss_trace(
-        workload.trace,
-        hierarchy=hierarchy,
-        flush_interval_instructions=machine.flush_interval_instructions,
-    )
+    with profile_scope("sim.hierarchy_step"):
+        miss_trace = collect_miss_trace(
+            workload.trace,
+            hierarchy=hierarchy,
+            flush_interval_instructions=machine.flush_interval_instructions,
+        )
     _MISS_TRACE_CACHE[key] = (miss_trace, workload.preseed)
     if disk is not None:
         disk.store_trace(disk_key, miss_trace, workload.preseed)
@@ -229,6 +238,88 @@ def apply_preseed(
         backing.write_seqnum(line, (root + distance) & _MASK64)
 
 
+@dataclass(frozen=True)
+class CellResult:
+    """Metrics plus telemetry snapshot of one (benchmark, scheme) cell."""
+
+    metrics: RunMetrics
+    snapshot: MetricsSnapshot
+
+
+def collect_cell_snapshot(
+    controller, miss_trace, meta: dict | None = None
+) -> MetricsSnapshot:
+    """Harvest one finished cell's stat islands into a mergeable snapshot.
+
+    Covers the whole pipeline: controller (classes, resilience, latency
+    histogram), crypto engine, predictor, DRAM, sequence-number cache and
+    pad memo when present, plus the hierarchy-level summary of the miss
+    trace.  Harvesting happens once per cell, after the replay, so the
+    simulation hot path carries no per-event registry cost.
+    """
+    registry = MetricRegistry()
+    controller.publish_telemetry(registry)
+    miss_trace.publish(registry)
+    return registry.snapshot(meta=meta)
+
+
+def run_cell(
+    benchmark: str,
+    scheme: str | SchemeSpec,
+    machine: MachineConfig = TABLE1_256K,
+    references: int | None = None,
+    seed: int = 1,
+    use_cache: bool = False,
+    tracer=None,
+) -> CellResult:
+    """Run one (benchmark, scheme, machine) point, returning metrics + snapshot.
+
+    With ``use_cache`` the cell is served from / stored into the on-disk
+    result cache (content-keyed, including a source-code fingerprint, so a
+    hit is always byte-identical to a fresh run of the same code).  A
+    ``tracer`` (:class:`~repro.telemetry.events.EventTracer`) attaches to
+    the controller for cycle-stamped span capture; traced runs bypass the
+    cache — a cached cell has no events to replay.
+    """
+    spec = SCHEMES[scheme] if isinstance(scheme, str) else scheme
+    references = references or default_references()
+    disk = result_cache.default_cache() if use_cache and tracer is None else None
+    cache_key = None
+    if disk is not None:
+        cache_key = result_cache.result_key(
+            benchmark, spec, machine, references, seed
+        )
+        cached = disk.lookup_cell(cache_key)
+        if cached is not None:
+            metrics, snapshot = cached
+            return CellResult(metrics=metrics, snapshot=snapshot)
+    miss_trace, preseed = get_miss_trace(
+        benchmark, machine, references, seed, use_cache=use_cache
+    )
+    controller = make_controller(spec, machine, seed)
+    if tracer is not None:
+        controller.tracer = tracer
+    apply_preseed(controller, preseed)
+    with profile_scope("sim.replay"):
+        metrics = replay_miss_trace(
+            miss_trace, controller, core=machine.core, scheme=spec.name
+        )
+    snapshot = collect_cell_snapshot(
+        controller,
+        miss_trace,
+        meta={
+            "benchmark": benchmark,
+            "scheme": spec.name,
+            "machine": machine.name,
+            "references": references,
+            "seed": seed,
+        },
+    )
+    if disk is not None:
+        disk.store_result(cache_key, metrics, snapshot)
+    return CellResult(metrics=metrics, snapshot=snapshot)
+
+
 def run_scheme(
     benchmark: str,
     scheme: str | SchemeSpec,
@@ -237,34 +328,43 @@ def run_scheme(
     seed: int = 1,
     use_cache: bool = False,
 ) -> RunMetrics:
-    """Run one (benchmark, scheme, machine) point.
+    """Run one (benchmark, scheme, machine) point (metrics only)."""
+    return run_cell(benchmark, scheme, machine, references, seed, use_cache).metrics
 
-    With ``use_cache`` the cell is served from / stored into the on-disk
-    result cache (content-keyed, including a source-code fingerprint, so a
-    hit is always byte-identical to a fresh run of the same code).
+
+def run_benchmark_cells(
+    benchmark: str,
+    schemes: list[str],
+    machine: MachineConfig = TABLE1_256K,
+    references: int | None = None,
+    seed: int = 1,
+    keep_going: bool = False,
+    retries: int = 1,
+    use_cache: bool = False,
+) -> tuple[dict[str, "CellResult"], list["RunFailure"]]:
+    """Run several schemes on one benchmark's shared miss trace.
+
+    Returns ``(cells, failures)``; ``failures`` can only be non-empty with
+    ``keep_going`` (otherwise the first error propagates, the historical
+    fail-fast behavior).
     """
-    spec = SCHEMES[scheme] if isinstance(scheme, str) else scheme
-    references = references or default_references()
-    disk = result_cache.default_cache() if use_cache else None
-    cache_key = None
-    if disk is not None:
-        cache_key = result_cache.result_key(
-            benchmark, spec, machine, references, seed
-        )
-        cached = disk.lookup_result(cache_key)
-        if cached is not None:
-            return cached
-    miss_trace, preseed = get_miss_trace(
-        benchmark, machine, references, seed, use_cache=use_cache
-    )
-    controller = make_controller(spec, machine, seed)
-    apply_preseed(controller, preseed)
-    metrics = replay_miss_trace(
-        miss_trace, controller, core=machine.core, scheme=spec.name
-    )
-    if disk is not None:
-        disk.store_result(cache_key, metrics)
-    return metrics
+    cells: dict[str, CellResult] = {}
+    failures: list[RunFailure] = []
+    for scheme in schemes:
+        name = scheme if isinstance(scheme, str) else scheme.name
+        if keep_going:
+            outcome = run_cell_isolated(
+                benchmark, scheme, machine, references, seed, retries, use_cache
+            )
+            if isinstance(outcome, RunFailure):
+                failures.append(outcome)
+            else:
+                cells[name] = outcome
+        else:
+            cells[name] = run_cell(
+                benchmark, scheme, machine, references, seed, use_cache
+            )
+    return cells, failures
 
 
 def run_benchmark(
@@ -276,10 +376,10 @@ def run_benchmark(
     use_cache: bool = False,
 ) -> dict[str, RunMetrics]:
     """Run several schemes on one benchmark's shared miss trace."""
-    return {
-        scheme: run_scheme(benchmark, scheme, machine, references, seed, use_cache)
-        for scheme in schemes
-    }
+    cells, _ = run_benchmark_cells(
+        benchmark, schemes, machine, references, seed, use_cache=use_cache
+    )
+    return {scheme: cell.metrics for scheme, cell in cells.items()}
 
 
 # -- failure isolation ---------------------------------------------------------
@@ -302,7 +402,7 @@ class RunFailure:
         )
 
 
-def run_scheme_isolated(
+def run_cell_isolated(
     benchmark: str,
     scheme: str | SchemeSpec,
     machine: MachineConfig = TABLE1_256K,
@@ -310,7 +410,7 @@ def run_scheme_isolated(
     seed: int = 1,
     retries: int = 1,
     use_cache: bool = False,
-) -> RunMetrics | RunFailure:
+) -> CellResult | RunFailure:
     """Run one point behind an isolation boundary.
 
     A failing scheme is retried up to ``retries`` more times (the
@@ -325,7 +425,7 @@ def run_scheme_isolated(
     for _ in range(max(0, retries) + 1):
         attempts += 1
         try:
-            return run_scheme(benchmark, scheme, machine, references, seed, use_cache)
+            return run_cell(benchmark, scheme, machine, references, seed, use_cache)
         except KeyboardInterrupt:
             raise
         except Exception as err:
@@ -337,6 +437,24 @@ def run_scheme_isolated(
         message=str(last),
         attempts=attempts,
     )
+
+
+def run_scheme_isolated(
+    benchmark: str,
+    scheme: str | SchemeSpec,
+    machine: MachineConfig = TABLE1_256K,
+    references: int | None = None,
+    seed: int = 1,
+    retries: int = 1,
+    use_cache: bool = False,
+) -> RunMetrics | RunFailure:
+    """Metrics-only view of :func:`run_cell_isolated`."""
+    outcome = run_cell_isolated(
+        benchmark, scheme, machine, references, seed, retries, use_cache
+    )
+    if isinstance(outcome, RunFailure):
+        return outcome
+    return outcome.metrics
 
 
 def run_benchmark_resilient(
@@ -354,14 +472,14 @@ def run_benchmark_resilient(
     after a retry) lands in ``results``; the rest are described in
     ``failures`` in submission order.
     """
-    results: dict[str, RunMetrics] = {}
-    failures: list[RunFailure] = []
-    for scheme in schemes:
-        outcome = run_scheme_isolated(
-            benchmark, scheme, machine, references, seed, retries, use_cache
-        )
-        if isinstance(outcome, RunFailure):
-            failures.append(outcome)
-        else:
-            results[scheme] = outcome
-    return results, failures
+    cells, failures = run_benchmark_cells(
+        benchmark,
+        schemes,
+        machine,
+        references,
+        seed,
+        keep_going=True,
+        retries=retries,
+        use_cache=use_cache,
+    )
+    return {scheme: cell.metrics for scheme, cell in cells.items()}, failures

@@ -16,6 +16,7 @@ from repro.experiments.config import MachineConfig, TABLE1_256K
 from repro.experiments.parallel import run_grid_cells
 from repro.experiments.report import FigureResult
 from repro.experiments.runner import RunFailure
+from repro.telemetry.snapshot import MetricsSnapshot, merge_snapshots
 
 __all__ = ["SweepResult", "run_grid"]
 
@@ -33,11 +34,30 @@ class SweepResult:
     references: int | None
     results: dict[tuple[str, str], RunMetrics] = field(repr=False, default_factory=dict)
     failures: list[RunFailure] = field(default_factory=list)
+    snapshots: dict[tuple[str, str], MetricsSnapshot] = field(
+        repr=False, default_factory=dict
+    )
 
     @property
     def complete(self) -> bool:
         """True when every requested grid point produced metrics."""
         return not self.failures
+
+    def snapshot(self, benchmark: str, scheme: str) -> MetricsSnapshot:
+        return self.snapshots[(benchmark, scheme)]
+
+    def merged_snapshot(self) -> MetricsSnapshot | None:
+        """All cells' telemetry merged into one grid-total snapshot.
+
+        Cells merge in sorted ``(benchmark, scheme)`` order; since each
+        per-kind merge rule is commutative and associative, a parallel grid
+        produces exactly the snapshot the serial loop would.  ``None`` for
+        an empty grid.
+        """
+        if not self.snapshots:
+            return None
+        ordered = [self.snapshots[key] for key in sorted(self.snapshots)]
+        return merge_snapshots(ordered)
 
     def benchmarks(self) -> list[str]:
         return list(dict.fromkeys(benchmark for benchmark, _ in self.results))
@@ -118,6 +138,7 @@ def run_grid(
     )
     for benchmark, per_scheme, failures in cells:
         sweep.failures.extend(failures)
-        for scheme, metrics in per_scheme.items():
-            sweep.results[(benchmark, scheme)] = metrics
+        for scheme, cell in per_scheme.items():
+            sweep.results[(benchmark, scheme)] = cell.metrics
+            sweep.snapshots[(benchmark, scheme)] = cell.snapshot
     return sweep

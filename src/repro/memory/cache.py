@@ -71,6 +71,16 @@ class CacheStats:
     def miss_rate(self) -> float:
         return self.misses / self.accesses if self.accesses else 0.0
 
+    def publish(self, registry, prefix: str) -> None:
+        """Export these counters into a telemetry registry under ``prefix``."""
+        registry.counter(f"{prefix}.accesses").inc(self.accesses)
+        registry.counter(f"{prefix}.hits").inc(self.hits)
+        registry.counter(f"{prefix}.misses").inc(self.misses)
+        registry.counter(f"{prefix}.evictions").inc(self.evictions)
+        registry.counter(f"{prefix}.dirty_evictions").inc(self.dirty_evictions)
+        registry.counter(f"{prefix}.writes").inc(self.writes)
+        registry.gauge(f"{prefix}.hit_rate").set(self.hit_rate)
+
 
 @dataclass(frozen=True)
 class CacheAccessResult:

@@ -56,6 +56,19 @@ class DramStats:
     row_conflicts: int = 0
     bank_queue_cycles: int = 0
 
+    def publish(self, registry, prefix: str = "memory.dram") -> None:
+        """Export these counters into a telemetry registry under ``prefix``."""
+        registry.counter(f"{prefix}.reads").inc(self.reads)
+        registry.counter(f"{prefix}.writes").inc(self.writes)
+        registry.counter(f"{prefix}.row_hits").inc(self.row_hits)
+        registry.counter(f"{prefix}.row_empties").inc(self.row_empties)
+        registry.counter(f"{prefix}.row_conflicts").inc(self.row_conflicts)
+        registry.counter(f"{prefix}.bank_queue_cycles").inc(self.bank_queue_cycles)
+        accesses = self.row_hits + self.row_empties + self.row_conflicts
+        registry.gauge(f"{prefix}.row_hit_rate").set(
+            self.row_hits / accesses if accesses else 0.0
+        )
+
 
 @dataclass(frozen=True)
 class LineFetchTiming:

@@ -137,6 +137,11 @@ class MemoryHierarchy:
             writeback_lines=tuple(writebacks),
         )
 
+    def publish_telemetry(self, registry, prefix: str = "memory.cache") -> None:
+        """Export every level's counters (``memory.cache.l1i.hits`` ...)."""
+        for level in (self.l1i, self.l1d, self.l2):
+            level.stats.publish(registry, f"{prefix}.{level.config.name}")
+
     def flush_dirty(self) -> list[int]:
         """Clean all dirty lines (periodic OS flush); returns L2 write-backs."""
         stragglers = []

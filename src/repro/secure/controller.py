@@ -22,6 +22,7 @@ integrity verification, and pad-reuse auditing.
 from __future__ import annotations
 
 import enum
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 from repro.crypto.engine import CryptoEngine
@@ -39,6 +40,8 @@ from repro.secure.predictors import NullPredictor, OtpPredictor
 from repro.secure.seqcache import SequenceNumberCache
 from repro.secure.seqnum import PageSecurityTable
 from repro.secure.threat import PadReuseAuditor
+from repro.telemetry.events import NULL_TRACER
+from repro.telemetry.registry import DEFAULT_LATENCY_BOUNDS
 
 __all__ = [
     "FetchClass",
@@ -192,6 +195,11 @@ class ControllerStats:
     total_exposed_latency: int = 0
     total_decryption_overhead: int = 0
     resilience: ResilienceStats = field(default_factory=ResilienceStats)
+    # Bucketed exposed-latency distribution (bounds: DEFAULT_LATENCY_BOUNDS
+    # plus one overflow bucket), fed by record_fetch_latency.
+    exposed_latency_counts: list = field(
+        default_factory=lambda: [0] * (len(DEFAULT_LATENCY_BOUNDS) + 1)
+    )
 
     @property
     def coverage(self) -> float:
@@ -202,6 +210,42 @@ class ControllerStats:
     def mean_exposed_latency(self) -> float:
         """Average cycles from miss issue to usable data."""
         return self.total_exposed_latency / self.fetches if self.fetches else 0.0
+
+    def record_fetch_latency(self, exposed: int, overhead: int) -> None:
+        """Accumulate one fetch's latency totals and histogram bucket."""
+        self.total_exposed_latency += exposed
+        self.total_decryption_overhead += overhead
+        self.exposed_latency_counts[
+            bisect_right(DEFAULT_LATENCY_BOUNDS, exposed)
+        ] += 1
+
+    def publish(self, registry, prefix: str = "secure.controller") -> None:
+        """Export these counters into a telemetry registry under ``prefix``."""
+        registry.counter(f"{prefix}.fetches").inc(self.fetches)
+        registry.counter(f"{prefix}.writebacks").inc(self.writebacks)
+        registry.counter(f"{prefix}.rebased_writebacks").inc(
+            self.rebased_writebacks
+        )
+        registry.counter(f"{prefix}.covered_fetches").inc(self.covered_fetches)
+        for kind, count in self.class_counts.items():
+            registry.counter(f"{prefix}.class.{kind.value}").inc(count)
+        registry.counter(f"{prefix}.exposed_latency_cycles").inc(
+            self.total_exposed_latency
+        )
+        registry.counter(f"{prefix}.decryption_overhead_cycles").inc(
+            self.total_decryption_overhead
+        )
+        registry.gauge(f"{prefix}.coverage").set(self.coverage)
+        registry.gauge(f"{prefix}.mean_exposed_latency").set(
+            self.mean_exposed_latency
+        )
+        registry.histogram(f"{prefix}.exposed_latency").load(
+            self.exposed_latency_counts,
+            float(self.total_exposed_latency),
+            sum(self.exposed_latency_counts),
+        )
+        for name, value in self.resilience.as_dict().items():
+            registry.counter(f"{prefix}.resilience.{name}").inc(value)
 
 
 class SecureMemoryController:
@@ -230,6 +274,10 @@ class SecureMemoryController:
         saturation propagate immediately); with one, faults are retried
         with backoff, persistent offenders are quarantined, and counter
         overflow triggers a page re-encryption.
+    tracer:
+        Optional :class:`~repro.telemetry.events.EventTracer`; when
+        attached, every fetch and write-back emits cycle-stamped spans
+        (dram / crypto / controller tracks) for Chrome-trace export.
     """
 
     def __init__(
@@ -246,6 +294,7 @@ class SecureMemoryController:
         pad_buffer_entries: int = 64,
         backing: BackingStore | None = None,
         recovery: RecoveryPolicy | None = None,
+        tracer=None,
     ):
         self.engine = engine if engine is not None else CryptoEngine()
         self.dram = dram if dram is not None else Dram()
@@ -272,6 +321,9 @@ class SecureMemoryController:
             )
         self.max_guesses = pad_buffer_entries // self.blocks
         self.recovery = recovery
+        # Cycle-stamped span sink; the shared null tracer answers
+        # ``enabled`` False so the hot path pays one attribute check.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.quarantine: set[int] = set()
         self.degraded = False
         self._consecutive_faults = 0
@@ -290,6 +342,25 @@ class SecureMemoryController:
                 )
         elif integrity:
             raise ValueError("integrity tree requires functional mode (a key)")
+
+    # -- telemetry ---------------------------------------------------------------
+
+    def publish_telemetry(self, registry) -> None:
+        """Export the whole protected-domain pipeline into ``registry``.
+
+        One call covers every stat island the controller owns or drives:
+        controller counters (with resilience and the exposed-latency
+        histogram), crypto engine, predictor, DRAM, and — when present —
+        the sequence-number cache and the functional pad memo.
+        """
+        self.stats.publish(registry)
+        self.engine.stats.publish(registry)
+        self.predictor.stats.publish(registry)
+        self.dram.stats.publish(registry)
+        if self.seqcache is not None:
+            self.seqcache.publish(registry)
+        if self.otp is not None:
+            self.otp.pad_cache.stats.publish(registry)
 
     # -- sequence-number state -------------------------------------------------
 
@@ -431,8 +502,14 @@ class SecureMemoryController:
         # serializing behind the sequence number's arrival (Figure 4).
         if pad_ready < timing.seqnum_ready + self.engine.latency:
             self.stats.covered_fetches += 1
-        self.stats.total_exposed_latency += data_ready - now
-        self.stats.total_decryption_overhead += data_ready - timing.line_ready
+        self.stats.record_fetch_latency(
+            data_ready - now, data_ready - timing.line_ready
+        )
+        if self.tracer.enabled:
+            self._trace_fetch(
+                now, timing, pad_ready, data_ready, line, actual,
+                fetch_class, predicted, cache_hit, len(guesses),
+            )
 
         return FetchResult(
             address=line,
@@ -473,6 +550,49 @@ class SecureMemoryController:
             # All speculation wasted; fall through to the demand path once
             # the true sequence number has arrived (Figure 4b, miss case).
         return self.engine.issue(seqnum_ready, blocks, speculative=False)[-1]
+
+    def _trace_fetch(
+        self,
+        now: int,
+        timing,
+        pad_ready: int,
+        data_ready: int,
+        line: int,
+        seqnum: int,
+        fetch_class: FetchClass,
+        predicted: bool,
+        cache_hit: bool,
+        guesses: int,
+    ) -> None:
+        """Emit the Figure 4 timeline of one fetch onto the tracer's tracks."""
+        address = f"{line:#x}"
+        self.tracer.span(
+            "fetch", now, data_ready, track="controller", category="secure",
+            address=address, seqnum=seqnum, fetch_class=fetch_class.value,
+            predicted=predicted, seqcache_hit=cache_hit,
+        )
+        self.tracer.span(
+            "dram", timing.issue, timing.line_ready, track="dram",
+            category="memory", address=address,
+        )
+        self.tracer.instant(
+            "seqnum_ready", timing.seqnum_ready, track="dram",
+            category="memory", address=address,
+        )
+        if guesses:
+            pad_name = "speculate" if predicted else "speculate (miss)"
+        elif cache_hit or self.oracle:
+            pad_name = "demand pad (overlapped)"
+        else:
+            pad_name = "demand pad"
+        self.tracer.span(
+            pad_name, max(now, pad_ready - self.engine.latency), pad_ready,
+            track="crypto", category="crypto", address=address, guesses=guesses,
+        )
+        self.tracer.instant(
+            "match/xor", data_ready, track="controller", category="secure",
+            address=address,
+        )
 
     def _classify(self, cache_hit: bool, predicted: bool) -> FetchClass:
         if cache_hit and predicted:
@@ -611,6 +731,12 @@ class SecureMemoryController:
         self.stats.writebacks += 1
         if rebased:
             self.stats.rebased_writebacks += 1
+        if self.tracer.enabled:
+            self.tracer.span(
+                "writeback", now, completion, track="controller",
+                category="secure", address=f"{line:#x}", seqnum=new_seqnum,
+                rebased=rebased, reencrypted_page=reencrypted,
+            )
         return WritebackResult(
             address=line,
             seqnum=new_seqnum,

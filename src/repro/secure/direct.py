@@ -51,8 +51,7 @@ class DirectEncryptionController(SecureMemoryController):
 
         self.stats.fetches += 1
         self.stats.class_counts[FetchClass.NEITHER] += 1
-        self.stats.total_exposed_latency += data_ready - now
-        self.stats.total_decryption_overhead += data_ready - line_ready
+        self.stats.record_fetch_latency(data_ready - now, data_ready - line_ready)
         return FetchResult(
             address=line,
             seqnum=0,

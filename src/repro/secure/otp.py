@@ -24,6 +24,7 @@ from repro.crypto.aes import AES, BLOCK_SIZE
 from repro.crypto.ctr import make_counter_block, xor_bytes
 from repro.crypto.engine import PadCache
 from repro.crypto.sha256 import sha256
+from repro.telemetry.profile import profile_scope
 
 __all__ = ["OtpGenerator", "blocks_per_line", "DEFAULT_PAD_CACHE_ENTRIES"]
 
@@ -92,7 +93,10 @@ class OtpGenerator:
         cached = self.pad_cache.get(key)
         if cached is not None:
             return cached
-        pad = self._cipher.encrypt_blocks(self._pad_inputs(line_address, seqnum))
+        with profile_scope("crypto.batch_aes"):
+            pad = self._cipher.encrypt_blocks(
+                self._pad_inputs(line_address, seqnum)
+            )
         self.pad_cache.put(key, pad)
         return pad
 
@@ -106,19 +110,21 @@ class OtpGenerator:
         """
         result: dict[int, bytes] = {}
         missing: list[int] = []
-        for seqnum in seqnums:
-            if seqnum in result:
-                continue
-            cached = self.pad_cache.get((self._key_id, line_address, seqnum))
-            if cached is not None:
-                result[seqnum] = cached
-            else:
-                missing.append(seqnum)
-                result[seqnum] = b""  # placeholder keeps candidate order
+        with profile_scope("otp.pad_memo"):
+            for seqnum in seqnums:
+                if seqnum in result:
+                    continue
+                cached = self.pad_cache.get((self._key_id, line_address, seqnum))
+                if cached is not None:
+                    result[seqnum] = cached
+                else:
+                    missing.append(seqnum)
+                    result[seqnum] = b""  # placeholder keeps candidate order
         if missing:
-            batch = self._cipher.encrypt_blocks(
-                b"".join(self._pad_inputs(line_address, s) for s in missing)
-            )
+            with profile_scope("crypto.batch_aes"):
+                batch = self._cipher.encrypt_blocks(
+                    b"".join(self._pad_inputs(line_address, s) for s in missing)
+                )
             for index, seqnum in enumerate(missing):
                 pad = batch[index * self.line_bytes: (index + 1) * self.line_bytes]
                 self.pad_cache.put((self._key_id, line_address, seqnum), pad)

@@ -97,7 +97,7 @@ class PredecryptingController(SecureMemoryController):
         self.stats.fetches += 1
         self.stats.class_counts[FetchClass.NEITHER] += 1
         self.stats.covered_fetches += 1
-        self.stats.total_exposed_latency += data_ready - now
+        self.stats.record_fetch_latency(data_ready - now, 0)
         return FetchResult(
             address=line,
             seqnum=actual,

@@ -60,6 +60,17 @@ class PredictorStats:
     def guesses_per_lookup(self) -> float:
         return self.guesses_issued / self.lookups if self.lookups else 0.0
 
+    def publish(self, registry, prefix: str = "secure.predictor") -> None:
+        """Export these counters into a telemetry registry under ``prefix``."""
+        registry.counter(f"{prefix}.lookups").inc(self.lookups)
+        registry.counter(f"{prefix}.prediction_hits").inc(self.hits)
+        registry.counter(f"{prefix}.guesses_issued").inc(self.guesses_issued)
+        registry.counter(f"{prefix}.root_resets").inc(self.root_resets)
+        registry.gauge(f"{prefix}.hit_rate").set(self.hit_rate)
+        registry.gauge(f"{prefix}.guesses_per_lookup").set(
+            self.guesses_per_lookup
+        )
+
 
 class OtpPredictor:
     """Interface shared by every prediction scheme."""

@@ -70,6 +70,13 @@ class SequenceNumberCache:
         """Total capacity in bytes."""
         return self._tags.config.size_bytes
 
+    def publish(self, registry, prefix: str = "secure.seqcache") -> None:
+        """Export demand-path and tag-array counters under ``prefix``."""
+        registry.counter(f"{prefix}.demand_lookups").inc(self.demand_lookups)
+        registry.counter(f"{prefix}.demand_hits").inc(self.demand_hits)
+        registry.gauge(f"{prefix}.hit_rate").set(self.hit_rate)
+        self._tags.stats.publish(registry, f"{prefix}.tags")
+
     def _counter_address(self, line_address: int) -> int:
         """Address of the counter for ``line_address`` in the counter array."""
         return self.address_map.line_index(line_address) * _SEQNUM_BYTES

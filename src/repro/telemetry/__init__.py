@@ -1,0 +1,54 @@
+"""Unified observability: metrics, event tracing, and profiling.
+
+Every paper claim this repository reproduces — prediction rate, engine
+occupancy, stall breakdown, the Section 5.2 engine-latency sensitivity — is
+an argument about *where cycles and probes go*.  This package is the
+instrument rack that makes those arguments checkable on any run:
+
+* :mod:`repro.telemetry.registry` — typed counters / gauges / histograms
+  with hierarchical dotted names (``secure.controller.prediction_hits``,
+  ``crypto.engine.occupancy``).  A disabled registry hands out shared
+  null instruments, so instrumented code pays one attribute check and
+  nothing else.
+* :mod:`repro.telemetry.events` — a bounded ring-buffer tracer for
+  cycle-stamped spans (L2 miss issue → speculate → DRAM return →
+  match/XOR) with Chrome ``trace_event`` JSON export; the files open
+  directly in ``chrome://tracing`` or https://ui.perfetto.dev.
+* :mod:`repro.telemetry.snapshot` — a mergeable, diffable, JSON-stable
+  :class:`~repro.telemetry.snapshot.MetricsSnapshot`; parallel sweep
+  workers return snapshots that merge deterministically into grid totals.
+* :mod:`repro.telemetry.profile` — wall-time ``perf_counter`` scopes
+  around the hot paths (batch AES, pad memo, hierarchy simulation) that
+  collapse to a shared no-op object while profiling is off.
+
+The package deliberately imports nothing from the rest of ``repro`` so any
+layer — crypto, memory, secure, experiments — can depend on it.
+"""
+
+from repro.telemetry.events import NULL_TRACER, EventTracer, NullTracer, TraceEvent
+from repro.telemetry.profile import PROFILER, Profiler, profile_scope
+from repro.telemetry.registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+from repro.telemetry.snapshot import MetricsSnapshot, merge_snapshots
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "NULL_REGISTRY",
+    "TraceEvent",
+    "EventTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "MetricsSnapshot",
+    "merge_snapshots",
+    "Profiler",
+    "PROFILER",
+    "profile_scope",
+]

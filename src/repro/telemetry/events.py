@@ -1,0 +1,198 @@
+"""Bounded ring-buffer event tracer with Chrome ``trace_event`` export.
+
+The secure controller stamps one span per pipeline step of a fetch — miss
+issue, speculative pad generation, DRAM return, match/XOR — onto separate
+tracks, so a whole run renders as the paper's Figure 4 timeline.  Times
+are CPU *cycles*; the Chrome format wants microseconds, so the export maps
+one cycle to one microsecond (the viewer's time axis reads as cycles).
+
+The buffer is a fixed-capacity ring: once full, the oldest events are
+dropped (and counted in :attr:`EventTracer.dropped`) so tracing a long run
+costs bounded memory and keeps the *tail* of the execution — usually the
+steady state being debugged.
+
+:class:`NullTracer` (via the shared :data:`NULL_TRACER`) is the disabled
+sink: ``enabled`` is False and every recording method is a no-op, so
+instrumented hot paths guard with a single attribute check.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["TraceEvent", "EventTracer", "NullTracer", "NULL_TRACER"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One cycle-stamped event.
+
+    ``phase`` follows the Chrome trace-event phases this exporter emits:
+    ``"X"`` (complete span with duration) and ``"i"`` (instant).
+    """
+
+    name: str
+    phase: str
+    start: int                 # cycle of the event (span start for "X")
+    duration: int = 0          # cycles ("X" only)
+    track: str = "controller"  # rendered as the Chrome thread name
+    category: str = "sim"
+    args: dict = field(default_factory=dict)
+
+    def to_chrome(self, pid: int, tid: int) -> dict:
+        event = {
+            "name": self.name,
+            "ph": self.phase,
+            "ts": self.start,
+            "pid": pid,
+            "tid": tid,
+            "cat": self.category,
+            "args": dict(self.args),
+        }
+        if self.phase == "X":
+            event["dur"] = self.duration
+        if self.phase == "i":
+            event["s"] = "t"  # instant scoped to its thread
+        return event
+
+
+class EventTracer:
+    """Fixed-capacity ring buffer of :class:`TraceEvent`."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = 65536):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.dropped = 0
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def record(self, event: TraceEvent) -> None:
+        """Append one event, evicting (and counting) the oldest when full."""
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+
+    def span(
+        self,
+        name: str,
+        start: int,
+        end: int,
+        track: str = "controller",
+        category: str = "sim",
+        **args,
+    ) -> None:
+        """Record a complete span covering cycles ``[start, end]``."""
+        self.record(
+            TraceEvent(
+                name=name,
+                phase="X",
+                start=start,
+                duration=max(0, end - start),
+                track=track,
+                category=category,
+                args=args,
+            )
+        )
+
+    def instant(
+        self,
+        name: str,
+        at: int,
+        track: str = "controller",
+        category: str = "sim",
+        **args,
+    ) -> None:
+        """Record a zero-duration marker at cycle ``at``."""
+        self.record(
+            TraceEvent(
+                name=name, phase="i", start=at, track=track,
+                category=category, args=args,
+            )
+        )
+
+    def events(self) -> list[TraceEvent]:
+        """Buffered events, oldest first."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+    # -- export ----------------------------------------------------------------
+
+    def to_chrome(self, metadata: dict | None = None, pid: int = 1) -> dict:
+        """The buffer as a Chrome ``trace_event`` JSON object.
+
+        Tracks become threads: each distinct ``track`` string is assigned a
+        stable tid (alphabetical) and named via a ``thread_name`` metadata
+        event, so Perfetto shows labeled swimlanes.
+        """
+        tracks = sorted({event.track for event in self._events})
+        tids = {track: index for index, track in enumerate(tracks)}
+        trace_events = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": track},
+            }
+            for track, tid in tids.items()
+        ]
+        trace_events.extend(
+            event.to_chrome(pid, tids[event.track]) for event in self._events
+        )
+        payload = {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "clock": "cpu-cycles (1 cycle rendered as 1us)",
+                "dropped_events": self.dropped,
+                **(metadata or {}),
+            },
+        }
+        return payload
+
+    def write_chrome(self, path, metadata: dict | None = None) -> Path:
+        """Write the Chrome JSON to ``path``; returns the path written."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_chrome(metadata)) + "\n")
+        return path
+
+
+class NullTracer:
+    """Disabled sink: every recording method is a no-op."""
+
+    enabled = False
+    capacity = 0
+    dropped = 0
+
+    def __len__(self) -> int:
+        return 0
+
+    def record(self, event: TraceEvent) -> None:
+        pass
+
+    def span(self, name, start, end, track="controller", category="sim", **args):
+        pass
+
+    def instant(self, name, at, track="controller", category="sim", **args):
+        pass
+
+    def events(self) -> list[TraceEvent]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+
+#: Shared disabled tracer instrumented components default to.
+NULL_TRACER = NullTracer()

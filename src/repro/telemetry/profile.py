@@ -1,0 +1,150 @@
+"""Lightweight wall-time profiling scopes for the simulator's hot paths.
+
+Unlike the cycle-accurate metrics (which measure the *modeled* machine),
+these scopes measure the *simulator itself* — where real ``perf_counter``
+seconds go: the batched AES calls, the pad memo, the cache-hierarchy
+simulation, the replay loop.  They exist so perf PRs can claim "this made
+the hot path N% faster" with numbers attached.
+
+Overhead policy: the module-level :data:`PROFILER` starts disabled, and
+:func:`profile_scope` then returns one shared null context manager — a
+call, a dict-free branch, and nothing else — so leaving scopes in hot
+code is safe.  Enable with ``PROFILER.enable()`` (the CLI's ``repro trace
+--profile`` does) or the ``REPRO_PROFILE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+__all__ = ["ScopeStats", "Profiler", "PROFILER", "profile_scope", "PROFILE_ENV"]
+
+PROFILE_ENV = "REPRO_PROFILE"
+
+
+@dataclass
+class ScopeStats:
+    """Accumulated wall time for one named scope."""
+
+    calls: int = 0
+    total_seconds: float = 0.0
+    max_seconds: float = 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.calls if self.calls else 0.0
+
+
+class _Scope:
+    """Context manager timing one entry of a named scope."""
+
+    __slots__ = ("_profiler", "_name", "_start")
+
+    def __init__(self, profiler: "Profiler", name: str):
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._profiler._record(self._name, time.perf_counter() - self._start)
+        return False
+
+
+class _NullScope:
+    """Shared do-nothing scope returned while profiling is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class Profiler:
+    """Registry of named wall-time scopes."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._scopes: dict[str, ScopeStats] = {}
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self._scopes.clear()
+
+    def scope(self, name: str):
+        """A context manager timing ``name`` (no-op while disabled)."""
+        if not self.enabled:
+            return _NULL_SCOPE
+        return _Scope(self, name)
+
+    def _record(self, name: str, seconds: float) -> None:
+        stats = self._scopes.get(name)
+        if stats is None:
+            stats = self._scopes[name] = ScopeStats()
+        stats.calls += 1
+        stats.total_seconds += seconds
+        stats.max_seconds = max(stats.max_seconds, seconds)
+
+    def stats(self, name: str) -> ScopeStats | None:
+        return self._scopes.get(name)
+
+    def report(self) -> dict[str, dict]:
+        """``{scope: {calls, total_seconds, mean_seconds, max_seconds}}``."""
+        return {
+            name: {
+                "calls": stats.calls,
+                "total_seconds": stats.total_seconds,
+                "mean_seconds": stats.mean_seconds,
+                "max_seconds": stats.max_seconds,
+            }
+            for name, stats in sorted(self._scopes.items())
+        }
+
+    def render(self) -> str:
+        """Human-readable table, slowest scope first."""
+        if not self._scopes:
+            return "profiler: no scopes recorded"
+        rows = sorted(
+            self._scopes.items(), key=lambda kv: -kv[1].total_seconds
+        )
+        width = max(len(name) for name, _ in rows)
+        lines = [f"{'scope':<{width}}  {'calls':>8}  {'total':>10}  {'mean':>10}"]
+        for name, stats in rows:
+            lines.append(
+                f"{name:<{width}}  {stats.calls:>8}  "
+                f"{stats.total_seconds:>9.4f}s  {stats.mean_seconds * 1e6:>8.1f}us"
+            )
+        return "\n".join(lines)
+
+    def publish(self, registry, prefix: str = "profile") -> None:
+        """Export scope totals into a metric registry (gauges + counters)."""
+        for name, stats in sorted(self._scopes.items()):
+            base = f"{prefix}.{name}"
+            registry.counter(f"{base}.calls").inc(stats.calls)
+            registry.gauge(f"{base}.total_seconds").set(stats.total_seconds)
+            registry.gauge(f"{base}.mean_seconds").set(stats.mean_seconds)
+
+
+#: Process-wide profiler; disabled unless REPRO_PROFILE is set (or a caller
+#: such as ``repro trace --profile`` enables it explicitly).
+PROFILER = Profiler(enabled=bool(os.environ.get(PROFILE_ENV)))
+
+
+def profile_scope(name: str):
+    """``with profile_scope("crypto.batch_aes"): ...`` on the global profiler."""
+    return PROFILER.scope(name)

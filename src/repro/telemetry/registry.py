@@ -1,0 +1,248 @@
+"""Typed metric instruments behind one hierarchical registry.
+
+Three instrument kinds cover everything the simulator reports:
+
+* :class:`Counter` — monotonically increasing event count (fetches,
+  prediction hits, row conflicts).  Counters *sum* under snapshot merge.
+* :class:`Gauge` — point-in-time level (engine occupancy, hit rate).
+  Gauges take the *max* under merge, which is deterministic and
+  order-independent for the grid-total use case.
+* :class:`Histogram` — fixed-bound bucketed distribution (exposed fetch
+  latency).  Bucket counts sum under merge.
+
+Names are hierarchical dotted paths (``secure.controller.fetches``);
+the dots are the namespace — exports sort by name, so related metrics
+land together in every snapshot, diff, and JSON file.
+
+Overhead policy: a *disabled* registry returns shared null instruments
+whose mutators are no-ops, so instrumented code can keep unconditional
+``counter.inc()`` calls on warm paths and pay almost nothing when
+telemetry is off.  Truly hot loops should instead hold an instrument
+reference (or guard on ``registry.enabled``) — see DESIGN.md §6d.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_right
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_LATENCY_BOUNDS",
+]
+
+_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
+
+#: Power-of-two cycle bounds that resolve both a fully covered fetch
+#: (tens of cycles) and a recovery-retried one (thousands).
+DEFAULT_LATENCY_BOUNDS = (32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+def validate_metric_name(name: str) -> str:
+    """Reject names that are not lowercase dotted paths."""
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            f"metric name must be lowercase dotted segments "
+            f"([a-z0-9_] separated by '.'), got {name!r}"
+        )
+    return name
+
+
+class Counter:
+    """Monotonic event counter."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the running total."""
+        if amount < 0:
+            raise ValueError(f"{self.name}: counter increments must be >= 0")
+        self.value += amount
+
+    def export(self):
+        return self.value
+
+
+class Gauge:
+    """Point-in-time level; last ``set`` wins."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def export(self):
+        return self.value
+
+
+class Histogram:
+    """Fixed-bound bucketed distribution.
+
+    Bucket ``i`` counts samples in ``[bounds[i-1], bounds[i])`` — a value
+    equal to an edge lands in the higher bucket — with one overflow bucket
+    past the last bound.  Exported form is JSON-stable:
+    ``{"bounds": [...], "counts": [...], "sum": s, "count": n}``.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(self, name: str, bounds=DEFAULT_LATENCY_BOUNDS):
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"{name}: histogram bounds must strictly increase")
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.counts[bisect_right(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def load(self, counts, total: float, count: int) -> None:
+        """Merge pre-aggregated bucket counts (component-stat harvesting)."""
+        if len(counts) != len(self.counts):
+            raise ValueError(
+                f"{self.name}: expected {len(self.counts)} buckets, "
+                f"got {len(counts)}"
+            )
+        for index, bucket in enumerate(counts):
+            self.counts[index] += bucket
+        self.sum += total
+        self.count += count
+
+    def export(self):
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class _NullCounter(Counter):
+    """Shared no-op counter handed out by disabled registries."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def load(self, counts, total: float, count: int) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter("null")
+_NULL_GAUGE = _NullGauge("null")
+_NULL_HISTOGRAM = _NullHistogram("null")
+
+
+class MetricRegistry:
+    """Factory and namespace for instruments.
+
+    Instruments are memoized by name — asking twice returns the same
+    object, so independent publishers accumulate into shared totals.
+    Asking for an existing name with a *different* kind is an error
+    (silent kind aliasing would corrupt merges).
+
+    A registry built with ``enabled=False`` (or the module-level
+    :data:`NULL_REGISTRY`) returns shared null instruments and records
+    nothing; its snapshot is always empty.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def _get(self, name: str, factory, null_instrument, **kwargs):
+        if not self.enabled:
+            return null_instrument
+        validate_metric_name(name)
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory(name, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+        expected = factory.kind
+        if instrument.kind != expected:
+            raise ValueError(
+                f"metric {name!r} already registered as {instrument.kind}, "
+                f"requested {expected}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, _NULL_COUNTER)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, _NULL_GAUGE)
+
+    def histogram(self, name: str, bounds=DEFAULT_LATENCY_BOUNDS) -> Histogram:
+        return self._get(name, Histogram, _NULL_HISTOGRAM, bounds=bounds)
+
+    def values(self) -> dict[str, object]:
+        """``{name: exported value}`` sorted by name."""
+        return {
+            name: self._instruments[name].export()
+            for name in sorted(self._instruments)
+        }
+
+    def kinds(self) -> dict[str, str]:
+        return {
+            name: self._instruments[name].kind
+            for name in sorted(self._instruments)
+        }
+
+    def snapshot(self, meta: dict | None = None):
+        """Freeze current instrument values into a mergeable snapshot."""
+        from repro.telemetry.snapshot import MetricsSnapshot
+
+        return MetricsSnapshot(
+            values=self.values(), kinds=self.kinds(), meta=dict(meta or {})
+        )
+
+    def reset(self) -> None:
+        """Drop every instrument (a fresh namespace)."""
+        self._instruments.clear()
+
+
+#: Process-wide disabled registry: the null sink instrumented code defaults to.
+NULL_REGISTRY = MetricRegistry(enabled=False)

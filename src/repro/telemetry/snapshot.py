@@ -1,0 +1,186 @@
+"""Mergeable, diffable, JSON-stable metric snapshots.
+
+A :class:`MetricsSnapshot` freezes a registry's instruments into plain
+data: ``values`` maps hierarchical names to exported values, ``kinds``
+records each name's instrument kind (the merge rule), and ``meta`` carries
+run labels (benchmark, scheme, seed ...).
+
+Merge semantics are per-kind and deliberately order-independent:
+
+* counters **sum** — a grid total is the sum of its cells;
+* gauges take the **max** — "worst occupancy seen across cells";
+* histograms sum **bucket-wise** (bounds must agree).
+
+Because each rule is commutative and associative, merging a sweep's cell
+snapshots in any deterministic order yields the same grid totals — which
+is how the parallel engine's workers and the serial loop are proven to
+agree (see ``tests/experiments/test_parallel.py``).
+
+``diff`` supports A/B runs: it subtracts numeric metrics name-by-name, the
+substrate of "this change moved ``secure.controller.covered_fetches`` by
++4 %" claims in perf PRs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["MetricsSnapshot", "merge_snapshots"]
+
+SNAPSHOT_SCHEMA = "repro.telemetry.snapshot/v1"
+
+
+def _merge_value(kind: str, left, right):
+    if kind == "counter":
+        return left + right
+    if kind == "gauge":
+        return max(left, right)
+    if kind == "histogram":
+        if left["bounds"] != right["bounds"]:
+            raise ValueError("cannot merge histograms with different bounds")
+        return {
+            "bounds": list(left["bounds"]),
+            "counts": [a + b for a, b in zip(left["counts"], right["counts"])],
+            "sum": left["sum"] + right["sum"],
+            "count": left["count"] + right["count"],
+        }
+    raise ValueError(f"unknown metric kind {kind!r}")
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable point-in-time export of a metric registry."""
+
+    values: dict = field(default_factory=dict)
+    kinds: dict = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        missing = set(self.values) - set(self.kinds)
+        if missing:
+            raise ValueError(
+                f"metrics without a kind: {', '.join(sorted(missing))}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def get(self, name: str, default=None):
+        return self.values.get(name, default)
+
+    # -- merge -----------------------------------------------------------------
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Combine two snapshots under the per-kind merge rules.
+
+        Metrics present on only one side pass through unchanged; a name
+        registered with different kinds on the two sides is an error.
+        ``meta`` keeps the keys on which both sides agree and counts the
+        merged cells under ``"merged_cells"``.
+        """
+        values = dict(self.values)
+        kinds = dict(self.kinds)
+        for name, right in other.values.items():
+            kind = other.kinds[name]
+            if name not in values:
+                values[name] = right
+                kinds[name] = kind
+                continue
+            if kinds[name] != kind:
+                raise ValueError(
+                    f"metric {name!r} is a {kinds[name]} on one side and a "
+                    f"{kind} on the other"
+                )
+            values[name] = _merge_value(kind, values[name], right)
+        meta = {
+            key: value
+            for key, value in self.meta.items()
+            if key != "merged_cells" and other.meta.get(key) == value
+        }
+        meta["merged_cells"] = (
+            self.meta.get("merged_cells", 1) + other.meta.get("merged_cells", 1)
+        )
+        return MetricsSnapshot(
+            values={name: values[name] for name in sorted(values)},
+            kinds={name: kinds[name] for name in sorted(kinds)},
+            meta=meta,
+        )
+
+    # -- diff ------------------------------------------------------------------
+
+    def diff(self, baseline: "MetricsSnapshot") -> dict:
+        """``self - baseline`` per metric, for A/B comparisons.
+
+        Counters and gauges subtract numerically; histograms compare mean
+        and count.  Metrics present on only one side are reported under
+        ``"only_in_current"`` / ``"only_in_baseline"``.
+        """
+        deltas: dict[str, object] = {}
+        for name in sorted(set(self.values) & set(baseline.values)):
+            kind = self.kinds[name]
+            current, base = self.values[name], baseline.values[name]
+            if kind == "histogram":
+                cur_mean = current["sum"] / current["count"] if current["count"] else 0.0
+                base_mean = base["sum"] / base["count"] if base["count"] else 0.0
+                delta = {
+                    "mean": cur_mean - base_mean,
+                    "count": current["count"] - base["count"],
+                }
+                if delta["mean"] or delta["count"]:
+                    deltas[name] = delta
+            else:
+                if current != base:
+                    deltas[name] = current - base
+        return {
+            "changed": deltas,
+            "only_in_current": sorted(set(self.values) - set(baseline.values)),
+            "only_in_baseline": sorted(set(baseline.values) - set(self.values)),
+        }
+
+    # -- (de)serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "meta": dict(self.meta),
+            "kinds": {name: self.kinds[name] for name in sorted(self.kinds)},
+            "metrics": {name: self.values[name] for name in sorted(self.values)},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MetricsSnapshot":
+        if payload.get("schema") != SNAPSHOT_SCHEMA:
+            raise ValueError(
+                f"not a telemetry snapshot (schema {payload.get('schema')!r})"
+            )
+        return cls(
+            values=dict(payload["metrics"]),
+            kinds=dict(payload["kinds"]),
+            meta=dict(payload.get("meta", {})),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MetricsSnapshot":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path) -> "MetricsSnapshot":
+        return cls.from_json(Path(path).read_text())
+
+
+def merge_snapshots(snapshots) -> MetricsSnapshot:
+    """Fold any iterable of snapshots into one (empty iterable -> empty)."""
+    merged = None
+    for snapshot in snapshots:
+        merged = snapshot if merged is None else merged.merge(snapshot)
+    return merged if merged is not None else MetricsSnapshot()

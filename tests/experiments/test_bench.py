@@ -1,0 +1,62 @@
+"""Bench regression guard logic (pure; the CLI wiring is in test_cli)."""
+
+import pytest
+
+from repro.experiments.bench import check_regression
+
+
+def _report(vector=4.0, otp=2.0, warm=10.0, parallel=2.5,
+            identical=True, hit_rate=1.0):
+    return {
+        "crypto": {"vector_speedup": vector},
+        "otp": {"speedup": otp},
+        "grid": {
+            "warm_speedup": warm,
+            "parallel_speedup": parallel,
+            "metrics_identical": identical,
+            "warm_cache_hit_rate": hit_rate,
+        },
+    }
+
+
+class TestCheckRegression:
+    def test_identical_reports_pass(self):
+        assert check_regression(_report(), _report()) == []
+
+    def test_small_drop_within_tolerance_passes(self):
+        current = _report(otp=1.7)  # 15% below baseline's 2.0
+        assert check_regression(current, _report(), tolerance=0.2) == []
+
+    def test_large_drop_fails(self):
+        current = _report(otp=1.0)
+        violations = check_regression(current, _report(), tolerance=0.2)
+        assert len(violations) == 1
+        assert "otp.speedup" in violations[0]
+
+    def test_metrics_identical_is_a_hard_invariant(self):
+        current = _report(identical=False)
+        violations = check_regression(current, _report())
+        assert any("metrics_identical" in v for v in violations)
+
+    def test_warm_hit_rate_must_be_total(self):
+        current = _report(hit_rate=0.9)
+        violations = check_regression(current, _report())
+        assert any("warm_cache_hit_rate" in v for v in violations)
+
+    def test_missing_values_are_skipped_not_failed(self):
+        current = _report()
+        current["crypto"]["vector_speedup"] = None  # e.g. no numpy
+        assert check_regression(current, _report()) == []
+        baseline = _report()
+        del baseline["otp"]
+        assert check_regression(_report(), baseline) == []
+
+    def test_improvements_always_pass(self):
+        current = _report(vector=40.0, otp=20.0, warm=100.0, parallel=25.0)
+        assert check_regression(current, _report()) == []
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            check_regression(_report(), _report(), tolerance=1.5)
+        with pytest.raises(ValueError):
+            check_regression(_report(), _report(), tolerance=-0.1)

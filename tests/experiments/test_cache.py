@@ -81,6 +81,24 @@ class TestResultRoundTrip:
         assert cache.disk_stats()["results"]["entries"] == 0
 
 
+class TestCellRoundTrip:
+    def test_store_then_lookup_cell(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = runner.run_cell("gzip", "oracle", references=REFS)
+        cache.store_result("e" * 64, cell.metrics, cell.snapshot)
+        metrics, snapshot = cache.lookup_cell("e" * 64)
+        assert dataclasses.asdict(metrics) == dataclasses.asdict(cell.metrics)
+        assert snapshot.values == cell.snapshot.values
+        assert snapshot.kinds == cell.snapshot.kinds
+
+    def test_metrics_only_entry_is_a_cell_miss_but_result_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = runner.run_cell("gzip", "oracle", references=REFS)
+        cache.store_result("f" * 64, cell.metrics)  # no snapshot stored
+        assert cache.lookup_cell("f" * 64) is None
+        assert cache.lookup_result("f" * 64) is not None
+
+
 class TestControls:
     def test_env_dir_override(self, tmp_path, monkeypatch):
         monkeypatch.setenv(result_cache.CACHE_DIR_ENV, str(tmp_path / "alt"))

@@ -91,7 +91,7 @@ class TestKeepGoing:
     def test_keep_going_reports_partial_failure(self, monkeypatch, capsys):
         monkeypatch.setattr(
             cli,
-            "run_benchmark_parallel",
+            "run_benchmark_cells_parallel",
             lambda *args, **kwargs: (
                 {},
                 [RunFailure("gzip", "baseline", "RuntimeError", "boom", 2)],
@@ -211,6 +211,95 @@ class TestBench:
         assert report["grid"]["warm_cache_hit_rate"] == 1.0
         assert report["crypto"]["scalar_blocks_per_sec"] > 0
         assert report["otp"]["optimized_ops_per_sec"] > 0
+
+
+class TestBenchCheck:
+    def test_check_passes_against_own_report(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            ["bench", "--refs", "1200", "--ops", "30", "--jobs", "1",
+             "--output", str(baseline)]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["bench", "--refs", "1200", "--ops", "30", "--jobs", "1",
+             "--output", str(tmp_path / "current.json"),
+             "--check", str(baseline), "--tolerance", "0.9"]
+        )
+        assert code == 0
+        assert "regression check" in capsys.readouterr().out
+
+    def test_check_fails_on_regression(self, capsys, tmp_path):
+        output = tmp_path / "current.json"
+        assert main(
+            ["bench", "--refs", "1200", "--ops", "30", "--jobs", "1",
+             "--output", str(output)]
+        ) == 0
+        capsys.readouterr()
+        report = json.loads(output.read_text())
+        report["otp"]["speedup"] = report["otp"]["speedup"] * 1000
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(report))
+        code = main(
+            ["bench", "--refs", "1200", "--ops", "30", "--jobs", "1",
+             "--output", str(tmp_path / "again.json"), "--check", str(baseline)]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    def test_trace_writes_chrome_json(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        code = main(
+            ["trace", "gzip", "--refs", "1500", "--out", str(out)]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "captured" in stdout and str(out) in stdout
+        payload = json.loads(out.read_text())
+        assert payload["traceEvents"]
+        phases = {event["ph"] for event in payload["traceEvents"]}
+        assert "X" in phases  # complete spans made it out
+
+    def test_trace_unknown_benchmark(self, capsys):
+        assert main(["trace", "quake"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_trace_unknown_scheme(self, capsys):
+        assert main(["trace", "gzip", "--scheme", "bogus"]) == 2
+        assert "unknown scheme" in capsys.readouterr().err
+
+
+class TestEmitMetrics:
+    def test_run_emits_merged_snapshot(self, capsys, tmp_path):
+        path = tmp_path / "metrics.json"
+        code = main(
+            ["--emit-metrics", str(path), "run", "gzip", "oracle",
+             "pred_regular", "--refs", "1500", "--no-cache"]
+        )
+        assert code == 0
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        names = payload["metrics"]
+        assert any(name.startswith("secure.controller.") for name in names)
+        assert any(name.startswith("crypto.engine.") for name in names)
+        assert any(name.startswith("memory.dram.") for name in names)
+        assert any(name.startswith("memory.hierarchy.") for name in names)
+        assert payload["meta"]["merged_cells"] == 2
+
+    def test_trace_emits_snapshot(self, capsys, tmp_path):
+        path = tmp_path / "metrics.json"
+        code = main(
+            ["--emit-metrics", str(path), "trace", "gzip", "--refs", "1500",
+             "--out", str(tmp_path / "trace.json")]
+        )
+        assert code == 0
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        assert any(
+            name.startswith("secure.controller.") for name in payload["metrics"]
+        )
 
 
 class TestParser:

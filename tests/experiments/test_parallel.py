@@ -80,6 +80,38 @@ class TestGridEquivalence:
         assert sweep.schemes() == ["pred_regular", "oracle"]
 
 
+class TestSnapshotEquivalence:
+    def test_parallel_merged_snapshot_equals_serial(self):
+        """The tentpole determinism claim: telemetry snapshots harvested in
+        worker processes merge to exactly the serial grid's totals."""
+        kwargs = dict(references=REFS, seed=3)
+        serial = run_grid(["gzip", "mcf"], ["oracle", "pred_regular"], **kwargs)
+        parallel = run_grid(
+            ["gzip", "mcf"], ["oracle", "pred_regular"], jobs=2, **kwargs
+        )
+        assert set(serial.snapshots) == set(parallel.snapshots)
+        for key in serial.snapshots:
+            assert serial.snapshots[key].values == parallel.snapshots[key].values
+        serial_merged = serial.merged_snapshot()
+        parallel_merged = parallel.merged_snapshot()
+        assert serial_merged.values == parallel_merged.values
+        assert serial_merged.kinds == parallel_merged.kinds
+        assert serial_merged.meta["merged_cells"] == 4
+
+    def test_merged_snapshot_sums_counters_across_cells(self):
+        sweep = run_grid(["gzip"], ["oracle", "pred_regular"], references=REFS)
+        merged = sweep.merged_snapshot()
+        per_cell = [
+            snapshot.values["secure.controller.fetches"]
+            for snapshot in sweep.snapshots.values()
+        ]
+        assert merged.values["secure.controller.fetches"] == sum(per_cell)
+
+    def test_empty_grid_has_no_merged_snapshot(self):
+        sweep = run_grid([], [], references=REFS)
+        assert sweep.merged_snapshot() is None
+
+
 class TestFailureIsolation:
     def test_keep_going_isolates_failures_through_the_pool(self):
         sweep = run_grid(

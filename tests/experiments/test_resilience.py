@@ -34,27 +34,27 @@ class TestRunSchemeIsolated:
 
     def test_retry_once_recovers_transient_failure(self, monkeypatch):
         calls = {"n": 0}
-        real = runner.run_scheme
+        real = runner.run_cell
 
         def flaky(
             benchmark, scheme, machine=TABLE1_256K, references=None, seed=1,
-            use_cache=False,
+            use_cache=False, tracer=None,
         ):
             calls["n"] += 1
             if calls["n"] == 1:
                 raise RuntimeError("transient")
             return real(benchmark, scheme, machine, references, seed, use_cache)
 
-        monkeypatch.setattr(runner, "run_scheme", flaky)
+        monkeypatch.setattr(runner, "run_cell", flaky)
         metrics = run_scheme_isolated("gzip", "baseline", references=REFS)
         assert not isinstance(metrics, RunFailure)
         assert calls["n"] == 2
 
     def test_keyboard_interrupt_propagates(self, monkeypatch):
-        def interrupted(*args):
+        def interrupted(*args, **kwargs):
             raise KeyboardInterrupt
 
-        monkeypatch.setattr(runner, "run_scheme", interrupted)
+        monkeypatch.setattr(runner, "run_cell", interrupted)
         with pytest.raises(KeyboardInterrupt):
             run_scheme_isolated("gzip", "baseline", references=REFS)
 

@@ -1,0 +1,100 @@
+"""Ring-buffer event tracer and Chrome trace_event export."""
+
+import json
+
+import pytest
+
+from repro.telemetry.events import EventTracer, NULL_TRACER, TraceEvent
+
+
+class TestRingBuffer:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventTracer(capacity=0)
+
+    def test_records_in_order(self):
+        tracer = EventTracer(capacity=8)
+        tracer.span("fetch", 10, 30)
+        tracer.instant("match", 30)
+        events = tracer.events()
+        assert [event.name for event in events] == ["fetch", "match"]
+        assert events[0].phase == "X" and events[0].duration == 20
+        assert events[1].phase == "i"
+
+    def test_wraparound_keeps_tail_and_counts_drops(self):
+        tracer = EventTracer(capacity=4)
+        for index in range(10):
+            tracer.instant(f"e{index}", index)
+        assert len(tracer) == 4
+        assert tracer.dropped == 6
+        assert [event.name for event in tracer.events()] == [
+            "e6", "e7", "e8", "e9",
+        ]
+
+    def test_clear_resets_buffer_and_drop_count(self):
+        tracer = EventTracer(capacity=2)
+        for index in range(5):
+            tracer.instant("e", index)
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+
+    def test_span_clamps_negative_duration(self):
+        tracer = EventTracer()
+        tracer.span("backwards", 100, 90)
+        assert tracer.events()[0].duration == 0
+
+
+class TestChromeExport:
+    def _tracer(self):
+        tracer = EventTracer()
+        tracer.span("fetch", 0, 50, track="controller", address=0x1000)
+        tracer.span("dram", 5, 40, track="dram")
+        tracer.instant("match/xor", 50, track="controller")
+        return tracer
+
+    def test_schema_validity(self):
+        payload = self._tracer().to_chrome(metadata={"benchmark": "gzip"})
+        # Round-trip through JSON: everything must be serializable.
+        payload = json.loads(json.dumps(payload))
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["otherData"]["benchmark"] == "gzip"
+        assert payload["otherData"]["dropped_events"] == 0
+        for event in payload["traceEvents"]:
+            assert event["ph"] in ("X", "i", "M")
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            if event["ph"] == "X":
+                assert event["dur"] >= 0 and isinstance(event["ts"], int)
+            if event["ph"] == "i":
+                assert event["s"] == "t"
+
+    def test_tracks_become_named_threads(self):
+        payload = self._tracer().to_chrome()
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"]: e["tid"] for e in meta}
+        # Alphabetical, stable tid assignment.
+        assert names == {"controller": 0, "dram": 1}
+        spans = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        by_name = {e["name"]: e["tid"] for e in spans}
+        assert by_name["fetch"] == 0 and by_name["dram"] == 1
+
+    def test_args_survive_export(self):
+        payload = self._tracer().to_chrome()
+        fetch = next(e for e in payload["traceEvents"] if e["name"] == "fetch")
+        assert fetch["args"]["address"] == 0x1000
+
+    def test_write_chrome(self, tmp_path):
+        out = self._tracer().write_chrome(tmp_path / "t.json")
+        payload = json.loads(out.read_text())
+        assert payload["traceEvents"]
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.span("x", 0, 10)
+        NULL_TRACER.instant("y", 5)
+        NULL_TRACER.record(TraceEvent(name="z", phase="i", start=0))
+        assert NULL_TRACER.events() == []
+        assert len(NULL_TRACER) == 0

@@ -1,0 +1,85 @@
+"""Component instrumentation: controller spans and harvested snapshots."""
+
+from repro.secure.controller import SecureMemoryController
+from repro.telemetry.events import EventTracer, NULL_TRACER
+from repro.telemetry.registry import MetricRegistry
+
+
+def _exercise(controller, fetches=6):
+    clock = 0
+    line_bytes = controller.address_map.line_bytes
+    lines = [0x40000 + index * line_bytes for index in range(4)]
+    for line in lines:
+        clock = controller.writeback_line(clock, line).completion_time
+    for index in range(fetches):
+        clock = controller.fetch_line(clock, lines[index % len(lines)]).data_ready
+    return clock
+
+
+class TestControllerTracer:
+    def test_defaults_to_null_tracer(self):
+        controller = SecureMemoryController()
+        assert controller.tracer is NULL_TRACER
+        _exercise(controller)  # must not record anything anywhere
+
+    def test_fetch_emits_pipeline_spans(self):
+        controller = SecureMemoryController(tracer=EventTracer())
+        _exercise(controller)
+        events = controller.tracer.events()
+        names = {event.name for event in events}
+        assert "fetch" in names
+        assert "dram" in names
+        assert "match/xor" in names
+        assert "writeback" in names
+        tracks = {event.track for event in events}
+        assert {"controller", "dram", "crypto"} <= tracks
+
+    def test_fetch_span_args_describe_the_access(self):
+        controller = SecureMemoryController(tracer=EventTracer())
+        _exercise(controller)
+        fetch = next(
+            event for event in controller.tracer.events()
+            if event.name == "fetch"
+        )
+        assert "address" in fetch.args
+        assert "fetch_class" in fetch.args
+        assert "seqnum" in fetch.args
+
+    def test_attaching_tracer_does_not_change_timing(self):
+        plain = SecureMemoryController()
+        traced = SecureMemoryController(tracer=EventTracer())
+        assert _exercise(plain) == _exercise(traced)
+        assert plain.stats.total_exposed_latency == traced.stats.total_exposed_latency
+
+
+class TestPublishTelemetry:
+    def test_snapshot_covers_the_pipeline(self):
+        controller = SecureMemoryController()
+        _exercise(controller)
+        registry = MetricRegistry()
+        controller.publish_telemetry(registry)
+        values = registry.values()
+        assert values["secure.controller.fetches"] == 6
+        assert values["secure.controller.writebacks"] == 4
+        assert "secure.controller.exposed_latency" in values
+        assert "secure.predictor.lookups" in values
+        assert "crypto.engine.demand_blocks" in values
+        assert "memory.dram.reads" in values
+
+    def test_latency_histogram_agrees_with_totals(self):
+        controller = SecureMemoryController()
+        _exercise(controller)
+        registry = MetricRegistry()
+        controller.publish_telemetry(registry)
+        hist = registry.values()["secure.controller.exposed_latency"]
+        assert hist["count"] == controller.stats.fetches
+        assert hist["sum"] == float(controller.stats.total_exposed_latency)
+        assert sum(hist["counts"]) == hist["count"]
+
+    def test_publish_is_additive_across_controllers(self):
+        registry = MetricRegistry()
+        for _ in range(2):
+            controller = SecureMemoryController()
+            _exercise(controller)
+            controller.publish_telemetry(registry)
+        assert registry.values()["secure.controller.fetches"] == 12

@@ -1,0 +1,75 @@
+"""Wall-time profiler scopes."""
+
+import time
+
+from repro.telemetry.profile import PROFILER, Profiler, _NULL_SCOPE, profile_scope
+from repro.telemetry.registry import MetricRegistry
+
+
+class TestProfiler:
+    def test_disabled_scope_is_shared_null(self):
+        profiler = Profiler(enabled=False)
+        assert profiler.scope("x") is profiler.scope("y") is _NULL_SCOPE
+        with profiler.scope("x"):
+            pass
+        assert profiler.stats("x") is None
+
+    def test_enabled_scope_records(self):
+        profiler = Profiler(enabled=True)
+        with profiler.scope("work"):
+            time.sleep(0.001)
+        with profiler.scope("work"):
+            pass
+        stats = profiler.stats("work")
+        assert stats.calls == 2
+        assert stats.total_seconds > 0
+        assert stats.max_seconds >= stats.mean_seconds
+
+    def test_report_and_render(self):
+        profiler = Profiler(enabled=True)
+        with profiler.scope("a.b"):
+            pass
+        report = profiler.report()
+        assert report["a.b"]["calls"] == 1
+        assert "a.b" in profiler.render()
+        profiler.reset()
+        assert profiler.render() == "profiler: no scopes recorded"
+
+    def test_publish_to_registry(self):
+        profiler = Profiler(enabled=True)
+        with profiler.scope("crypto.batch_aes"):
+            pass
+        registry = MetricRegistry()
+        profiler.publish(registry)
+        values = registry.values()
+        assert values["profile.crypto.batch_aes.calls"] == 1
+        assert "profile.crypto.batch_aes.total_seconds" in values
+
+    def test_exception_still_recorded(self):
+        profiler = Profiler(enabled=True)
+        try:
+            with profiler.scope("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert profiler.stats("boom").calls == 1
+
+
+class TestGlobalProfiler:
+    def test_profile_scope_uses_global(self):
+        PROFILER.enable()
+        PROFILER.reset()
+        try:
+            with profile_scope("global.scope"):
+                pass
+            assert PROFILER.stats("global.scope").calls == 1
+        finally:
+            PROFILER.disable()
+            PROFILER.reset()
+
+    def test_profile_scope_noop_when_disabled(self):
+        PROFILER.disable()
+        PROFILER.reset()
+        with profile_scope("never.recorded"):
+            pass
+        assert PROFILER.stats("never.recorded") is None

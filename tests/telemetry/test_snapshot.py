@@ -1,0 +1,130 @@
+"""Snapshot merge rules, associativity, diffing, and serialization."""
+
+import pytest
+
+from repro.telemetry.registry import MetricRegistry
+from repro.telemetry.snapshot import MetricsSnapshot, merge_snapshots
+
+
+def _snap(counter=0, gauge=0.0, hist_counts=(0, 0, 0), meta=None):
+    registry = MetricRegistry()
+    registry.counter("c").inc(counter)
+    registry.gauge("g").set(gauge)
+    registry.histogram("h", bounds=(10, 20)).load(
+        list(hist_counts), total=float(sum(hist_counts)), count=sum(hist_counts)
+    )
+    return registry.snapshot(meta=meta or {})
+
+
+class TestMergeRules:
+    def test_counters_sum(self):
+        merged = _snap(counter=3).merge(_snap(counter=4))
+        assert merged.values["c"] == 7
+
+    def test_gauges_take_max(self):
+        merged = _snap(gauge=0.9).merge(_snap(gauge=0.2))
+        assert merged.values["g"] == 0.9
+
+    def test_histograms_sum_bucketwise(self):
+        merged = _snap(hist_counts=(1, 2, 3)).merge(_snap(hist_counts=(4, 0, 1)))
+        assert merged.values["h"]["counts"] == [5, 2, 4]
+        assert merged.values["h"]["count"] == 11
+
+    def test_histogram_bound_mismatch_is_an_error(self):
+        left = MetricsSnapshot(
+            values={"h": {"bounds": [1], "counts": [0, 0], "sum": 0, "count": 0}},
+            kinds={"h": "histogram"},
+        )
+        right = MetricsSnapshot(
+            values={"h": {"bounds": [2], "counts": [0, 0], "sum": 0, "count": 0}},
+            kinds={"h": "histogram"},
+        )
+        with pytest.raises(ValueError, match="bounds"):
+            left.merge(right)
+
+    def test_kind_conflict_is_an_error(self):
+        left = MetricsSnapshot(values={"x": 1}, kinds={"x": "counter"})
+        right = MetricsSnapshot(values={"x": 1.0}, kinds={"x": "gauge"})
+        with pytest.raises(ValueError, match="counter"):
+            left.merge(right)
+
+    def test_one_sided_metrics_pass_through(self):
+        left = MetricsSnapshot(values={"a": 1}, kinds={"a": "counter"})
+        right = MetricsSnapshot(values={"b": 2}, kinds={"b": "counter"})
+        merged = left.merge(right)
+        assert merged.values == {"a": 1, "b": 2}
+
+    def test_meta_keeps_agreeing_keys_and_counts_cells(self):
+        left = _snap(meta={"benchmark": "gzip", "scheme": "oracle"})
+        right = _snap(meta={"benchmark": "gzip", "scheme": "baseline"})
+        merged = left.merge(right)
+        assert merged.meta["benchmark"] == "gzip"
+        assert "scheme" not in merged.meta
+        assert merged.meta["merged_cells"] == 2
+
+
+class TestMergeAlgebra:
+    def test_commutative(self):
+        a, b = _snap(counter=1, gauge=0.1), _snap(counter=2, gauge=0.9)
+        assert a.merge(b).values == b.merge(a).values
+
+    def test_associative(self):
+        a = _snap(counter=1, hist_counts=(1, 0, 0))
+        b = _snap(counter=2, hist_counts=(0, 1, 0))
+        c = _snap(counter=4, hist_counts=(0, 0, 1))
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.values == right.values
+        assert left.meta["merged_cells"] == right.meta["merged_cells"] == 3
+
+    def test_merge_snapshots_folds_iterable(self):
+        merged = merge_snapshots(_snap(counter=i) for i in range(5))
+        assert merged.values["c"] == 10
+
+    def test_merge_snapshots_empty_iterable(self):
+        assert len(merge_snapshots([])) == 0
+
+
+class TestDiff:
+    def test_numeric_deltas(self):
+        current = _snap(counter=10, gauge=0.5)
+        baseline = _snap(counter=7, gauge=0.5)
+        diff = current.diff(baseline)
+        assert diff["changed"]["c"] == 3
+        assert "g" not in diff["changed"]  # unchanged gauge not reported
+
+    def test_histogram_diff_compares_mean_and_count(self):
+        current = _snap(hist_counts=(2, 0, 0))
+        baseline = _snap(hist_counts=(1, 0, 0))
+        delta = current.diff(baseline)["changed"]["h"]
+        assert delta["count"] == 1
+
+    def test_one_sided_names_reported(self):
+        current = MetricsSnapshot(values={"a": 1}, kinds={"a": "counter"})
+        baseline = MetricsSnapshot(values={"b": 1}, kinds={"b": "counter"})
+        diff = current.diff(baseline)
+        assert diff["only_in_current"] == ["a"]
+        assert diff["only_in_baseline"] == ["b"]
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        snap = _snap(counter=3, gauge=0.7, hist_counts=(1, 2, 3),
+                     meta={"scheme": "oracle"})
+        again = MetricsSnapshot.from_json(snap.to_json())
+        assert again.values == snap.values
+        assert again.kinds == snap.kinds
+        assert again.meta == snap.meta
+
+    def test_save_load(self, tmp_path):
+        snap = _snap(counter=1)
+        path = snap.save(tmp_path / "snap.json")
+        assert MetricsSnapshot.load(path).values == snap.values
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            MetricsSnapshot.from_dict({"schema": "bogus/v0", "metrics": {}})
+
+    def test_values_without_kind_rejected(self):
+        with pytest.raises(ValueError, match="without a kind"):
+            MetricsSnapshot(values={"a": 1}, kinds={})
