@@ -43,10 +43,10 @@ from repro.faults.campaign import DEFAULT_RATES, FaultCampaign
 from repro.faults.injector import FaultType
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.secure.errors import SecureMemoryError
-from repro.telemetry.events import EventTracer
+from repro.telemetry.events import EventTracer, merge_chrome_traces
 from repro.telemetry.profile import PROFILER
 from repro.telemetry.snapshot import merge_snapshots
-from repro.workloads.spec import SPEC_BENCHMARKS
+from repro.workloads.spec import DEMO_BENCHMARKS, KNOWN_BENCHMARKS, SPEC_BENCHMARKS
 
 __all__ = ["main"]
 
@@ -55,6 +55,8 @@ _MACHINES = {"256K": TABLE1_256K, "1M": TABLE1_1M}
 
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("benchmarks:", ", ".join(SPEC_BENCHMARKS))
+    print("demo:      ", ", ".join(DEMO_BENCHMARKS),
+          "(trace/series/run only; not part of the paper's figures)")
     print("schemes:   ", ", ".join(sorted(SCHEMES)))
     print("figures:   ", ", ".join(sorted(ALL_FIGURES)))
     return 0
@@ -128,7 +130,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown scheme(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
-    if args.trace is None and args.benchmark not in SPEC_BENCHMARKS:
+    if args.trace is None and args.benchmark not in KNOWN_BENCHMARKS:
         print(f"unknown benchmark {args.benchmark!r}", file=sys.stderr)
         return 2
     machine = _MACHINES[args.l2]
@@ -168,45 +170,123 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _traced_cell(benchmark, scheme, machine, args):
+    """Run one cell with a fresh tracer attached; returns (cell, tracer)."""
+    tracer = EventTracer(capacity=args.events)
+    cell = run_cell(
+        benchmark,
+        scheme,
+        machine=machine,
+        references=args.refs,
+        seed=args.seed,
+        tracer=tracer,
+    )
+    return cell, tracer
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
-    if args.benchmark not in SPEC_BENCHMARKS:
+    if args.benchmark not in KNOWN_BENCHMARKS:
+        print(f"unknown benchmark {args.benchmark!r}", file=sys.stderr)
+        return 2
+    schemes = list(args.diff) if args.diff else [args.scheme]
+    unknown = [scheme for scheme in schemes if scheme not in SCHEMES]
+    if unknown:
+        print(f"unknown scheme(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    machine = _MACHINES[args.l2]
+    if args.profile:
+        PROFILER.enable()
+        PROFILER.reset()
+    metadata = {
+        "benchmark": args.benchmark,
+        "machine": machine.name,
+        "references": args.refs or "default",
+        "seed": args.seed,
+    }
+    if args.diff:
+        # A/B overlay: each scheme replays the same miss trace into its own
+        # tracer and becomes its own pid group in one Chrome file, aligned
+        # at ts 0 so the lanes compare cycle-for-cycle.
+        labeled = []
+        cells = {}
+        for scheme in schemes:
+            cell, tracer = _traced_cell(args.benchmark, scheme, machine, args)
+            labeled.append((scheme, tracer))
+            cells[scheme] = cell
+        payload = merge_chrome_traces(labeled, metadata=metadata)
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle)
+            handle.write("\n")
+        for scheme, tracer in labeled:
+            print(
+                f"{args.benchmark}/{scheme}: captured {len(tracer.events())} "
+                f"events ({tracer.dropped} dropped beyond --events {args.events})"
+            )
+        snapshot = None
+        if args.emit_metrics:
+            snapshot = merge_snapshots(
+                cells[scheme].snapshot for scheme in schemes
+            )
+    else:
+        cell, tracer = _traced_cell(args.benchmark, schemes[0], machine, args)
+        tracer.write_chrome(
+            args.out, metadata={**metadata, "scheme": schemes[0]}
+        )
+        print(
+            f"{args.benchmark}/{schemes[0]}: captured {len(tracer.events())} "
+            f"events ({tracer.dropped} dropped beyond --events {args.events})"
+        )
+        snapshot = cell.snapshot if args.emit_metrics else None
+    print(f"trace written to {args.out}")
+    print("open it at chrome://tracing or https://ui.perfetto.dev")
+    if args.profile:
+        print(PROFILER.render())
+    if args.emit_metrics and snapshot is not None:
+        snapshot.save(args.emit_metrics)
+        print(f"metrics snapshot ({len(snapshot.values)} metrics) "
+              f"written to {args.emit_metrics}")
+    return 0
+
+
+def _cmd_series(args: argparse.Namespace) -> int:
+    if args.benchmark not in KNOWN_BENCHMARKS:
         print(f"unknown benchmark {args.benchmark!r}", file=sys.stderr)
         return 2
     if args.scheme not in SCHEMES:
         print(f"unknown scheme {args.scheme!r}", file=sys.stderr)
         return 2
+    if args.interval <= 0:
+        print(f"--interval must be positive, got {args.interval}",
+              file=sys.stderr)
+        return 2
     machine = _MACHINES[args.l2]
-    tracer = EventTracer(capacity=args.events)
-    if args.profile:
-        PROFILER.enable()
-        PROFILER.reset()
     cell = run_cell(
         args.benchmark,
         args.scheme,
         machine=machine,
         references=args.refs,
         seed=args.seed,
-        tracer=tracer,
+        series_interval=args.interval,
     )
-    tracer.write_chrome(
-        args.out,
-        metadata={
-            "benchmark": args.benchmark,
-            "scheme": args.scheme,
-            "machine": machine.name,
-            "references": args.refs or "default",
-            "seed": args.seed,
-        },
-    )
-    captured = len(tracer.events())
+    series = cell.series
+    series.save(args.out)
+    accesses = series.accesses()
     print(
-        f"{args.benchmark}/{args.scheme}: captured {captured} events "
-        f"({tracer.dropped} dropped beyond --events {args.events})"
+        f"{args.benchmark}/{args.scheme}: {len(series)} snapshots every "
+        f"{args.interval} fetches (final at {accesses[-1] if accesses else 0})"
     )
-    print(f"trace written to {args.out}")
-    print("open it at chrome://tracing or https://ui.perfetto.dev")
-    if args.profile:
-        print(PROFILER.render())
+    print(f"series written to {args.out}")
+    if args.rate:
+        try:
+            numerator, denominator = args.rate.split("/", 1)
+        except ValueError:
+            print(f"--rate must be NUMERATOR/DENOMINATOR, got {args.rate!r}",
+                  file=sys.stderr)
+            return 2
+        rates = series.window_rates(numerator.strip(), denominator.strip())
+        for index, rate in enumerate(rates):
+            left, right = accesses[index], accesses[index + 1]
+            print(f"  window {left:>8} .. {right:>8}: {rate:.4f}")
     if args.emit_metrics:
         cell.snapshot.save(args.emit_metrics)
         print(f"metrics snapshot ({len(cell.snapshot.values)} metrics) "
@@ -249,12 +329,43 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.experiments.bench import check_regression, render_report, run_bench
+    from repro.experiments.bench import (
+        check_regression,
+        render_report,
+        run_bench,
+        temper_baseline,
+    )
 
     baseline = None
     if args.check:
         with open(args.check) as handle:
             baseline = json.load(handle)
+    if args.update_baseline:
+        # Baseline refresh: N fresh measurement runs, min-across-runs x
+        # safety per guarded ratio (see temper_baseline).  The first run
+        # still writes the normal report to --output.
+        reports = []
+        for run_index in range(max(1, args.runs)):
+            reports.append(
+                run_bench(
+                    output=args.output if run_index == 0 else None,
+                    references=args.refs,
+                    operations=args.ops,
+                    jobs=args.jobs,
+                    seed=args.seed,
+                )
+            )
+            print(f"measurement run {run_index + 1}/{max(1, args.runs)} done")
+        tempered = temper_baseline(reports, safety=args.safety)
+        with open(args.baseline, "w") as handle:
+            json.dump(tempered, handle, indent=2)
+            handle.write("\n")
+        print(f"baseline re-tempered from {len(reports)} run(s) "
+              f"(safety {args.safety:.0%}) -> {args.baseline}")
+        for name, value in tempered["tempering"]["values"].items():
+            rendered = "n/a" if value is None else f"{value:.2f}"
+            print(f"  {name}: {rendered}")
+        return 0
     report = run_bench(
         output=args.output,
         references=args.refs,
@@ -371,6 +482,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--scheme", default="pred_regular",
         help="scheme to trace (default pred_regular)",
     )
+    trace.add_argument(
+        "--diff", nargs=2, default=None, metavar=("A", "B"),
+        help="overlay two schemes as aligned process groups in one trace "
+             "(overrides --scheme)",
+    )
     trace.add_argument("--refs", type=int, default=None, help="trace length")
     trace.add_argument("--seed", type=int, default=1)
     trace.add_argument("--l2", choices=sorted(_MACHINES), default="256K")
@@ -387,6 +503,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print wall-time profiler scopes for the run",
     )
     trace.set_defaults(func=_cmd_trace)
+
+    series = sub.add_parser(
+        "series",
+        help="spill periodic telemetry snapshots during a replay (JSONL)",
+    )
+    series.add_argument("benchmark", help="benchmark name")
+    series.add_argument(
+        "--scheme", default="pred_regular",
+        help="scheme to sample (default pred_regular)",
+    )
+    series.add_argument(
+        "--interval", type=int, default=1000, metavar="N",
+        help="snapshot every N fetches (default 1000)",
+    )
+    series.add_argument("--refs", type=int, default=None, help="trace length")
+    series.add_argument("--seed", type=int, default=1)
+    series.add_argument("--l2", choices=sorted(_MACHINES), default="256K")
+    series.add_argument(
+        "--out", default="series.jsonl", metavar="FILE",
+        help="output path for the snapshot series (default series.jsonl)",
+    )
+    series.add_argument(
+        "--rate", default=None, metavar="NUM/DEN",
+        help="also print the per-window rate of two counters, e.g. "
+             "secure.predictor.prediction_hits/secure.predictor.lookups",
+    )
+    series.set_defaults(func=_cmd_series)
 
     faults = sub.add_parser(
         "faults", help="run a seeded fault-injection campaign"
@@ -444,6 +587,24 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--tolerance", type=float, default=0.2, metavar="FRAC",
         help="allowed fractional speedup drop vs the baseline (default 0.2)",
+    )
+    bench.add_argument(
+        "--update-baseline", action="store_true",
+        help="re-temper the committed baseline from --runs fresh "
+             "measurements (min across runs x --safety)",
+    )
+    bench.add_argument(
+        "--runs", type=int, default=3, metavar="N",
+        help="measurement runs for --update-baseline (default 3)",
+    )
+    bench.add_argument(
+        "--safety", type=float, default=0.8, metavar="FRAC",
+        help="safety factor applied to the minimum speedup (default 0.8)",
+    )
+    bench.add_argument(
+        "--baseline", default="BENCH_baseline.json", metavar="FILE",
+        help="baseline file --update-baseline writes (default "
+             "BENCH_baseline.json)",
     )
     bench.set_defaults(func=_cmd_bench)
     return parser

@@ -169,12 +169,20 @@ def replay_miss_trace(
     controller: SecureMemoryController,
     core: CoreConfig | None = None,
     scheme: str = "unnamed",
+    on_fetch=None,
 ) -> RunMetrics:
-    """Replay an off-chip event stream through one security scheme."""
+    """Replay an off-chip event stream through one security scheme.
+
+    ``on_fetch``, when given, is called with the cumulative fetch count
+    after every controller fetch — the hook :mod:`repro.experiments.runner`
+    uses to spill periodic telemetry snapshots (``SnapshotSeries``) without
+    the replay loop knowing anything about registries.
+    """
     core = core or CoreConfig()
     cycle = 0.0
     width = float(core.issue_width)
     hidden = 1.0 - core.miss_overlap
+    fetches = 0
 
     for event in miss_trace.events:
         cycle += event.gap_instructions / width
@@ -184,6 +192,9 @@ def replay_miss_trace(
             stall = (result.data_ready - cycle) * hidden
             if stall > 0:
                 cycle += stall
+            if on_fetch is not None:
+                fetches += 1
+                on_fetch(fetches)
         for address in event.writeback_addresses:
             controller.writeback_line(int(cycle), address)
 

@@ -27,6 +27,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.telemetry.events import NULL_TRACER
+
 __all__ = [
     "CryptoEngineConfig",
     "CryptoEngineStats",
@@ -116,11 +118,17 @@ class CryptoEngine:
         self.config = config or CryptoEngineConfig()
         self.stats = CryptoEngineStats()
         self._port_free_at = 0
+        # Timeline instrumentation (attached by the controller): when a
+        # live tracer is present, every issue stamps a pipeline-occupancy
+        # counter sample; the null tracer keeps this a single bool check.
+        self.tracer = NULL_TRACER
+        self._retire_at = 0
 
     def reset(self) -> None:
         """Clear dynamic state and statistics."""
         self.stats = CryptoEngineStats()
         self._port_free_at = 0
+        self._retire_at = 0
 
     @property
     def latency(self) -> int:
@@ -149,6 +157,14 @@ class CryptoEngine:
             self.stats.speculative_blocks += count
         else:
             self.stats.demand_blocks += count
+        if self.tracer.enabled:
+            # Occupancy sample: blocks of earlier batches still retiring
+            # (one per issue slot up to _retire_at) plus this batch.
+            pending = max(0, self._retire_at - start) // interval
+            self._retire_at = completions[-1]
+            self.tracer.counter(
+                "crypto.pipeline", start, track="crypto", blocks=pending + count,
+            )
         return completions
 
     def next_free_slot(self, now: int) -> int:

@@ -48,6 +48,7 @@ __all__ = [
     "run_bench",
     "render_report",
     "check_regression",
+    "temper_baseline",
 ]
 
 #: Trace-heavy smoke grid: hierarchy simulation dominates these cells, so
@@ -370,6 +371,49 @@ def check_regression(current: dict, baseline: dict, tolerance: float = 0.2) -> l
                 f"(baseline {expected:.2f}, tolerance {tolerance:.0%})"
             )
     return violations
+
+
+def temper_baseline(reports: list[dict], safety: float = 0.8) -> dict:
+    """Re-temper a regression baseline from several fresh bench reports.
+
+    The committed baseline's only load-bearing values are the guarded
+    speedup ratios; everything else (wall clocks, cell timings) is
+    documentation.  To refresh it without hand-editing, run the bench N
+    times and take, per guarded ratio, the **minimum** across runs scaled
+    by ``safety`` — the minimum discards upward scheduler flukes, and the
+    safety factor headrooms the floor so a baseline refreshed on a fast
+    idle machine does not instantly trip on a loaded CI runner.
+
+    Returns a baseline dict shaped like a bench report (the first run,
+    with guarded ratios replaced) plus ``tempering`` metadata recording
+    how the values were derived.
+    """
+    if not reports:
+        raise ValueError("temper_baseline needs at least one bench report")
+    if not 0 < safety <= 1:
+        raise ValueError(f"safety must be in (0, 1], got {safety}")
+    baseline = json.loads(json.dumps(reports[0]))  # deep copy, JSON-clean
+    tempered: dict[str, float | None] = {}
+    for section, field in _GUARDED_SPEEDUPS:
+        observed = [
+            value
+            for report in reports
+            if (value := (report.get(section) or {}).get(field)) is not None
+        ]
+        name = f"{section}.{field}"
+        if not observed:
+            tempered[name] = None
+            continue
+        value = round(min(observed) * safety, 2)
+        tempered[name] = value
+        baseline.setdefault(section, {})[field] = value
+    baseline["tempering"] = {
+        "runs": len(reports),
+        "safety": safety,
+        "rule": "min across runs x safety",
+        "values": tempered,
+    }
+    return baseline
 
 
 def render_report(report: dict) -> str:

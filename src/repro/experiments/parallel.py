@@ -103,6 +103,7 @@ class _BenchmarkTask:
     keep_going: bool
     retries: int
     use_cache: bool
+    series_interval: int = 0
 
 
 def _run_benchmark_task(task: _BenchmarkTask):
@@ -116,6 +117,7 @@ def _run_benchmark_task(task: _BenchmarkTask):
         keep_going=task.keep_going,
         retries=task.retries,
         use_cache=task.use_cache,
+        series_interval=task.series_interval,
     )
     return task.benchmark, cells, failures
 
@@ -130,15 +132,17 @@ def run_grid_cells(
     retries: int = 1,
     jobs: int | None = 1,
     use_cache: bool = False,
+    series_interval: int = 0,
 ):
     """Run a whole grid, one benchmark per worker unit.
 
     Returns ``[(benchmark, {scheme: CellResult}, [failures])]`` in
     benchmark input order — metrics plus telemetry snapshot per cell, the
     exact material :func:`repro.experiments.sweep.run_grid` assembles into
-    a :class:`~repro.experiments.sweep.SweepResult`.  Snapshots ride back
-    through the worker pickle boundary just like metrics, so a parallel
-    grid merges to the same totals as the serial loop.
+    a :class:`~repro.experiments.sweep.SweepResult`.  Snapshots (and, with
+    a ``series_interval``, snapshot series) ride back through the worker
+    pickle boundary just like metrics, so a parallel grid merges to the
+    same totals as the serial loop.
     """
     tasks = [
         _BenchmarkTask(
@@ -150,6 +154,7 @@ def run_grid_cells(
             keep_going=keep_going,
             retries=retries,
             use_cache=use_cache,
+            series_interval=series_interval,
         )
         for benchmark in benchmarks
     ]
@@ -171,6 +176,7 @@ class _SchemeTask:
     keep_going: bool
     retries: int
     use_cache: bool
+    series_interval: int = 0
 
 
 def _run_scheme_task(task: _SchemeTask):
@@ -183,6 +189,7 @@ def _run_scheme_task(task: _SchemeTask):
             seed=task.seed,
             retries=task.retries,
             use_cache=task.use_cache,
+            series_interval=task.series_interval,
         )
     return run_cell(
         task.benchmark,
@@ -191,6 +198,7 @@ def _run_scheme_task(task: _SchemeTask):
         references=task.references,
         seed=task.seed,
         use_cache=task.use_cache,
+        series_interval=task.series_interval,
     )
 
 
@@ -204,6 +212,7 @@ def run_benchmark_cells_parallel(
     retries: int = 1,
     jobs: int | None = 1,
     use_cache: bool = False,
+    series_interval: int = 0,
 ) -> tuple[dict[str, CellResult], list[RunFailure]]:
     """One benchmark, schemes fanned out across workers, snapshots included.
 
@@ -221,6 +230,7 @@ def run_benchmark_cells_parallel(
             keep_going=keep_going,
             retries=retries,
             use_cache=use_cache,
+            series_interval=series_interval,
         )
         for scheme in schemes
     ]

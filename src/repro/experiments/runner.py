@@ -37,7 +37,7 @@ from repro.secure.seqcache import SequenceNumberCache
 from repro.secure.seqnum import PageSecurityTable
 from repro.telemetry.profile import profile_scope
 from repro.telemetry.registry import MetricRegistry
-from repro.telemetry.snapshot import MetricsSnapshot
+from repro.telemetry.snapshot import MetricsSnapshot, SnapshotSeries
 from repro.workloads.spec import build_workload
 
 __all__ = [
@@ -240,10 +240,16 @@ def apply_preseed(
 
 @dataclass(frozen=True)
 class CellResult:
-    """Metrics plus telemetry snapshot of one (benchmark, scheme) cell."""
+    """Metrics plus telemetry snapshot of one (benchmark, scheme) cell.
+
+    ``series`` is only populated for runs requested with a
+    ``series_interval`` — the periodic cumulative snapshots spilled during
+    the replay (telemetry retention; its last sample equals ``snapshot``).
+    """
 
     metrics: RunMetrics
     snapshot: MetricsSnapshot
+    series: SnapshotSeries | None = None
 
 
 def collect_cell_snapshot(
@@ -271,6 +277,7 @@ def run_cell(
     seed: int = 1,
     use_cache: bool = False,
     tracer=None,
+    series_interval: int = 0,
 ) -> CellResult:
     """Run one (benchmark, scheme, machine) point, returning metrics + snapshot.
 
@@ -278,12 +285,19 @@ def run_cell(
     result cache (content-keyed, including a source-code fingerprint, so a
     hit is always byte-identical to a fresh run of the same code).  A
     ``tracer`` (:class:`~repro.telemetry.events.EventTracer`) attaches to
-    the controller for cycle-stamped span capture; traced runs bypass the
-    cache — a cached cell has no events to replay.
+    the controller for cycle-stamped span capture; a positive
+    ``series_interval`` spills a cumulative :class:`SnapshotSeries` sample
+    every that many fetches during the replay.  Traced and series runs
+    bypass the cache — a cached cell has no events or mid-run state to
+    replay.
     """
     spec = SCHEMES[scheme] if isinstance(scheme, str) else scheme
     references = references or default_references()
-    disk = result_cache.default_cache() if use_cache and tracer is None else None
+    disk = (
+        result_cache.default_cache()
+        if use_cache and tracer is None and not series_interval
+        else None
+    )
     cache_key = None
     if disk is not None:
         cache_key = result_cache.result_key(
@@ -300,24 +314,57 @@ def run_cell(
     if tracer is not None:
         controller.tracer = tracer
     apply_preseed(controller, preseed)
+    meta = {
+        "benchmark": benchmark,
+        "scheme": spec.name,
+        "machine": machine.name,
+        "references": references,
+        "seed": seed,
+    }
+    series: SnapshotSeries | None = None
+    on_fetch = None
+    if series_interval:
+        if series_interval < 0:
+            raise ValueError(
+                f"series_interval must be >= 0, got {series_interval}"
+            )
+        series = SnapshotSeries(interval=series_interval, meta=dict(meta))
+
+        def on_fetch(fetches: int) -> None:
+            if fetches % series_interval == 0:
+                series.append(
+                    collect_cell_snapshot(
+                        controller, miss_trace, meta={**meta, "accesses": fetches}
+                    )
+                )
+
     with profile_scope("sim.replay"):
         metrics = replay_miss_trace(
-            miss_trace, controller, core=machine.core, scheme=spec.name
+            miss_trace,
+            controller,
+            core=machine.core,
+            scheme=spec.name,
+            on_fetch=on_fetch,
         )
-    snapshot = collect_cell_snapshot(
-        controller,
-        miss_trace,
-        meta={
-            "benchmark": benchmark,
-            "scheme": spec.name,
-            "machine": machine.name,
-            "references": references,
-            "seed": seed,
-        },
-    )
+    snapshot = collect_cell_snapshot(controller, miss_trace, meta=meta)
+    if series is not None:
+        # The retention contract: the last sample is the run's final state,
+        # so a series stands in for (and is checked against) the plain
+        # snapshot.  A mid-run sample taken *at* the last fetch still
+        # precedes trailing write-backs, so it is replaced rather than kept.
+        total = controller.stats.fetches
+        if series.samples and series.accesses()[-1] == total:
+            series.samples.pop()
+        series.append(
+            MetricsSnapshot(
+                values=snapshot.values,
+                kinds=snapshot.kinds,
+                meta={**meta, "accesses": total},
+            )
+        )
     if disk is not None:
         disk.store_result(cache_key, metrics, snapshot)
-    return CellResult(metrics=metrics, snapshot=snapshot)
+    return CellResult(metrics=metrics, snapshot=snapshot, series=series)
 
 
 def run_scheme(
@@ -341,6 +388,7 @@ def run_benchmark_cells(
     keep_going: bool = False,
     retries: int = 1,
     use_cache: bool = False,
+    series_interval: int = 0,
 ) -> tuple[dict[str, "CellResult"], list["RunFailure"]]:
     """Run several schemes on one benchmark's shared miss trace.
 
@@ -354,7 +402,8 @@ def run_benchmark_cells(
         name = scheme if isinstance(scheme, str) else scheme.name
         if keep_going:
             outcome = run_cell_isolated(
-                benchmark, scheme, machine, references, seed, retries, use_cache
+                benchmark, scheme, machine, references, seed, retries,
+                use_cache, series_interval,
             )
             if isinstance(outcome, RunFailure):
                 failures.append(outcome)
@@ -362,7 +411,8 @@ def run_benchmark_cells(
                 cells[name] = outcome
         else:
             cells[name] = run_cell(
-                benchmark, scheme, machine, references, seed, use_cache
+                benchmark, scheme, machine, references, seed, use_cache,
+                series_interval=series_interval,
             )
     return cells, failures
 
@@ -410,6 +460,7 @@ def run_cell_isolated(
     seed: int = 1,
     retries: int = 1,
     use_cache: bool = False,
+    series_interval: int = 0,
 ) -> CellResult | RunFailure:
     """Run one point behind an isolation boundary.
 
@@ -425,7 +476,10 @@ def run_cell_isolated(
     for _ in range(max(0, retries) + 1):
         attempts += 1
         try:
-            return run_cell(benchmark, scheme, machine, references, seed, use_cache)
+            return run_cell(
+                benchmark, scheme, machine, references, seed, use_cache,
+                series_interval=series_interval,
+            )
         except KeyboardInterrupt:
             raise
         except Exception as err:

@@ -16,7 +16,11 @@ from repro.experiments.config import MachineConfig, TABLE1_256K
 from repro.experiments.parallel import run_grid_cells
 from repro.experiments.report import FigureResult
 from repro.experiments.runner import RunFailure
-from repro.telemetry.snapshot import MetricsSnapshot, merge_snapshots
+from repro.telemetry.snapshot import (
+    MetricsSnapshot,
+    SnapshotSeries,
+    merge_snapshots,
+)
 
 __all__ = ["SweepResult", "run_grid"]
 
@@ -37,6 +41,9 @@ class SweepResult:
     snapshots: dict[tuple[str, str], MetricsSnapshot] = field(
         repr=False, default_factory=dict
     )
+    series: dict[tuple[str, str], SnapshotSeries] = field(
+        repr=False, default_factory=dict
+    )
 
     @property
     def complete(self) -> bool:
@@ -45,6 +52,10 @@ class SweepResult:
 
     def snapshot(self, benchmark: str, scheme: str) -> MetricsSnapshot:
         return self.snapshots[(benchmark, scheme)]
+
+    def cell_series(self, benchmark: str, scheme: str) -> SnapshotSeries:
+        """The retention series of one cell (grids run with an interval)."""
+        return self.series[(benchmark, scheme)]
 
     def merged_snapshot(self) -> MetricsSnapshot | None:
         """All cells' telemetry merged into one grid-total snapshot.
@@ -109,6 +120,7 @@ def run_grid(
     retries: int = 1,
     jobs: int | None = 1,
     use_cache: bool = False,
+    series_interval: int = 0,
 ) -> SweepResult:
     """Run every (benchmark, scheme) combination, sharing miss traces.
 
@@ -122,7 +134,9 @@ def run_grid(
     worker still shares its benchmark's miss trace across schemes);
     results are identical to the serial run for the same seed.
     ``use_cache`` serves cells from / stores them into the on-disk
-    result cache.
+    result cache.  A positive ``series_interval`` additionally captures a
+    per-cell :class:`~repro.telemetry.snapshot.SnapshotSeries` (cumulative
+    snapshots every that many fetches) into :attr:`SweepResult.series`.
     """
     sweep = SweepResult(machine=machine.name, references=references)
     cells = run_grid_cells(
@@ -135,10 +149,13 @@ def run_grid(
         retries=retries,
         jobs=jobs,
         use_cache=use_cache,
+        series_interval=series_interval,
     )
     for benchmark, per_scheme, failures in cells:
         sweep.failures.extend(failures)
         for scheme, cell in per_scheme.items():
             sweep.results[(benchmark, scheme)] = cell.metrics
             sweep.snapshots[(benchmark, scheme)] = cell.snapshot
+            if cell.series is not None:
+                sweep.series[(benchmark, scheme)] = cell.series
     return sweep

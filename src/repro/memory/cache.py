@@ -151,6 +151,11 @@ class Cache:
         cache_set, tag = self._locate(address)
         return tag in cache_set
 
+    @property
+    def occupancy(self) -> int:
+        """Number of lines currently resident across all sets."""
+        return sum(len(cache_set) for cache_set in self._sets)
+
     def mark_dirty(self, address: int) -> bool:
         """Set the dirty bit on a resident line; returns residency."""
         cache_set, tag = self._locate(address)

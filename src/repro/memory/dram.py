@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.memory.bus import BusConfig, MemoryBus
+from repro.telemetry.events import NULL_TRACER
 
 __all__ = ["DramConfig", "DramStats", "LineFetchTiming", "Dram"]
 
@@ -90,6 +91,11 @@ class Dram:
         self._bank_free_at = [0] * self.config.num_banks
         self._row_shift = self.config.row_bytes.bit_length() - 1
         self._bank_mask = self.config.num_banks - 1
+        # Timeline instrumentation (attached by the controller): with a
+        # live tracer each line fetch samples the outstanding-read depth;
+        # the completion list is only maintained while tracing.
+        self.tracer = NULL_TRACER
+        self._outstanding: list[int] = []
 
     def reset(self) -> None:
         """Close all rows and clear statistics."""
@@ -97,6 +103,7 @@ class Dram:
         self.stats = DramStats()
         self._open_rows = [None] * self.config.num_banks
         self._bank_free_at = [0] * self.config.num_banks
+        self._outstanding = []
 
     def _bank_and_row(self, address: int) -> tuple[int, int]:
         row = address >> self._row_shift
@@ -137,6 +144,15 @@ class Dram:
         data_start = self._access_bank(issue, address)
         seqnum_ready = self.bus.transfer(data_start, seqnum_bytes)
         line_ready = self.bus.transfer(seqnum_ready, line_bytes)
+        if self.tracer.enabled:
+            self._outstanding = [
+                done for done in self._outstanding if done > issue
+            ]
+            self._outstanding.append(line_ready)
+            self.tracer.counter(
+                "dram.outstanding", issue, track="dram",
+                fetches=len(self._outstanding),
+            )
         return LineFetchTiming(issue=issue, seqnum_ready=seqnum_ready, line_ready=line_ready)
 
     def read(self, now: int, address: int, num_bytes: int) -> int:

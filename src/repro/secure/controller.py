@@ -345,6 +345,21 @@ class SecureMemoryController:
 
     # -- telemetry ---------------------------------------------------------------
 
+    @property
+    def tracer(self):
+        """The event tracer shared by the whole protected-domain pipeline."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        # Propagate to the engine and DRAM so their counter tracks (pipeline
+        # occupancy, outstanding fetches) land in the same ring buffer; the
+        # runner attaches a tracer *after* construction, so this setter is
+        # the single attachment point.
+        self._tracer = tracer
+        self.engine.tracer = tracer
+        self.dram.tracer = tracer
+
     def publish_telemetry(self, registry) -> None:
         """Export the whole protected-domain pipeline into ``registry``.
 
@@ -585,14 +600,50 @@ class SecureMemoryController:
             pad_name = "demand pad (overlapped)"
         else:
             pad_name = "demand pad"
+        pad_start = max(now, pad_ready - self.engine.latency)
         self.tracer.span(
-            pad_name, max(now, pad_ready - self.engine.latency), pad_ready,
+            pad_name, pad_start, pad_ready,
             track="crypto", category="crypto", address=address, guesses=guesses,
         )
         self.tracer.instant(
             "match/xor", data_ready, track="controller", category="secure",
             address=address,
         )
+        # Flow arrows stitch this fetch's three acts — miss issue, pad
+        # computation, match/XOR — across tracks.  The flow *name* encodes
+        # the outcome so mispredicted chains read differently in the viewer.
+        if predicted:
+            flow_name = "pred hit"
+        elif guesses:
+            flow_name = "pred miss"
+        elif cache_hit or self.oracle:
+            flow_name = "seqnum hit"
+        else:
+            flow_name = "demand"
+        flow = self.tracer.next_flow_id()
+        self.tracer.flow_begin(
+            flow_name, now, flow, track="controller", address=address,
+        )
+        self.tracer.flow_step(
+            flow_name, pad_start, flow, track="crypto", address=address,
+        )
+        self.tracer.flow_end(
+            flow_name, data_ready, flow, track="controller", address=address,
+        )
+        # Counter tracks: prediction-queue depth, quarantine population,
+        # and (when configured) sequence-number-cache occupancy.
+        self.tracer.counter(
+            "pred.queue_depth", now, track="controller", guesses=guesses,
+        )
+        self.tracer.counter(
+            "secure.quarantined", now, track="controller",
+            lines=len(self.quarantine),
+        )
+        if self.seqcache is not None:
+            self.tracer.counter(
+                "seqcache.occupancy", now, track="controller",
+                lines=self.seqcache.occupancy,
+            )
 
     def _classify(self, cache_hit: bool, predicted: bool) -> FetchClass:
         if cache_hit and predicted:

@@ -52,6 +52,36 @@ class DirectEncryptionController(SecureMemoryController):
         self.stats.fetches += 1
         self.stats.class_counts[FetchClass.NEITHER] += 1
         self.stats.record_fetch_latency(data_ready - now, data_ready - line_ready)
+        if self.tracer.enabled:
+            address = f"{line:#x}"
+            self.tracer.span(
+                "fetch", now, data_ready, track="controller",
+                category="secure", address=address, fetch_class="direct",
+            )
+            self.tracer.span(
+                "dram", now, line_ready, track="dram", category="memory",
+                address=address,
+            )
+            self.tracer.span(
+                "decrypt (serial)", line_ready, pad_ready, track="crypto",
+                category="crypto", address=address,
+            )
+            # Direct encryption has nothing to overlap: the flow arrow runs
+            # fetch -> serial decrypt -> done, making the serialization
+            # visually obvious next to a counter-mode lane in --diff view.
+            flow = self.tracer.next_flow_id()
+            self.tracer.flow_begin(
+                "serial", now, flow, track="controller", address=address,
+            )
+            self.tracer.flow_step(
+                "serial", line_ready, flow, track="crypto", address=address,
+            )
+            self.tracer.flow_end(
+                "serial", data_ready, flow, track="controller", address=address,
+            )
+            self.tracer.counter(
+                "pred.queue_depth", now, track="controller", guesses=0,
+            )
         return FetchResult(
             address=line,
             seqnum=0,

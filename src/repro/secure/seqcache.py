@@ -70,6 +70,11 @@ class SequenceNumberCache:
         """Total capacity in bytes."""
         return self._tags.config.size_bytes
 
+    @property
+    def occupancy(self) -> int:
+        """Counter lines currently resident (timeline counter track)."""
+        return self._tags.occupancy
+
     def publish(self, registry, prefix: str = "secure.seqcache") -> None:
         """Export demand-path and tag-array counters under ``prefix``."""
         registry.counter(f"{prefix}.demand_lookups").inc(self.demand_lookups)

@@ -25,7 +25,14 @@ The package deliberately imports nothing from the rest of ``repro`` so any
 layer — crypto, memory, secure, experiments — can depend on it.
 """
 
-from repro.telemetry.events import NULL_TRACER, EventTracer, NullTracer, TraceEvent
+from repro.telemetry.events import (
+    NULL_TRACER,
+    EventTracer,
+    NullTracer,
+    TraceEvent,
+    merge_chrome_traces,
+    validate_chrome_trace,
+)
 from repro.telemetry.profile import PROFILER, Profiler, profile_scope
 from repro.telemetry.registry import (
     NULL_REGISTRY,
@@ -34,7 +41,11 @@ from repro.telemetry.registry import (
     Histogram,
     MetricRegistry,
 )
-from repro.telemetry.snapshot import MetricsSnapshot, merge_snapshots
+from repro.telemetry.snapshot import (
+    MetricsSnapshot,
+    SnapshotSeries,
+    merge_snapshots,
+)
 
 __all__ = [
     "Counter",
@@ -46,7 +57,10 @@ __all__ = [
     "EventTracer",
     "NullTracer",
     "NULL_TRACER",
+    "merge_chrome_traces",
+    "validate_chrome_trace",
     "MetricsSnapshot",
+    "SnapshotSeries",
     "merge_snapshots",
     "Profiler",
     "PROFILER",

@@ -6,10 +6,24 @@ tracks, so a whole run renders as the paper's Figure 4 timeline.  Times
 are CPU *cycles*; the Chrome format wants microseconds, so the export maps
 one cycle to one microsecond (the viewer's time axis reads as cycles).
 
+Timeline v2 adds two temporal dimensions on top of the spans:
+
+* **Counter tracks** (``ph:"C"``) — periodic numeric samples (prediction
+  queue depth, AES pipeline occupancy, sequence-number-cache occupancy,
+  quarantined lines, outstanding DRAM fetches) that Perfetto renders as
+  live utilization graphs under the span rows.  Sample timestamps are
+  clamped monotonic per counter name, so a retry that momentarily rewinds
+  the local clock cannot produce a backwards counter track.
+* **Flow events** (``ph:"s"/"t"/"f"``) — arrows linking each L2-miss
+  fetch span to its speculative pad computation and the final match/XOR,
+  named by outcome (``pred hit`` / ``pred miss`` / ...) so a mispredicted
+  fetch is visually distinguishable from a covered one.
+
 The buffer is a fixed-capacity ring: once full, the oldest events are
 dropped (and counted in :attr:`EventTracer.dropped`) so tracing a long run
 costs bounded memory and keeps the *tail* of the execution — usually the
-steady state being debugged.
+steady state being debugged.  Exports carry the drop count in their
+metadata and warn (once per tracer) when events were lost.
 
 :class:`NullTracer` (via the shared :data:`NULL_TRACER`) is the disabled
 sink: ``enabled`` is False and every recording method is a no-op, so
@@ -19,11 +33,22 @@ instrumented hot paths guard with a single attribute check.
 from __future__ import annotations
 
 import json
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 
-__all__ = ["TraceEvent", "EventTracer", "NullTracer", "NULL_TRACER"]
+__all__ = [
+    "TraceEvent",
+    "EventTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "merge_chrome_traces",
+    "validate_chrome_trace",
+]
+
+#: Phases that carry a flow ``id`` in the Chrome export.
+_FLOW_PHASES = ("s", "t", "f")
 
 
 @dataclass(frozen=True)
@@ -31,7 +56,10 @@ class TraceEvent:
     """One cycle-stamped event.
 
     ``phase`` follows the Chrome trace-event phases this exporter emits:
-    ``"X"`` (complete span with duration) and ``"i"`` (instant).
+    ``"X"`` (complete span with duration), ``"i"`` (instant), ``"C"``
+    (counter sample — ``args`` holds the series values), and the flow
+    triplet ``"s"``/``"t"``/``"f"`` (start / step / finish, bound by
+    ``flow_id``).
     """
 
     name: str
@@ -40,6 +68,7 @@ class TraceEvent:
     duration: int = 0          # cycles ("X" only)
     track: str = "controller"  # rendered as the Chrome thread name
     category: str = "sim"
+    flow_id: int = 0           # flow phases only
     args: dict = field(default_factory=dict)
 
     def to_chrome(self, pid: int, tid: int) -> dict:
@@ -56,6 +85,10 @@ class TraceEvent:
             event["dur"] = self.duration
         if self.phase == "i":
             event["s"] = "t"  # instant scoped to its thread
+        if self.phase in _FLOW_PHASES:
+            event["id"] = self.flow_id
+            if self.phase == "f":
+                event["bp"] = "e"  # bind the arrow to the enclosing slice
         return event
 
 
@@ -70,6 +103,11 @@ class EventTracer:
         self.capacity = capacity
         self.dropped = 0
         self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self._next_flow = 0
+        # Last emitted ts per counter name; samples are clamped forward so
+        # every counter track is monotonic in ts (a Perfetto requirement).
+        self._counter_clock: dict[str, int] = {}
+        self._drop_warned = False
 
     def __len__(self) -> int:
         return len(self._events)
@@ -118,6 +156,66 @@ class EventTracer:
             )
         )
 
+    def counter(
+        self,
+        name: str,
+        at: int,
+        track: str = "controller",
+        category: str = "counter",
+        **values,
+    ) -> None:
+        """Record a counter sample (``ph:"C"``) of one or more series.
+
+        ``values`` maps series labels to numbers; Perfetto stacks multiple
+        series in one track.  The timestamp is clamped to be monotonic per
+        counter name (recovery retries can locally rewind the clock the
+        components see, and counter tracks must never run backwards).
+        """
+        clamped = max(at, self._counter_clock.get(name, at))
+        self._counter_clock[name] = clamped
+        self.record(
+            TraceEvent(
+                name=name, phase="C", start=clamped, track=track,
+                category=category, args=values,
+            )
+        )
+
+    # -- flows -----------------------------------------------------------------
+
+    def next_flow_id(self) -> int:
+        """A fresh flow id; each fetch's arrow chain gets its own."""
+        self._next_flow += 1
+        return self._next_flow
+
+    def flow_begin(
+        self, name: str, at: int, flow_id: int,
+        track: str = "controller", category: str = "flow", **args,
+    ) -> None:
+        """Start a flow arrow (``ph:"s"``) at cycle ``at``."""
+        self._flow("s", name, at, flow_id, track, category, args)
+
+    def flow_step(
+        self, name: str, at: int, flow_id: int,
+        track: str = "controller", category: str = "flow", **args,
+    ) -> None:
+        """Continue a flow arrow (``ph:"t"``) through another track."""
+        self._flow("t", name, at, flow_id, track, category, args)
+
+    def flow_end(
+        self, name: str, at: int, flow_id: int,
+        track: str = "controller", category: str = "flow", **args,
+    ) -> None:
+        """Finish a flow arrow (``ph:"f"``, binding to the enclosing slice)."""
+        self._flow("f", name, at, flow_id, track, category, args)
+
+    def _flow(self, phase, name, at, flow_id, track, category, args) -> None:
+        self.record(
+            TraceEvent(
+                name=name, phase=phase, start=at, track=track,
+                category=category, flow_id=flow_id, args=args,
+            )
+        )
+
     def events(self) -> list[TraceEvent]:
         """Buffered events, oldest first."""
         return list(self._events)
@@ -125,6 +223,9 @@ class EventTracer:
     def clear(self) -> None:
         self._events.clear()
         self.dropped = 0
+        self._next_flow = 0
+        self._counter_clock.clear()
+        self._drop_warned = False
 
     # -- export ----------------------------------------------------------------
 
@@ -133,9 +234,24 @@ class EventTracer:
 
         Tracks become threads: each distinct ``track`` string is assigned a
         stable tid (alphabetical) and named via a ``thread_name`` metadata
-        event, so Perfetto shows labeled swimlanes.
+        event, so Perfetto shows labeled swimlanes.  Flow chains whose
+        start (``s``) was evicted by the ring are dropped whole — a dangling
+        step or finish would render as an arrow from nowhere.
         """
-        tracks = sorted({event.track for event in self._events})
+        if self.dropped and not self._drop_warned:
+            self._drop_warned = True
+            warnings.warn(
+                f"event ring buffer dropped {self.dropped} oldest event(s) "
+                f"beyond capacity {self.capacity}; the export keeps the tail "
+                f"of the run (raise --events to keep more)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        events = list(self._events)
+        started = {
+            event.flow_id for event in events if event.phase == "s"
+        }
+        tracks = sorted({event.track for event in events})
         tids = {track: index for index, track in enumerate(tracks)}
         trace_events = [
             {
@@ -148,7 +264,9 @@ class EventTracer:
             for track, tid in tids.items()
         ]
         trace_events.extend(
-            event.to_chrome(pid, tids[event.track]) for event in self._events
+            event.to_chrome(pid, tids[event.track])
+            for event in events
+            if event.phase not in ("t", "f") or event.flow_id in started
         )
         payload = {
             "traceEvents": trace_events,
@@ -187,6 +305,24 @@ class NullTracer:
     def instant(self, name, at, track="controller", category="sim", **args):
         pass
 
+    def counter(self, name, at, track="controller", category="counter", **values):
+        pass
+
+    def next_flow_id(self) -> int:
+        return 0
+
+    def flow_begin(self, name, at, flow_id, track="controller",
+                   category="flow", **args):
+        pass
+
+    def flow_step(self, name, at, flow_id, track="controller",
+                  category="flow", **args):
+        pass
+
+    def flow_end(self, name, at, flow_id, track="controller",
+                 category="flow", **args):
+        pass
+
     def events(self) -> list[TraceEvent]:
         return []
 
@@ -196,3 +332,151 @@ class NullTracer:
 
 #: Shared disabled tracer instrumented components default to.
 NULL_TRACER = NullTracer()
+
+
+# -- multi-run overlay ---------------------------------------------------------
+
+
+def merge_chrome_traces(
+    labeled, metadata: dict | None = None, align: bool = True
+) -> dict:
+    """Overlay several tracers' timelines in one Chrome trace.
+
+    ``labeled`` is an iterable of ``(label, EventTracer)`` pairs; each
+    tracer becomes its own pid group named ``label`` via ``process_name``
+    metadata, so Perfetto renders the runs as stacked, directly comparable
+    process lanes (the ``repro trace --diff A B`` view).
+
+    With ``align`` (the default) each group's timestamps are shifted so
+    its earliest event lands at ts 0 — runs of different lengths still
+    line up at the origin.  Flow ids are namespaced per group
+    (``"<pid>.<id>"``) because Chrome binds flows by id across the whole
+    file, and two runs' arrows must never cross-link.
+    """
+    labeled = list(labeled)
+    if not labeled:
+        raise ValueError("merge_chrome_traces needs at least one (label, tracer)")
+    trace_events: list[dict] = []
+    dropped: dict[str, int] = {}
+    for pid, (label, tracer) in enumerate(labeled, start=1):
+        payload = tracer.to_chrome(pid=pid)
+        events = payload["traceEvents"]
+        timed = [event for event in events if event["ph"] != "M"]
+        shift = min((event["ts"] for event in timed), default=0) if align else 0
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "args": {"name": str(label)},
+            }
+        )
+        for event in events:
+            if event["ph"] != "M":
+                event["ts"] -= shift
+            if "id" in event:
+                event["id"] = f"{pid}.{event['id']}"
+            trace_events.append(event)
+        dropped[str(label)] = tracer.dropped
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "cpu-cycles (1 cycle rendered as 1us)",
+            "dropped_events": dropped,
+            "groups": [str(label) for label, _ in labeled],
+            **(metadata or {}),
+        },
+    }
+
+
+# -- well-formedness -----------------------------------------------------------
+
+
+def validate_chrome_trace(payload: dict) -> list[str]:
+    """Structural well-formedness check for an exported Chrome trace.
+
+    Returns a list of human-readable problems (empty = valid):
+
+    * every event carries ``name``/``ph``/``pid`` plus ``ts`` when timed;
+    * ``X`` spans have non-negative durations;
+    * counter samples (``ph:"C"``) are monotonic in ``ts`` per
+      ``(pid, name)`` series;
+    * every flow start (``s``) has a matching finish (``f``) with the same
+      id, and no step/finish appears without its start, in causal order;
+    * ``(pid, tid)`` pairs are stable — each maps to exactly one
+      ``thread_name`` and every timed event's pair is named.
+    """
+    problems: list[str] = []
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    thread_names: dict[tuple, str] = {}
+    counter_clock: dict[tuple, int] = {}
+    flow_phases: dict[tuple, list] = {}
+    for index, event in enumerate(events):
+        where = f"event[{index}]"
+        for key in ("name", "ph", "pid"):
+            if key not in event:
+                problems.append(f"{where}: missing {key!r}")
+        phase = event.get("ph")
+        if phase == "M":
+            if event.get("name") == "thread_name":
+                key = (event.get("pid"), event.get("tid"))
+                name = event.get("args", {}).get("name")
+                if key in thread_names and thread_names[key] != name:
+                    problems.append(
+                        f"{where}: (pid, tid) {key} renamed from "
+                        f"{thread_names[key]!r} to {name!r}"
+                    )
+                thread_names[key] = name
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"{where}: missing numeric ts")
+            continue
+        if phase == "X" and event.get("dur", 0) < 0:
+            problems.append(f"{where}: negative span duration")
+        if phase == "C":
+            key = (event.get("pid"), event.get("name"))
+            last = counter_clock.get(key)
+            if last is not None and ts < last:
+                problems.append(
+                    f"{where}: counter {event.get('name')!r} ts {ts} "
+                    f"rewinds past {last}"
+                )
+            counter_clock[key] = max(ts, last or ts)
+            if not event.get("args"):
+                problems.append(
+                    f"{where}: counter {event.get('name')!r} has no series"
+                )
+        if phase in _FLOW_PHASES:
+            if "id" not in event:
+                problems.append(f"{where}: flow event without id")
+            else:
+                flow_phases.setdefault(
+                    (event.get("pid"), event["id"]), []
+                ).append((phase, ts, index))
+    for (pid, flow_id), steps in sorted(
+        flow_phases.items(), key=lambda item: str(item[0])
+    ):
+        phases = [phase for phase, _, _ in steps]
+        label = f"flow {flow_id!r} (pid {pid})"
+        if phases.count("s") != 1 or phases[0] != "s":
+            problems.append(f"{label}: must begin with exactly one 's'")
+            continue
+        if phases.count("f") != 1 or phases[-1] != "f":
+            problems.append(f"{label}: must end with exactly one 'f'")
+            continue
+        stamps = [ts for _, ts, _ in steps]
+        if stamps != sorted(stamps):
+            problems.append(f"{label}: phases out of causal (ts) order")
+    for index, event in enumerate(events):
+        if event.get("ph") in ("M",):
+            continue
+        key = (event.get("pid"), event.get("tid"))
+        if key not in thread_names:
+            problems.append(
+                f"event[{index}]: (pid, tid) {key} has no thread_name metadata"
+            )
+    return problems

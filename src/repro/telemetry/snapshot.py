@@ -19,6 +19,16 @@ agree (see ``tests/experiments/test_parallel.py``).
 ``diff`` supports A/B runs: it subtracts numeric metrics name-by-name, the
 substrate of "this change moved ``secure.controller.covered_fetches`` by
 +4 %" claims in perf PRs.
+
+:class:`SnapshotSeries` is the retention layer on top: an ordered sequence
+of *cumulative* snapshots spilled every N accesses during a replay, stored
+as versioned JSONL.  Because samples are cumulative, the last sample *is*
+the run's final snapshot (``final``), and the windowed view —
+:meth:`SnapshotSeries.window_diffs` / :meth:`SnapshotSeries.window_rates`
+— falls out of :meth:`MetricsSnapshot.diff` between consecutive samples.
+That is the drift-detection substrate: a prediction-rate collapse after a
+counter wrap is invisible in the final merge but obvious in the per-window
+rate series.
 """
 
 from __future__ import annotations
@@ -27,9 +37,10 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
-__all__ = ["MetricsSnapshot", "merge_snapshots"]
+__all__ = ["MetricsSnapshot", "SnapshotSeries", "merge_snapshots"]
 
 SNAPSHOT_SCHEMA = "repro.telemetry.snapshot/v1"
+SERIES_SCHEMA = "repro.telemetry.series/v1"
 
 
 def _merge_value(kind: str, left, right):
@@ -176,6 +187,139 @@ class MetricsSnapshot:
     @classmethod
     def load(cls, path) -> "MetricsSnapshot":
         return cls.from_json(Path(path).read_text())
+
+
+@dataclass
+class SnapshotSeries:
+    """Time-ordered cumulative snapshots of one run (telemetry retention).
+
+    Each sample is a full :class:`MetricsSnapshot` harvested mid-run, with
+    ``meta["accesses"]`` recording the fetch count at sample time.  Samples
+    are cumulative — counters carry run-so-far totals — so:
+
+    * :attr:`final` (the last sample) equals the snapshot a plain,
+      series-less run of the same cell would produce;
+    * consecutive-sample :meth:`MetricsSnapshot.diff` yields exact
+      per-window deltas (:meth:`window_diffs` / :meth:`window_rates`).
+    """
+
+    interval: int = 0
+    meta: dict = field(default_factory=dict)
+    samples: list[MetricsSnapshot] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.interval < 0:
+            raise ValueError(f"interval must be >= 0, got {self.interval}")
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self):
+        return iter(self.samples)
+
+    def __getitem__(self, index) -> MetricsSnapshot:
+        return self.samples[index]
+
+    def append(self, snapshot: MetricsSnapshot) -> None:
+        """Add the next cumulative sample (must move forward in accesses)."""
+        accesses = snapshot.meta.get("accesses", 0)
+        if self.samples and accesses <= self.samples[-1].meta.get("accesses", 0):
+            raise ValueError(
+                f"series samples must strictly advance in accesses; "
+                f"got {accesses} after {self.samples[-1].meta.get('accesses')}"
+            )
+        self.samples.append(snapshot)
+
+    @property
+    def final(self) -> MetricsSnapshot | None:
+        """The run's final snapshot (samples are cumulative), or ``None``."""
+        return self.samples[-1] if self.samples else None
+
+    def accesses(self) -> list[int]:
+        """The sample grid: fetch count at each spill point."""
+        return [sample.meta.get("accesses", 0) for sample in self.samples]
+
+    # -- drift detection -------------------------------------------------------
+
+    def window_diffs(self) -> list[dict]:
+        """Per-window metric deltas between consecutive samples.
+
+        Entry *i* is ``samples[i+1].diff(samples[i])`` — exact counter
+        deltas for window *i* because samples are cumulative.
+        """
+        return [
+            self.samples[index + 1].diff(self.samples[index])
+            for index in range(len(self.samples) - 1)
+        ]
+
+    def window_rates(self, numerator: str, denominator: str) -> list[float]:
+        """Per-window ratio of two counters (e.g. prediction rate).
+
+        Computes ``Δnumerator / Δdenominator`` over each window; windows
+        where the denominator did not move yield 0.0.  This is the drift
+        probe: a healthy run's windows hold a steady rate, a mid-run
+        collapse (counter wrap, PHV re-randomization) shows as a cliff.
+        """
+        rates: list[float] = []
+        for index in range(len(self.samples) - 1):
+            left, right = self.samples[index], self.samples[index + 1]
+            d_num = right.get(numerator, 0) - left.get(numerator, 0)
+            d_den = right.get(denominator, 0) - left.get(denominator, 0)
+            rates.append(d_num / d_den if d_den else 0.0)
+        return rates
+
+    # -- (de)serialization -----------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """Versioned JSONL: one header line, then one line per sample."""
+        lines = [
+            json.dumps(
+                {
+                    "schema": SERIES_SCHEMA,
+                    "interval": self.interval,
+                    "meta": dict(self.meta),
+                    "samples": len(self.samples),
+                },
+                sort_keys=True,
+            )
+        ]
+        lines.extend(
+            json.dumps(sample.to_dict(), sort_keys=True)
+            for sample in self.samples
+        )
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "SnapshotSeries":
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise ValueError("empty series file")
+        header = json.loads(lines[0])
+        if header.get("schema") != SERIES_SCHEMA:
+            raise ValueError(
+                f"not a telemetry series (schema {header.get('schema')!r})"
+            )
+        series = cls(
+            interval=header.get("interval", 0), meta=dict(header.get("meta", {}))
+        )
+        for line in lines[1:]:
+            series.append(MetricsSnapshot.from_dict(json.loads(line)))
+        declared = header.get("samples")
+        if declared is not None and declared != len(series.samples):
+            raise ValueError(
+                f"series header declares {declared} samples, file has "
+                f"{len(series.samples)}"
+            )
+        return series
+
+    def save(self, path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_jsonl())
+        return path
+
+    @classmethod
+    def load(cls, path) -> "SnapshotSeries":
+        return cls.from_jsonl(Path(path).read_text())
 
 
 def merge_snapshots(snapshots) -> MetricsSnapshot:

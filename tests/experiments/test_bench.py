@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.bench import check_regression
+from repro.experiments.bench import check_regression, temper_baseline
 
 
 def _report(vector=4.0, otp=2.0, warm=10.0, parallel=2.5,
@@ -60,3 +60,54 @@ class TestCheckRegression:
             check_regression(_report(), _report(), tolerance=1.5)
         with pytest.raises(ValueError):
             check_regression(_report(), _report(), tolerance=-0.1)
+
+
+class TestTemperBaseline:
+    def test_min_across_runs_times_safety(self):
+        runs = [_report(otp=2.0), _report(otp=1.6), _report(otp=1.8)]
+        baseline = temper_baseline(runs, safety=0.5)
+        assert baseline["otp"]["speedup"] == 0.8  # min(2.0, 1.6, 1.8) * 0.5
+        assert baseline["tempering"]["values"]["otp.speedup"] == 0.8
+
+    def test_every_guarded_speedup_is_tempered(self):
+        baseline = temper_baseline([_report()], safety=0.8)
+        values = baseline["tempering"]["values"]
+        assert set(values) == {
+            "crypto.vector_speedup", "otp.speedup",
+            "grid.warm_speedup", "grid.parallel_speedup",
+        }
+
+    def test_missing_values_become_none(self):
+        run = _report()
+        run["crypto"]["vector_speedup"] = None  # e.g. no numpy
+        baseline = temper_baseline([run])
+        assert baseline["tempering"]["values"]["crypto.vector_speedup"] is None
+        assert baseline["crypto"]["vector_speedup"] is None  # left as recorded
+
+    def test_tempered_baseline_passes_against_its_own_runs(self):
+        runs = [_report(otp=2.0), _report(otp=1.6)]
+        baseline = temper_baseline(runs, safety=0.8)
+        for run in runs:
+            assert check_regression(run, baseline, tolerance=0.0) == []
+
+    def test_metadata_records_the_rule(self):
+        baseline = temper_baseline([_report(), _report()], safety=0.7)
+        assert baseline["tempering"]["runs"] == 2
+        assert baseline["tempering"]["safety"] == 0.7
+        assert "min" in baseline["tempering"]["rule"]
+
+    def test_input_report_not_mutated(self):
+        run = _report(otp=2.0)
+        temper_baseline([run], safety=0.5)
+        assert run["otp"]["speedup"] == 2.0
+        assert "tempering" not in run
+
+    def test_empty_reports_rejected(self):
+        with pytest.raises(ValueError):
+            temper_baseline([])
+
+    def test_bad_safety_rejected(self):
+        with pytest.raises(ValueError):
+            temper_baseline([_report()], safety=0.0)
+        with pytest.raises(ValueError):
+            temper_baseline([_report()], safety=1.1)

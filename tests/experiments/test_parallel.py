@@ -112,6 +112,31 @@ class TestSnapshotEquivalence:
         assert sweep.merged_snapshot() is None
 
 
+class TestSeriesEquivalence:
+    def test_parallel_series_identical_to_serial(self):
+        """Retention determinism: snapshot series spilled inside worker
+        processes match the serial run sample for sample."""
+        kwargs = dict(references=REFS, seed=3, series_interval=300)
+        serial = run_grid(["gzip"], ["oracle", "pred_regular"], **kwargs)
+        parallel = run_grid(
+            ["gzip"], ["oracle", "pred_regular"], jobs=2, **kwargs
+        )
+        assert set(serial.series) == set(parallel.series)
+        assert serial.series  # the grid actually retained something
+        for key in serial.series:
+            left, right = serial.series[key], parallel.series[key]
+            assert left.accesses() == right.accesses()
+            assert [s.values for s in left] == [s.values for s in right]
+
+    def test_series_final_matches_grid_snapshot(self):
+        sweep = run_grid(
+            ["gzip"], ["pred_regular"], references=REFS, series_interval=300
+        )
+        series = sweep.cell_series("gzip", "pred_regular")
+        snapshot = sweep.snapshots[("gzip", "pred_regular")]
+        assert series.final.values == snapshot.values
+
+
 class TestFailureIsolation:
     def test_keep_going_isolates_failures_through_the_pool(self):
         sweep = run_grid(

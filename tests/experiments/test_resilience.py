@@ -38,7 +38,7 @@ class TestRunSchemeIsolated:
 
         def flaky(
             benchmark, scheme, machine=TABLE1_256K, references=None, seed=1,
-            use_cache=False, tracer=None,
+            use_cache=False, tracer=None, series_interval=0,
         ):
             calls["n"] += 1
             if calls["n"] == 1:

@@ -10,6 +10,7 @@ from repro.experiments.runner import (
     get_miss_trace,
     make_controller,
     run_benchmark,
+    run_cell,
     run_scheme,
 )
 from repro.secure.predictors import (
@@ -130,3 +131,54 @@ class TestRunScheme:
         regular_ipc = results["pred_regular"].normalized_ipc(oracle)
         context_ipc = results["pred_context"].normalized_ipc(oracle)
         assert baseline_ipc < regular_ipc < context_ipc <= 1.0
+
+
+class TestRunCellSeries:
+    def test_series_off_by_default(self):
+        cell = run_cell("gzip", "pred_regular", references=REFS, use_cache=False)
+        assert cell.series is None
+
+    def test_final_sample_equals_plain_run_snapshot(self):
+        """The retention invariant: samples are cumulative, so a series
+        run's last sample is exactly the snapshot a series-less run of the
+        same cell produces — including trailing-writeback effects."""
+        plain = run_cell("gzip", "pred_regular", references=REFS, use_cache=False)
+        traced = run_cell(
+            "gzip", "pred_regular", references=REFS, use_cache=False,
+            series_interval=200,
+        )
+        assert traced.series is not None
+        assert len(traced.series) >= 2
+        final = traced.series.final
+        assert final.values == plain.snapshot.values
+        assert final.kinds == plain.snapshot.kinds
+        assert final.meta["accesses"] == plain.metrics.fetches
+
+    def test_sample_grid_follows_the_interval(self):
+        cell = run_cell(
+            "gzip", "pred_regular", references=REFS, use_cache=False,
+            series_interval=200,
+        )
+        accesses = cell.series.accesses()
+        # Every mid-run sample lands on an interval boundary; the final
+        # post-writeback sample replaces or extends the grid.
+        assert all(count % 200 == 0 for count in accesses[:-1])
+        assert accesses == sorted(accesses)
+        assert cell.series.meta["benchmark"] == "gzip"
+        assert cell.series.meta["scheme"] == "pred_regular"
+
+    def test_series_does_not_perturb_metrics(self):
+        plain = run_cell("gzip", "pred_regular", references=REFS, use_cache=False)
+        traced = run_cell(
+            "gzip", "pred_regular", references=REFS, use_cache=False,
+            series_interval=500,
+        )
+        assert traced.metrics.cycles == plain.metrics.cycles
+        assert traced.metrics.prediction_hits == plain.metrics.prediction_hits
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError, match="series_interval"):
+            run_cell(
+                "gzip", "pred_regular", references=REFS, use_cache=False,
+                series_interval=-1,
+            )

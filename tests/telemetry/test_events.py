@@ -1,10 +1,17 @@
 """Ring-buffer event tracer and Chrome trace_event export."""
 
 import json
+import warnings
 
 import pytest
 
-from repro.telemetry.events import EventTracer, NULL_TRACER, TraceEvent
+from repro.telemetry.events import (
+    EventTracer,
+    NULL_TRACER,
+    TraceEvent,
+    merge_chrome_traces,
+    validate_chrome_trace,
+)
 
 
 class TestRingBuffer:
@@ -90,11 +97,214 @@ class TestChromeExport:
         assert payload["traceEvents"]
 
 
+class TestCounterTracks:
+    def test_counter_samples_export_as_C_phase(self):
+        tracer = EventTracer()
+        tracer.counter("crypto.pipeline", 10, track="crypto", blocks=3)
+        tracer.counter("crypto.pipeline", 20, track="crypto", blocks=1)
+        payload = tracer.to_chrome()
+        samples = [e for e in payload["traceEvents"] if e["ph"] == "C"]
+        assert [e["ts"] for e in samples] == [10, 20]
+        assert samples[0]["args"] == {"blocks": 3}
+
+    def test_timestamps_clamp_forward_per_name(self):
+        tracer = EventTracer()
+        tracer.counter("a", 100, v=1)
+        tracer.counter("a", 60, v=2)   # local clock rewound (retry path)
+        tracer.counter("b", 60, v=3)   # independent series is untouched
+        stamps = {(e.name, e.args["v"]): e.start for e in tracer.events()}
+        assert stamps[("a", 2)] == 100  # clamped to the series' high-water
+        assert stamps[("b", 3)] == 60
+
+    def test_clear_resets_counter_clocks(self):
+        tracer = EventTracer()
+        tracer.counter("a", 100, v=1)
+        tracer.clear()
+        tracer.counter("a", 10, v=2)
+        assert tracer.events()[0].start == 10
+
+
+class TestFlows:
+    def _chain(self, tracer, begin=0, step=40, end=90):
+        flow = tracer.next_flow_id()
+        tracer.span("fetch", begin, end, track="controller")
+        tracer.span("pad", step, end, track="crypto")
+        tracer.flow_begin("pred hit", begin, flow, track="controller")
+        tracer.flow_step("pred hit", step, flow, track="crypto")
+        tracer.flow_end("pred hit", end, flow, track="controller")
+        return flow
+
+    def test_flow_ids_are_fresh_per_chain(self):
+        tracer = EventTracer()
+        assert tracer.next_flow_id() != tracer.next_flow_id()
+        tracer.clear()
+        assert tracer.next_flow_id() == 1  # clear() restarts the sequence
+
+    def test_flow_phases_export_with_id_and_binding(self):
+        tracer = EventTracer()
+        flow = self._chain(tracer)
+        payload = tracer.to_chrome()
+        flows = [e for e in payload["traceEvents"] if e["ph"] in ("s", "t", "f")]
+        assert [e["ph"] for e in flows] == ["s", "t", "f"]
+        assert all(e["id"] == flow for e in flows)
+        finish = flows[-1]
+        assert finish["bp"] == "e"  # binds the arrow to the enclosing slice
+
+    def test_dangling_flows_dropped_when_start_evicted(self):
+        tracer = EventTracer(capacity=4)
+        flow = tracer.next_flow_id()
+        tracer.flow_begin("demand", 0, flow)
+        for index in range(4):  # ring wraps; the "s" is evicted
+            tracer.instant(f"e{index}", index + 1)
+        tracer.flow_end("demand", 10, flow)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            payload = tracer.to_chrome()
+        phases = {e["ph"] for e in payload["traceEvents"]}
+        assert "f" not in phases  # arrow-from-nowhere filtered out
+
+    def test_valid_chain_passes_the_validator(self):
+        tracer = EventTracer()
+        self._chain(tracer)
+        assert validate_chrome_trace(tracer.to_chrome()) == []
+
+
+class TestDropWarning:
+    def test_export_warns_once_after_drops(self):
+        tracer = EventTracer(capacity=2)
+        for index in range(5):
+            tracer.instant("e", index)
+        with pytest.warns(RuntimeWarning, match="dropped 3"):
+            payload = tracer.to_chrome()
+        assert payload["otherData"]["dropped_events"] == 3
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a second warning would raise
+            tracer.to_chrome()
+
+    def test_no_warning_without_drops(self):
+        tracer = EventTracer()
+        tracer.instant("e", 0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            payload = tracer.to_chrome()
+        assert payload["otherData"]["dropped_events"] == 0
+
+
+class TestMergeChromeTraces:
+    def _tracer(self, offset=0):
+        tracer = EventTracer()
+        flow = tracer.next_flow_id()
+        tracer.span("fetch", offset, offset + 50, track="controller")
+        tracer.flow_begin("demand", offset, flow, track="controller")
+        tracer.flow_end("demand", offset + 50, flow, track="controller")
+        return tracer
+
+    def test_each_label_becomes_its_own_named_pid(self):
+        payload = merge_chrome_traces(
+            [("pred_regular", self._tracer()), ("baseline", self._tracer())]
+        )
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in payload["traceEvents"]
+            if e.get("name") == "process_name"
+        }
+        assert names == {1: "pred_regular", 2: "baseline"}
+        assert payload["otherData"]["groups"] == ["pred_regular", "baseline"]
+
+    def test_alignment_shifts_each_group_to_ts_zero(self):
+        payload = merge_chrome_traces(
+            [("a", self._tracer(offset=0)), ("b", self._tracer(offset=1000))]
+        )
+        for pid in (1, 2):
+            stamps = [
+                e["ts"] for e in payload["traceEvents"]
+                if e["ph"] != "M" and e["pid"] == pid
+            ]
+            assert min(stamps) == 0
+
+    def test_flow_ids_are_namespaced_per_group(self):
+        payload = merge_chrome_traces([("a", self._tracer()), ("b", self._tracer())])
+        ids = {
+            e["pid"]: e["id"] for e in payload["traceEvents"] if "id" in e
+        }
+        assert ids == {1: "1.1", 2: "2.1"}  # same raw id, distinct per pid
+
+    def test_merged_trace_validates_and_serializes(self):
+        payload = merge_chrome_traces([("a", self._tracer()), ("b", self._tracer())])
+        payload = json.loads(json.dumps(payload))
+        assert validate_chrome_trace(payload) == []
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            merge_chrome_traces([])
+
+
+class TestValidateChromeTrace:
+    def _valid(self):
+        tracer = EventTracer()
+        flow = tracer.next_flow_id()
+        tracer.span("fetch", 0, 50)
+        tracer.counter("depth", 0, guesses=2)
+        tracer.counter("depth", 10, guesses=0)
+        tracer.flow_begin("demand", 0, flow)
+        tracer.flow_end("demand", 50, flow)
+        return tracer.to_chrome()
+
+    def test_accepts_a_well_formed_trace(self):
+        assert validate_chrome_trace(self._valid()) == []
+
+    def test_rejects_non_monotonic_counter(self):
+        payload = self._valid()
+        samples = [e for e in payload["traceEvents"] if e["ph"] == "C"]
+        samples[1]["ts"] = -5
+        problems = validate_chrome_trace(payload)
+        assert any("rewinds" in problem for problem in problems)
+
+    def test_rejects_flow_without_finish(self):
+        payload = self._valid()
+        payload["traceEvents"] = [
+            e for e in payload["traceEvents"] if e["ph"] != "f"
+        ]
+        problems = validate_chrome_trace(payload)
+        assert any("'f'" in problem for problem in problems)
+
+    def test_rejects_orphan_finish(self):
+        payload = self._valid()
+        payload["traceEvents"] = [
+            e for e in payload["traceEvents"] if e["ph"] != "s"
+        ]
+        problems = validate_chrome_trace(payload)
+        assert any("'s'" in problem for problem in problems)
+
+    def test_rejects_renamed_thread(self):
+        payload = self._valid()
+        meta = next(e for e in payload["traceEvents"] if e["ph"] == "M")
+        payload["traceEvents"].append({**meta, "args": {"name": "other"}})
+        problems = validate_chrome_trace(payload)
+        assert any("renamed" in problem for problem in problems)
+
+    def test_rejects_unnamed_thread(self):
+        payload = self._valid()
+        payload["traceEvents"] = [
+            e for e in payload["traceEvents"] if e["ph"] != "M"
+        ]
+        problems = validate_chrome_trace(payload)
+        assert any("thread_name" in problem for problem in problems)
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({}) == ["traceEvents missing or not a list"]
+
+
 class TestNullTracer:
     def test_disabled_and_inert(self):
         assert NULL_TRACER.enabled is False
         NULL_TRACER.span("x", 0, 10)
         NULL_TRACER.instant("y", 5)
+        NULL_TRACER.counter("c", 0, v=1)
+        NULL_TRACER.flow_begin("f", 0, 1)
+        NULL_TRACER.flow_step("f", 1, 1)
+        NULL_TRACER.flow_end("f", 2, 1)
         NULL_TRACER.record(TraceEvent(name="z", phase="i", start=0))
+        assert NULL_TRACER.next_flow_id() == 0
         assert NULL_TRACER.events() == []
         assert len(NULL_TRACER) == 0

@@ -1,7 +1,12 @@
 """Component instrumentation: controller spans and harvested snapshots."""
 
 from repro.secure.controller import SecureMemoryController
-from repro.telemetry.events import EventTracer, NULL_TRACER
+from repro.secure.seqcache import SequenceNumberCache
+from repro.telemetry.events import (
+    EventTracer,
+    NULL_TRACER,
+    validate_chrome_trace,
+)
 from repro.telemetry.registry import MetricRegistry
 
 
@@ -50,6 +55,56 @@ class TestControllerTracer:
         traced = SecureMemoryController(tracer=EventTracer())
         assert _exercise(plain) == _exercise(traced)
         assert plain.stats.total_exposed_latency == traced.stats.total_exposed_latency
+
+
+class TestTimelineV2:
+    def test_tracer_setter_propagates_to_components(self):
+        controller = SecureMemoryController()
+        tracer = EventTracer()
+        controller.tracer = tracer
+        assert controller.engine.tracer is tracer
+        assert controller.dram.tracer is tracer
+
+    def test_fetch_emits_counter_tracks(self):
+        controller = SecureMemoryController(tracer=EventTracer())
+        _exercise(controller)
+        counters = {
+            event.name for event in controller.tracer.events()
+            if event.phase == "C"
+        }
+        assert {"pred.queue_depth", "secure.quarantined",
+                "crypto.pipeline", "dram.outstanding"} <= counters
+
+    def test_seqcache_occupancy_tracked_when_present(self):
+        controller = SecureMemoryController(
+            seqcache=SequenceNumberCache(4096), tracer=EventTracer()
+        )
+        _exercise(controller)
+        samples = [
+            event for event in controller.tracer.events()
+            if event.name == "seqcache.occupancy"
+        ]
+        assert samples
+        assert samples[-1].args["lines"] == controller.seqcache.occupancy
+
+    def test_fetch_emits_complete_flow_chains(self):
+        controller = SecureMemoryController(tracer=EventTracer())
+        _exercise(controller)
+        events = controller.tracer.events()
+        starts = [e for e in events if e.phase == "s"]
+        finishes = [e for e in events if e.phase == "f"]
+        assert len(starts) == controller.stats.fetches
+        assert {e.flow_id for e in starts} == {e.flow_id for e in finishes}
+        # The arrow crosses from the controller lane into the crypto lane.
+        steps = [e for e in events if e.phase == "t"]
+        assert all(e.track == "crypto" for e in steps)
+
+    def test_traced_run_exports_a_valid_chrome_trace(self):
+        controller = SecureMemoryController(
+            seqcache=SequenceNumberCache(4096), tracer=EventTracer()
+        )
+        _exercise(controller, fetches=12)
+        assert validate_chrome_trace(controller.tracer.to_chrome()) == []
 
 
 class TestPublishTelemetry:

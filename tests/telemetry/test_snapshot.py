@@ -3,7 +3,11 @@
 import pytest
 
 from repro.telemetry.registry import MetricRegistry
-from repro.telemetry.snapshot import MetricsSnapshot, merge_snapshots
+from repro.telemetry.snapshot import (
+    MetricsSnapshot,
+    SnapshotSeries,
+    merge_snapshots,
+)
 
 
 def _snap(counter=0, gauge=0.0, hist_counts=(0, 0, 0), meta=None):
@@ -128,3 +132,71 @@ class TestSerialization:
     def test_values_without_kind_rejected(self):
         with pytest.raises(ValueError, match="without a kind"):
             MetricsSnapshot(values={"a": 1}, kinds={})
+
+
+def _series(points):
+    """A series with one cumulative sample per (accesses, counter) pair."""
+    series = SnapshotSeries(interval=100, meta={"benchmark": "gzip"})
+    for accesses, counter in points:
+        series.append(_snap(counter=counter, meta={"accesses": accesses}))
+    return series
+
+
+class TestSnapshotSeries:
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError, match="interval"):
+            SnapshotSeries(interval=-1)
+
+    def test_samples_must_strictly_advance(self):
+        series = _series([(100, 1)])
+        with pytest.raises(ValueError, match="strictly advance"):
+            series.append(_snap(counter=2, meta={"accesses": 100}))
+        with pytest.raises(ValueError, match="strictly advance"):
+            series.append(_snap(counter=2, meta={"accesses": 50}))
+
+    def test_final_is_last_sample(self):
+        assert SnapshotSeries().final is None
+        series = _series([(100, 1), (200, 5)])
+        assert series.final.values["c"] == 5
+        assert series.accesses() == [100, 200]
+        assert len(series) == 2
+
+    def test_window_diffs_are_exact_deltas(self):
+        series = _series([(100, 3), (200, 10), (300, 10)])
+        diffs = series.window_diffs()
+        assert len(diffs) == 2
+        assert diffs[0]["changed"]["c"] == 7
+        assert "c" not in diffs[1]["changed"]  # flat window
+
+    def test_window_rates(self):
+        series = SnapshotSeries(interval=100)
+        for accesses, hits, lookups in ((100, 5, 10), (200, 9, 20), (300, 9, 20)):
+            registry = MetricRegistry()
+            registry.counter("hits").inc(hits)
+            registry.counter("lookups").inc(lookups)
+            series.append(registry.snapshot(meta={"accesses": accesses}))
+        rates = series.window_rates("hits", "lookups")
+        assert rates[0] == pytest.approx(0.4)   # (9-5) / (20-10)
+        assert rates[1] == 0.0                  # denominator did not move
+
+    def test_jsonl_round_trip(self, tmp_path):
+        series = _series([(100, 1), (200, 5)])
+        path = series.save(tmp_path / "series.jsonl")
+        again = SnapshotSeries.load(path)
+        assert again.interval == series.interval
+        assert again.meta == series.meta
+        assert [s.values for s in again] == [s.values for s in series]
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            SnapshotSeries.from_jsonl('{"schema": "bogus/v0"}\n')
+
+    def test_declared_count_mismatch_rejected(self):
+        text = _series([(100, 1), (200, 2)]).to_jsonl()
+        truncated = "\n".join(text.splitlines()[:-1]) + "\n"
+        with pytest.raises(ValueError, match="declares"):
+            SnapshotSeries.from_jsonl(truncated)
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            SnapshotSeries.from_jsonl("")
