@@ -9,7 +9,11 @@ Examples::
     python -m repro run mcf oracle baseline pred_regular --l2 1M --jobs 0
     python -m repro run captured baseline --trace trace.rtrc
     python -m repro faults --ops 40 --json --jobs 4
+    python -m repro faults --layer sweep      # chaos-soak the sweep executor
     python -m repro cache stats               # the on-disk result cache
+    python -m repro cache verify --repair     # digest-check + quarantine
+    python -m repro run gzip oracle pred_regular --supervise --jobs 2
+    python -m repro figure figure7 --resume   # pick up an interrupted grid
     python -m repro bench                     # writes BENCH_perf.json
     python -m repro bench --check BENCH_perf.json   # regression guard
     python -m repro trace swim --out trace.json     # chrome://tracing view
@@ -17,7 +21,10 @@ Examples::
 
 Commands that run grid cells cache finished results under ``.repro-cache``
 (``--no-cache`` bypasses) and accept ``--jobs N`` worker processes
-(``0`` = auto).  The global ``--emit-metrics PATH`` flag writes the
+(``0`` = auto).  ``--supervise`` runs cells under the crash-safe
+supervisor (per-cell timeouts, retry, checkpoint manifest); ``--resume``
+additionally serves already-finished cells from the manifest + cache
+after an interrupt.  The global ``--emit-metrics PATH`` flag writes the
 telemetry snapshot of supporting commands (``run``, ``trace``) as JSON.
 
 Errors (missing or corrupt trace files, integrity violations) are reported
@@ -41,6 +48,7 @@ from repro.experiments.report import render_figure
 from repro.experiments.runner import SCHEMES, make_controller, run_cell
 from repro.faults.campaign import DEFAULT_RATES, FaultCampaign
 from repro.faults.injector import FaultType
+from repro.ioutil import atomic_write_json
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.secure.errors import SecureMemoryError
 from repro.telemetry.events import EventTracer, merge_chrome_traces
@@ -79,14 +87,34 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         return 2
     if args.name == "table1":
         return _cmd_table1(args)
-    result = figure_fn(
-        references=args.refs,
-        seed=args.seed,
-        jobs=args.jobs,
-        use_cache=not args.no_cache,
-    )
+    supervised = args.supervise or args.resume
+    if supervised:
+        # Figure functions don't take engine options beyond jobs/cache, so
+        # supervision is installed as the process-wide run_grid default.
+        from repro.experiments import sweep as sweep_mod
+
+        sweep_mod.set_default_supervision(
+            policy=_supervisor_policy(args), resume=args.resume
+        )
+    try:
+        result = figure_fn(
+            references=args.refs,
+            seed=args.seed,
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+        )
+    finally:
+        if supervised:
+            sweep_mod.reset_default_supervision()
     print(render_figure(result))
     return 0
+
+
+def _supervisor_policy(args: argparse.Namespace):
+    """The supervision policy the --supervise/--resume flags describe."""
+    from repro.experiments.supervisor import SupervisorPolicy
+
+    return SupervisorPolicy(cell_timeout_seconds=args.cell_timeout)
 
 
 def _trace_results(args: argparse.Namespace, machine):
@@ -136,8 +164,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
     machine = _MACHINES[args.l2]
     failures: list[str] = []
     snapshots: dict[str, object] = {}
+    supervision = None
     if args.trace is not None:
         results, failures = _trace_results(args, machine)
+    elif args.supervise or args.resume:
+        from repro.experiments.sweep import run_grid
+
+        sweep = run_grid(
+            [args.benchmark], list(args.schemes), machine=machine,
+            references=args.refs, seed=args.seed,
+            keep_going=args.keep_going, jobs=args.jobs,
+            use_cache=not args.no_cache,
+            supervise=True, resume=args.resume,
+            policy=_supervisor_policy(args),
+        )
+        results = {scheme: m for (_, scheme), m in sweep.results.items()}
+        snapshots = {scheme: s for (_, scheme), s in sweep.snapshots.items()}
+        failures = [str(failure) for failure in sweep.failures]
+        supervision = sweep.supervision
     else:
         cells, run_failures = run_benchmark_cells_parallel(
             args.benchmark, args.schemes, machine=machine,
@@ -163,10 +207,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if oracle is not None:
             row += f"{metrics.normalized_ipc(oracle):>8.3f}"
         print(row)
+    if supervision is not None:
+        interesting = {
+            name: value
+            for name, value in supervision.items()
+            if value and name != "cells_total"
+        }
+        rendered = ", ".join(f"{k}={v}" for k, v in sorted(interesting.items()))
+        print(f"supervision: {rendered or 'clean run'}")
     if args.emit_metrics:
         _emit_snapshot(args.emit_metrics, snapshots)
     for failure in failures:
         print(f"FAILED {failure}", file=sys.stderr)
+    if args.keep_going and failures:
+        total = len(args.schemes)
+        print(
+            f"keep-going: {len(failures)} of {total} cell(s) failed, "
+            f"{len(results)} completed; failed cells listed above with "
+            f"their cache keys",
+            file=sys.stderr,
+        )
     return 1 if failures else 0
 
 
@@ -214,9 +274,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             labeled.append((scheme, tracer))
             cells[scheme] = cell
         payload = merge_chrome_traces(labeled, metadata=metadata)
-        with open(args.out, "w") as handle:
-            json.dump(payload, handle)
-            handle.write("\n")
+        atomic_write_json(args.out, payload)
         for scheme, tracer in labeled:
             print(
                 f"{args.benchmark}/{scheme}: captured {len(tracer.events())} "
@@ -295,6 +353,25 @@ def _cmd_series(args: argparse.Namespace) -> int:
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
+    if args.layer == "sweep":
+        # Orchestration chaos: sabotage the sweep *executor* (worker kills,
+        # hangs, cache corruption) and require bit-identical recovery.
+        import os
+
+        from repro.faults.orchestration import render_soak_report, run_sweep_soak
+
+        # An explicit REPRO_CACHE_DIR keeps the soak's cache (quarantine
+        # tier, manifests) around as post-mortem evidence; otherwise the
+        # soak runs against a deleted private temp directory.
+        report = run_sweep_soak(
+            references=args.refs, seed=args.seed, jobs=args.jobs or 2,
+            cache_dir=os.environ.get(result_cache.CACHE_DIR_ENV),
+        )
+        if args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            print(render_soak_report(report))
+        return 0 if report["ok"] else 1
     known = {fault_type.value: fault_type for fault_type in FaultType}
     if args.types:
         names = [name.strip() for name in args.types.split(",") if name.strip()]
@@ -357,9 +434,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
             print(f"measurement run {run_index + 1}/{max(1, args.runs)} done")
         tempered = temper_baseline(reports, safety=args.safety)
-        with open(args.baseline, "w") as handle:
-            json.dump(tempered, handle, indent=2)
-            handle.write("\n")
+        atomic_write_json(args.baseline, tempered, indent=2)
         print(f"baseline re-tempered from {len(reports)} run(s) "
               f"(safety {args.safety:.0%}) -> {args.baseline}")
         for name, value in tempered["tempering"]["values"].items():
@@ -397,12 +472,28 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} "
               f"from {cache.root}")
         return 0
+    if args.action == "verify":
+        outcome = cache.verify(repair=args.repair)
+        print(f"cache root: {cache.root}")
+        print(f"checked {outcome['checked']} entries: {outcome['ok']} ok, "
+              f"{len(outcome['corrupt'])} corrupt")
+        for entry in outcome["corrupt"]:
+            name = entry.path.rsplit("/", 1)[-1]
+            print(f"  {entry.tier}/{name}: {entry.reason}", file=sys.stderr)
+        if args.repair:
+            print(f"quarantined {outcome['repaired']} corrupt entr"
+                  f"{'y' if outcome['repaired'] == 1 else 'ies'} under "
+                  f"{cache.root / 'quarantine'}")
+            return 0
+        return 1 if outcome["corrupt"] else 0
     stats = cache.disk_stats()
     print(f"cache root:  {stats['root']}")
     print(f"fingerprint: {stats['fingerprint']}")
-    for tier in ("results", "traces"):
-        tier_stats = stats[tier]
-        print(f"{tier:<8}  {tier_stats['entries']:>6} entries  "
+    for tier in ("results", "traces", "quarantine"):
+        tier_stats = stats.get(tier)
+        if tier_stats is None:
+            continue
+        print(f"{tier:<10}  {tier_stats['entries']:>6} entries  "
               f"{tier_stats['bytes']:>10} bytes")
     return 0
 
@@ -423,6 +514,20 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="bypass the on-disk result cache (.repro-cache)",
+    )
+    parser.add_argument(
+        "--supervise", action="store_true",
+        help="run cells under the crash-safe supervisor (per-cell "
+             "timeouts, retry with backoff, checkpoint manifest)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted run from its checkpoint manifest, "
+             "recomputing only unfinished cells (implies --supervise)",
+    )
+    parser.add_argument(
+        "--cell-timeout", type=float, default=120.0, metavar="SECONDS",
+        help="supervised per-cell wall-clock timeout (default 120)",
     )
 
 
@@ -534,7 +639,16 @@ def build_parser() -> argparse.ArgumentParser:
     faults = sub.add_parser(
         "faults", help="run a seeded fault-injection campaign"
     )
+    faults.add_argument(
+        "--layer", choices=["machine", "sweep"], default="machine",
+        help="what to attack: the simulated machine (default) or the "
+             "sweep executor itself (worker kills, hangs, cache corruption)",
+    )
     faults.add_argument("--ops", type=int, default=120, help="operations per cell")
+    faults.add_argument(
+        "--refs", type=int, default=3000,
+        help="trace length per soak cell (--layer sweep only)",
+    )
     faults.add_argument("--seed", type=int, default=1)
     faults.add_argument(
         "--types", default=None,
@@ -554,9 +668,14 @@ def build_parser() -> argparse.ArgumentParser:
     faults.set_defaults(func=_cmd_faults)
 
     cache = sub.add_parser(
-        "cache", help="inspect or clear the on-disk result cache"
+        "cache", help="inspect, verify or clear the on-disk result cache"
     )
-    cache.add_argument("action", choices=["stats", "clear"])
+    cache.add_argument("action", choices=["stats", "verify", "clear"])
+    cache.add_argument(
+        "--repair", action="store_true",
+        help="with verify: quarantine corrupt entries so the next run "
+             "recomputes them (report-only without this flag)",
+    )
     cache.set_defaults(func=_cmd_cache)
 
     bench = sub.add_parser(

@@ -35,6 +35,7 @@ from repro.crypto.rng import HardwareRng
 from repro.experiments import cache as result_cache
 from repro.experiments import runner
 from repro.experiments.sweep import SweepResult, run_grid
+from repro.ioutil import atomic_write_json
 from repro.secure.controller import SecureMemoryController
 from repro.secure.predictors import RegularOtpPredictor
 from repro.secure.seqnum import PageSecurityTable
@@ -313,7 +314,7 @@ def run_bench(
         "grid": grid_bench(references=references, seed=seed, jobs=jobs),
     }
     if output is not None:
-        Path(output).write_text(json.dumps(report, indent=2) + "\n")
+        atomic_write_json(Path(output), report, indent=2)
     return report
 
 

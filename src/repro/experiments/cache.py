@@ -21,14 +21,27 @@ Layout and controls::
     .repro-cache/
       results/<2-char shard>/<sha256>.json
       traces/<2-char shard>/<sha256>.pkl
+      quarantine/<tier>/<original name>    corrupt entries moved aside
+      quarantine/log.jsonl                 one line per quarantined entry
+      manifest-<sweep key>.jsonl           supervised-sweep checkpoints
 
     REPRO_CACHE_DIR   override the cache root (default ./.repro-cache)
     REPRO_NO_CACHE    any non-empty value disables reads and writes
 
-The CLI exposes ``repro cache stats`` / ``repro cache clear`` and a
-``--no-cache`` flag on the commands that consult the cache.  Library entry
-points default to *not* caching (`use_cache=False`) so tests and embedders
-stay hermetic unless they opt in.
+**Self-healing.**  Every entry carries a content digest written at store
+time (a ``digest`` field in result JSON, a leading digest line in trace
+pickles).  Loads verify the digest; a truncated, tampered or unparsable
+entry is *quarantined* — moved to ``quarantine/`` with the reason appended
+to ``quarantine/log.jsonl`` — counted, logged, and treated as a miss, so
+the caller transparently recomputes and the next store writes a clean
+entry.  ``repro cache verify [--repair]`` runs the same check over the
+whole cache offline.
+
+The CLI exposes ``repro cache stats`` / ``repro cache clear`` /
+``repro cache verify`` and a ``--no-cache`` flag on the commands that
+consult the cache.  Library entry points default to *not* caching
+(`use_cache=False`) so tests and embedders stay hermetic unless they opt
+in.
 """
 
 from __future__ import annotations
@@ -36,6 +49,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 import pickle
 from pathlib import Path
@@ -48,10 +62,13 @@ __all__ = [
     "code_fingerprint",
     "result_key",
     "trace_key",
+    "CorruptEntry",
     "ResultCache",
     "default_cache",
     "reset_default_cache",
 ]
+
+_LOG = logging.getLogger("repro.cache")
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 CACHE_DISABLE_ENV = "REPRO_NO_CACHE"
@@ -139,11 +156,22 @@ class CacheStats:
     trace_hits: int = 0
     trace_misses: int = 0
     trace_stores: int = 0
+    corrupt_entries: int = 0          # digest/parse failures seen on load
+    quarantined_entries: int = 0      # corrupt entries moved aside
 
     @property
     def hit_rate(self) -> float:
         lookups = self.result_hits + self.result_misses
         return self.result_hits / lookups if lookups else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class CorruptEntry:
+    """One cache entry that failed verification (and why)."""
+
+    tier: str
+    path: str
+    reason: str
 
 
 class ResultCache:
@@ -176,6 +204,63 @@ class ResultCache:
     def _trace_path(self, key: str) -> Path:
         return self.root / "traces" / key[:2] / f"{key}.pkl"
 
+    # -- integrity -------------------------------------------------------------
+
+    @staticmethod
+    def _payload_digest(payload: dict) -> str:
+        """Digest of a result payload *without* its ``digest`` field."""
+        body = {k: v for k, v in payload.items() if k != "digest"}
+        return hashlib.sha256(
+            json.dumps(body, sort_keys=True).encode()
+        ).hexdigest()
+
+    def _load_result_payload(self, path: Path) -> dict:
+        """Parse + digest-verify one result entry; raises ValueError."""
+        raw = path.read_text()
+        if not raw.strip():
+            raise ValueError("empty entry")
+        payload = json.loads(raw)
+        if not isinstance(payload, dict) or "metrics" not in payload:
+            raise ValueError("not a result entry (no metrics)")
+        digest = payload.get("digest")
+        if digest is None:
+            raise ValueError("entry predates digests (no digest field)")
+        if digest != self._payload_digest(payload):
+            raise ValueError("digest mismatch (truncated or tampered)")
+        return payload
+
+    def _load_trace_blob(self, path: Path) -> bytes:
+        """Read + digest-verify one trace entry's pickle bytes."""
+        raw = path.read_bytes()
+        header, sep, blob = raw.partition(b"\n")
+        if not sep or len(header) != 64:
+            raise ValueError("entry predates digests (no digest header)")
+        if header.decode("ascii", "replace") != hashlib.sha256(blob).hexdigest():
+            raise ValueError("digest mismatch (truncated or tampered)")
+        return blob
+
+    def _quarantine(self, tier: str, path: Path, reason: str) -> None:
+        """Move a corrupt entry aside and record why, never raising."""
+        self.stats.corrupt_entries += 1
+        _LOG.warning("corrupt cache entry %s: %s", path, reason)
+        try:
+            destination = self.root / "quarantine" / tier / path.name
+            destination.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, destination)
+            with (self.root / "quarantine" / "log.jsonl").open("a") as handle:
+                handle.write(
+                    json.dumps(
+                        {"tier": tier, "entry": path.name, "reason": reason},
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+            self.stats.quarantined_entries += 1
+        except OSError:
+            # Quarantine is best-effort: a vanished file or read-only cache
+            # must not turn a recoverable miss into a crash.
+            pass
+
     # -- results ---------------------------------------------------------------
 
     def lookup_result(self, key: str) -> RunMetrics | None:
@@ -184,11 +269,15 @@ class ResultCache:
             return None
         path = self._result_path(key)
         try:
-            payload = json.loads(path.read_text())
+            payload = self._load_result_payload(path)
             metrics = RunMetrics(**payload["metrics"])
-        except (OSError, ValueError, KeyError, TypeError):
-            # Missing or corrupt entry: treat as a miss (a later store
-            # rewrites it).
+        except FileNotFoundError:
+            self.stats.result_misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError) as err:
+            # Corrupt entry: quarantine it and treat as a miss so the
+            # caller recomputes and the next store writes a clean entry.
+            self._quarantine("results", path, str(err))
             self.stats.result_misses += 1
             return None
         self.stats.result_hits += 1
@@ -201,7 +290,8 @@ class ResultCache:
         :meth:`store_result` without one) count as misses here — the code
         fingerprint in the key already rotates them out in practice, but a
         hand-planted metrics-only entry must not surface as a snapshotless
-        cell.
+        cell.  Corrupt or truncated entries are quarantined and count as
+        misses, never as crashes.
         """
         if not self.enabled:
             return None
@@ -209,10 +299,20 @@ class ResultCache:
 
         path = self._result_path(key)
         try:
-            payload = json.loads(path.read_text())
+            payload = self._load_result_payload(path)
+        except FileNotFoundError:
+            self.stats.result_misses += 1
+            return None
+        except (OSError, ValueError, TypeError) as err:
+            self._quarantine("results", path, str(err))
+            self.stats.result_misses += 1
+            return None
+        try:
             metrics = RunMetrics(**payload["metrics"])
             snapshot = MetricsSnapshot.from_dict(payload["snapshot"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
+            # Digest-clean but snapshotless (metrics-only store): a plain
+            # miss, not corruption.
             self.stats.result_misses += 1
             return None
         self.stats.result_hits += 1
@@ -226,6 +326,7 @@ class ResultCache:
         payload = {"metrics": dataclasses.asdict(metrics)}
         if snapshot is not None:
             payload["snapshot"] = snapshot.to_dict()
+        payload["digest"] = self._payload_digest(payload)
         self._write_atomic(path, json.dumps(payload, sort_keys=True).encode())
         self.stats.result_stores += 1
 
@@ -237,22 +338,61 @@ class ResultCache:
             return None
         path = self._trace_path(key)
         try:
-            with path.open("rb") as handle:
-                pair = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            blob = self._load_trace_blob(path)
+            pair = pickle.loads(blob)
+        except FileNotFoundError:
+            self.stats.trace_misses += 1
+            return None
+        except (OSError, ValueError, pickle.UnpicklingError, EOFError,
+                AttributeError) as err:
+            self._quarantine("traces", path, str(err))
             self.stats.trace_misses += 1
             return None
         self.stats.trace_hits += 1
         return pair
 
     def store_trace(self, key: str, miss_trace, preseed) -> None:
-        """Persist one benchmark's miss trace + preseed."""
+        """Persist one benchmark's miss trace + preseed (digest-prefixed)."""
         if not self.enabled:
             return
-        self._write_atomic(
-            self._trace_path(key), pickle.dumps((miss_trace, preseed))
-        )
+        blob = pickle.dumps((miss_trace, preseed))
+        header = hashlib.sha256(blob).hexdigest().encode("ascii") + b"\n"
+        self._write_atomic(self._trace_path(key), header + blob)
         self.stats.trace_stores += 1
+
+    # -- verification ----------------------------------------------------------
+
+    def verify(self, repair: bool = False) -> dict:
+        """Digest-check every entry; optionally quarantine the corrupt ones.
+
+        Returns ``{"checked": n, "ok": n, "corrupt": [CorruptEntry, ...],
+        "repaired": n}``.  Without ``repair`` the corrupt entries are left
+        in place (report-only); with it they move to ``quarantine/`` just
+        as a failed load would move them.
+        """
+        corrupt: list[CorruptEntry] = []
+        checked = 0
+        for tier, loader in (
+            ("results", self._load_result_payload),
+            ("traces", self._load_trace_blob),
+        ):
+            base = self.root / tier
+            if not base.is_dir():
+                continue
+            for path in sorted(p for p in base.rglob("*") if p.is_file()):
+                checked += 1
+                try:
+                    loader(path)
+                except (OSError, ValueError, KeyError, TypeError) as err:
+                    corrupt.append(CorruptEntry(tier, str(path), str(err)))
+                    if repair:
+                        self._quarantine(tier, path, str(err))
+        return {
+            "checked": checked,
+            "ok": checked - len(corrupt),
+            "corrupt": corrupt,
+            "repaired": len(corrupt) if repair else 0,
+        }
 
     # -- maintenance -----------------------------------------------------------
 
@@ -265,13 +405,15 @@ class ResultCache:
         os.replace(tmp, path)
 
     def _entry_paths(self):
-        for tier in ("results", "traces"):
+        for tier in ("results", "traces", "quarantine"):
             base = self.root / tier
             if base.is_dir():
                 yield from (p for p in base.rglob("*") if p.is_file())
+        if self.root.is_dir():
+            yield from sorted(self.root.glob("manifest-*.jsonl"))
 
     def clear(self) -> int:
-        """Delete every cache entry; returns how many files were removed."""
+        """Delete every cache entry (including quarantine and manifests)."""
         removed = 0
         for path in list(self._entry_paths()):
             try:
@@ -282,17 +424,26 @@ class ResultCache:
         return removed
 
     def disk_stats(self) -> dict:
-        """Entry counts and byte totals per tier (for ``repro cache stats``)."""
+        """Entry counts and byte totals per tier (for ``repro cache stats``).
+
+        Robust against concurrent mutation: a file deleted between listing
+        and ``stat`` is simply skipped.
+        """
         stats = {"root": str(self.root), "fingerprint": code_fingerprint()[:16]}
-        for tier in ("results", "traces"):
+        for tier in ("results", "traces", "quarantine"):
             base = self.root / tier
             files = (
                 [p for p in base.rglob("*") if p.is_file()] if base.is_dir() else []
             )
-            stats[tier] = {
-                "entries": len(files),
-                "bytes": sum(p.stat().st_size for p in files),
-            }
+            total = 0
+            counted = 0
+            for path in files:
+                try:
+                    total += path.stat().st_size
+                    counted += 1
+                except OSError:
+                    continue
+            stats[tier] = {"entries": counted, "bytes": total}
         return stats
 
 

@@ -437,18 +437,26 @@ def run_benchmark(
 
 @dataclass(frozen=True)
 class RunFailure:
-    """Record of one (benchmark, scheme) point that could not be run."""
+    """Record of one (benchmark, scheme) point that could not be run.
+
+    ``cell_key`` is the point's content-addressed cache key — the stable
+    identity a resumed or supervised sweep uses to retry exactly this
+    cell.  Empty only for failures recorded before the key could be
+    computed (e.g. an unknown scheme name).
+    """
 
     benchmark: str
     scheme: str
     error_type: str
     message: str
     attempts: int
+    cell_key: str = ""
 
     def __str__(self) -> str:
+        key = f" [{self.cell_key[:12]}]" if self.cell_key else ""
         return (
             f"{self.benchmark}/{self.scheme}: {self.error_type}: "
-            f"{self.message} ({self.attempts} attempt(s))"
+            f"{self.message} ({self.attempts} attempt(s)){key}"
         )
 
 
@@ -484,12 +492,21 @@ def run_cell_isolated(
             raise
         except Exception as err:
             last = err
+    spec = SCHEMES.get(scheme) if isinstance(scheme, str) else scheme
+    cell_key = (
+        result_cache.result_key(
+            benchmark, spec, machine, references or default_references(), seed
+        )
+        if spec is not None
+        else ""
+    )
     return RunFailure(
         benchmark=benchmark,
         scheme=name,
         error_type=type(last).__name__,
         message=str(last),
         attempts=attempts,
+        cell_key=cell_key,
     )
 
 

@@ -22,7 +22,12 @@ from repro.telemetry.snapshot import (
     merge_snapshots,
 )
 
-__all__ = ["SweepResult", "run_grid"]
+__all__ = [
+    "SweepResult",
+    "run_grid",
+    "set_default_supervision",
+    "reset_default_supervision",
+]
 
 
 @dataclass
@@ -30,8 +35,12 @@ class SweepResult:
     """All metrics of a (benchmark x scheme) grid.
 
     ``failures`` is non-empty only for grids run with ``keep_going=True``:
-    each entry names a (benchmark, scheme) point that raised after retries,
-    and the corresponding key is simply absent from ``results``.
+    each entry names a (benchmark, scheme) point that raised after
+    retries — including its content-addressed cache key, so a follow-up
+    run can retry exactly those cells — and the corresponding key is
+    simply absent from ``results``.  ``supervision`` carries the
+    supervisor's recovery counters when the grid ran under
+    :func:`repro.experiments.supervisor.run_grid_supervised`.
     """
 
     machine: str
@@ -44,11 +53,19 @@ class SweepResult:
     series: dict[tuple[str, str], SnapshotSeries] = field(
         repr=False, default_factory=dict
     )
+    supervision: dict | None = None
 
     @property
     def complete(self) -> bool:
         """True when every requested grid point produced metrics."""
         return not self.failures
+
+    def failed_cells(self) -> list[tuple[str, str, str]]:
+        """``(benchmark, scheme, cell_key)`` for every failed grid point."""
+        return [
+            (failure.benchmark, failure.scheme, failure.cell_key)
+            for failure in self.failures
+        ]
 
     def snapshot(self, benchmark: str, scheme: str) -> MetricsSnapshot:
         return self.snapshots[(benchmark, scheme)]
@@ -110,6 +127,23 @@ class SweepResult:
         )
 
 
+# When set (by the CLI's --supervise/--resume flags, before it calls
+# figure functions whose signatures don't carry engine options), run_grid
+# routes through the supervised executor by default.
+_DEFAULT_SUPERVISION: dict | None = None
+
+
+def set_default_supervision(policy=None, resume: bool = False) -> None:
+    """Make every subsequent :func:`run_grid` call supervised by default."""
+    global _DEFAULT_SUPERVISION
+    _DEFAULT_SUPERVISION = {"policy": policy, "resume": resume}
+
+
+def reset_default_supervision() -> None:
+    global _DEFAULT_SUPERVISION
+    _DEFAULT_SUPERVISION = None
+
+
 def run_grid(
     benchmarks: list[str],
     schemes: list[str],
@@ -121,6 +155,10 @@ def run_grid(
     jobs: int | None = 1,
     use_cache: bool = False,
     series_interval: int = 0,
+    supervise: bool | None = None,
+    resume: bool = False,
+    policy=None,
+    chaos=None,
 ) -> SweepResult:
     """Run every (benchmark, scheme) combination, sharing miss traces.
 
@@ -137,7 +175,34 @@ def run_grid(
     result cache.  A positive ``series_interval`` additionally captures a
     per-cell :class:`~repro.telemetry.snapshot.SnapshotSeries` (cumulative
     snapshots every that many fetches) into :attr:`SweepResult.series`.
+
+    ``supervise=True`` (or a process-wide default installed with
+    :func:`set_default_supervision`) routes the grid through
+    :func:`repro.experiments.supervisor.run_grid_supervised` — per-cell
+    timeouts, crash retry, checkpoint manifest, ``resume`` — with
+    identical results.
     """
+    if supervise is None and _DEFAULT_SUPERVISION is not None:
+        supervise = True
+        policy = policy or _DEFAULT_SUPERVISION["policy"]
+        resume = resume or _DEFAULT_SUPERVISION["resume"]
+    if supervise:
+        from repro.experiments.supervisor import run_grid_supervised
+
+        return run_grid_supervised(
+            benchmarks,
+            schemes,
+            machine=machine,
+            references=references,
+            seed=seed,
+            keep_going=keep_going,
+            jobs=jobs,
+            use_cache=use_cache,
+            series_interval=series_interval,
+            policy=policy,
+            chaos=chaos,
+            resume=resume,
+        )
     sweep = SweepResult(machine=machine.name, references=references)
     cells = run_grid_cells(
         benchmarks,

@@ -16,6 +16,10 @@ Public surface:
 * :class:`~repro.faults.campaign.FaultCampaign` /
   :class:`~repro.faults.campaign.CampaignReport` — the sweep runner and its
   report.
+* :class:`~repro.faults.orchestration.SweepChaos` /
+  :func:`~repro.faults.orchestration.run_sweep_soak` — seeded sabotage of
+  the sweep *executor* itself (worker kills, hangs, cache corruption) and
+  the soak proving the supervisor recovers to bit-identical results.
 """
 
 from repro.faults.injector import FaultInjector, FaultType, InjectedFault
@@ -24,6 +28,12 @@ from repro.faults.campaign import (
     CampaignReport,
     FaultCampaign,
     run_smoke_campaign,
+)
+from repro.faults.orchestration import (
+    ChaosSpec,
+    SweepChaos,
+    render_soak_report,
+    run_sweep_soak,
 )
 
 __all__ = [
@@ -34,4 +44,8 @@ __all__ = [
     "CampaignReport",
     "FaultCampaign",
     "run_smoke_campaign",
+    "ChaosSpec",
+    "SweepChaos",
+    "run_sweep_soak",
+    "render_soak_report",
 ]

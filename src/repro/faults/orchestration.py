@@ -1,0 +1,301 @@
+"""Orchestration chaos: seeded sabotage for the supervised sweep executor.
+
+PR 1's :class:`~repro.faults.injector.FaultInjector` attacks the *simulated*
+machine; this module attacks the *machinery that runs the experiments* —
+worker processes and the on-disk result cache — and proves the supervisor
+(:mod:`repro.experiments.supervisor`) absorbs it.  Four injectors, all
+derived deterministically from one seed:
+
+* **kill-worker** — the worker calls ``os._exit`` before computing, the
+  parent sees a death with no result;
+* **hang-worker** — the worker sleeps past the cell timeout and is
+  terminated by the supervisor;
+* **slow-cell** — the worker sleeps a sub-timeout delay, then completes
+  (exercises the deadline without tripping it);
+* **corrupt-cache-entry** — the worker truncates its own just-stored
+  cache entry *after* reporting, poisoning a future resume (which the
+  cache's digest check must quarantine and recompute).
+
+:func:`run_sweep_soak` is the proof harness behind ``repro faults --layer
+sweep``: an undisturbed serial grid, the same grid supervised under
+chaos, then a corrupted-cache resume — all three must produce identical
+:class:`~repro.experiments.sweep.SweepResult` contents (metrics *and*
+merged telemetry snapshot), and the resume must recompute only the cells
+whose entries were corrupted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass
+
+from repro.crypto.rng import HardwareRng
+from repro.experiments import cache as result_cache
+from repro.experiments import runner
+from repro.experiments.config import MachineConfig, TABLE1_256K
+from repro.experiments.supervisor import SupervisorPolicy, run_grid_supervised
+from repro.experiments.sweep import run_grid
+
+__all__ = [
+    "ChaosSpec",
+    "SweepChaos",
+    "run_sweep_soak",
+    "render_soak_report",
+]
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Injection rates (per cell attempt) and timing of the four sabotages.
+
+    Rates are cumulative probabilities over one uniform roll, so they must
+    sum to at most 1.  By default chaos fires only on a cell's *first*
+    attempt — retries run clean, so a bounded-retry supervisor provably
+    converges; set ``first_attempt_only=False`` to test retry exhaustion.
+    """
+
+    kill_rate: float = 0.0
+    hang_rate: float = 0.0
+    slow_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    hang_seconds: float = 30.0
+    slow_seconds: float = 0.05
+    seed: int = 0xC4A05
+    first_attempt_only: bool = True
+
+    def __post_init__(self) -> None:
+        rates = (self.kill_rate, self.hang_rate, self.slow_rate, self.corrupt_rate)
+        if any(not 0.0 <= rate <= 1.0 for rate in rates):
+            raise ValueError(f"rates must be in [0, 1], got {rates}")
+        if sum(rates) > 1.0:
+            raise ValueError(f"rates must sum to <= 1, got {sum(rates)}")
+
+
+class SweepChaos:
+    """Seeded sabotage plan consulted by the supervisor per (cell, attempt).
+
+    Decisions are pure functions of ``(spec.seed, cell_key, attempt)`` —
+    the same plan replayed against the same sweep sabotages the same
+    cells, making every soak failure reproducible.
+    """
+
+    def __init__(self, spec: ChaosSpec):
+        self.spec = spec
+        self.planned: list[tuple[str, int, str]] = []  # (cell_key, attempt, action)
+
+    def action_for(self, cell_key: str, attempt: int) -> tuple[str, float] | None:
+        """The sabotage for this attempt: ``(action, seconds)`` or None."""
+        spec = self.spec
+        if spec.first_attempt_only and attempt > 0:
+            return None
+        rng = HardwareRng(
+            (spec.seed ^ int(cell_key[:16], 16) ^ (attempt * 0x9E37)) & (2**64 - 1)
+        )
+        roll = rng.next_float()
+        action: tuple[str, float] | None = None
+        if roll < spec.kill_rate:
+            action = ("kill", 0.0)
+        elif roll < spec.kill_rate + spec.hang_rate:
+            action = ("hang", spec.hang_seconds)
+        elif roll < spec.kill_rate + spec.hang_rate + spec.slow_rate:
+            action = ("slow", spec.slow_seconds)
+        elif (
+            roll
+            < spec.kill_rate + spec.hang_rate + spec.slow_rate + spec.corrupt_rate
+        ):
+            action = ("corrupt", 0.0)
+        if action is not None:
+            self.planned.append((cell_key, attempt, action[0]))
+        return action
+
+
+# -- the soak ------------------------------------------------------------------
+
+
+def _metrics_dicts(sweep) -> dict:
+    return {
+        f"{benchmark}/{scheme}": dataclasses.asdict(metrics)
+        for (benchmark, scheme), metrics in sweep.results.items()
+    }
+
+
+def _merged_values(sweep) -> dict:
+    merged = sweep.merged_snapshot()
+    return merged.values if merged is not None else {}
+
+
+def run_sweep_soak(
+    benchmarks: tuple[str, ...] = ("gzip", "art"),
+    schemes: tuple[str, ...] = ("oracle", "pred_regular"),
+    machine: MachineConfig = TABLE1_256K,
+    references: int = 3000,
+    seed: int = 1,
+    jobs: int = 2,
+    chaos_spec: ChaosSpec | None = None,
+    policy: SupervisorPolicy | None = None,
+    corrupt_cells: int = 2,
+    cache_dir: str | None = None,
+) -> dict:
+    """Chaos soak: serial truth vs supervised-under-chaos vs poisoned resume.
+
+    Three passes over the same grid, against a private temporary cache so
+    the user's ``.repro-cache`` is never touched:
+
+    1. **serial** — plain ``run_grid``, no cache, no chaos: ground truth.
+    2. **supervised + chaos** — kill/hang/slow/corrupt injection under a
+       short cell timeout; must converge to the serial result.
+    3. **poisoned resume** — ``corrupt_cells`` cache entries are truncated
+       by hand, then the sweep resumes from its manifest: intact cells
+       must be served from cache, corrupt ones quarantined and recomputed,
+       and the result must *still* equal the serial truth.
+
+    Returns a machine-readable report; ``report["ok"]`` is the verdict.
+    With ``cache_dir`` the soak's cache (quarantine tier, manifests) is
+    kept there for post-mortem instead of a deleted temp directory.
+    """
+    # hang_seconds must exceed the cell timeout, or a "hang" degenerates
+    # into a long "slow" and the timeout path goes unexercised.
+    chaos_spec = chaos_spec or ChaosSpec(
+        kill_rate=0.25, hang_rate=0.15, slow_rate=0.2, corrupt_rate=0.2,
+        hang_seconds=60.0, slow_seconds=0.02,
+    )
+    policy = policy or SupervisorPolicy(
+        cell_timeout_seconds=15.0,
+        max_retries=2,
+        backoff_base_seconds=0.01,
+        backoff_cap_seconds=0.1,
+    )
+
+    serial = run_grid(
+        list(benchmarks), list(schemes), machine=machine,
+        references=references, seed=seed,
+    )
+    serial_metrics = _metrics_dicts(serial)
+    serial_snapshot = _merged_values(serial)
+
+    keep_cache = cache_dir is not None
+    if keep_cache:
+        os.makedirs(cache_dir, exist_ok=True)
+    else:
+        cache_dir = tempfile.mkdtemp(prefix="repro-soak-cache-")
+    saved_env = os.environ.get(result_cache.CACHE_DIR_ENV)
+    os.environ[result_cache.CACHE_DIR_ENV] = cache_dir
+    result_cache.reset_default_cache()
+    runner._MISS_TRACE_CACHE.clear()
+    try:
+        chaos = SweepChaos(chaos_spec)
+        supervised = run_grid_supervised(
+            list(benchmarks), list(schemes), machine=machine,
+            references=references, seed=seed, jobs=jobs,
+            policy=policy, chaos=chaos,
+        )
+
+        # Poison the cache: hand-truncate result entries the chaos run left
+        # intact.  Cells the "corrupt" injector already truncated in-worker
+        # count toward the recompute budget too, so track keys, not counts.
+        disk = result_cache.default_cache()
+        chaos_corrupted = {
+            key for key, _, action in chaos.planned if action == "corrupt"
+        }
+        entry_paths = sorted(
+            p
+            for p in (disk.root / "results").rglob("*.json")
+            if p.is_file() and p.stem not in chaos_corrupted
+        )
+        poisoned_keys = set(chaos_corrupted)
+        for path in entry_paths[: max(0, corrupt_cells)]:
+            data = path.read_bytes()
+            path.write_bytes(data[: len(data) // 3])
+            poisoned_keys.add(path.stem)
+        poisoned = len(poisoned_keys)
+
+        disk.stats = result_cache.CacheStats()
+        runner._MISS_TRACE_CACHE.clear()
+        resumed = run_grid_supervised(
+            list(benchmarks), list(schemes), machine=machine,
+            references=references, seed=seed, jobs=jobs,
+            policy=policy, resume=True,
+        )
+        resumed_stats = resumed.supervision or {}
+        quarantine_entries = sorted(
+            p.name
+            for p in (disk.root / "quarantine").rglob("*")
+            if p.is_file() and p.suffix == ".json"
+        )
+
+        supervised_identical = (
+            _metrics_dicts(supervised) == serial_metrics
+            and _merged_values(supervised) == serial_snapshot
+        )
+        resumed_identical = (
+            _metrics_dicts(resumed) == serial_metrics
+            and _merged_values(resumed) == serial_snapshot
+        )
+        total_cells = len(benchmarks) * len(schemes)
+        resume_exact = (
+            resumed_stats.get("cells_resumed") == total_cells - poisoned
+            and resumed_stats.get("cells_completed") == poisoned
+        )
+        report = {
+            "benchmarks": list(benchmarks),
+            "schemes": list(schemes),
+            "references": references,
+            "seed": seed,
+            "jobs": jobs,
+            "cells": total_cells,
+            "chaos": {
+                "planned": [
+                    {"cell_key": key[:12], "attempt": attempt, "action": action}
+                    for key, attempt, action in chaos.planned
+                ],
+                "spec": dataclasses.asdict(chaos_spec),
+            },
+            "supervision": supervised.supervision,
+            "supervised_identical_to_serial": supervised_identical,
+            "poisoned_entries": poisoned,
+            "resume": resumed_stats,
+            "resume_quarantined": quarantine_entries,
+            "resume_recomputed_only_poisoned": resume_exact,
+            "resumed_identical_to_serial": resumed_identical,
+            "ok": supervised_identical and resumed_identical and resume_exact,
+        }
+        return report
+    finally:
+        if saved_env is None:
+            os.environ.pop(result_cache.CACHE_DIR_ENV, None)
+        else:
+            os.environ[result_cache.CACHE_DIR_ENV] = saved_env
+        result_cache.reset_default_cache()
+        runner._MISS_TRACE_CACHE.clear()
+        if not keep_cache:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def render_soak_report(report: dict) -> str:
+    """Human-readable verdict of one :func:`run_sweep_soak` run."""
+    supervision = report.get("supervision") or {}
+    resume = report.get("resume") or {}
+    actions = [entry["action"] for entry in report["chaos"]["planned"]]
+    lines = [
+        f"Sweep chaos soak ({report['cells']} cells, seed {report['seed']}, "
+        f"jobs {report['jobs']})",
+        f"chaos injected: {len(actions)} "
+        f"({', '.join(sorted(set(actions))) or 'none'})",
+        f"supervision: retries={supervision.get('retries')} "
+        f"timeouts={supervision.get('timeouts')} "
+        f"deaths={supervision.get('worker_deaths')} "
+        f"degraded={supervision.get('degraded_cells')}",
+        f"supervised == serial: {report['supervised_identical_to_serial']}",
+        f"poisoned {report['poisoned_entries']} entries -> resume "
+        f"served {resume.get('cells_resumed')} from cache, "
+        f"recomputed {resume.get('cells_completed')}, "
+        f"quarantined {len(report['resume_quarantined'])}",
+        f"resume recomputed only poisoned cells: "
+        f"{report['resume_recomputed_only_poisoned']}",
+        f"resumed == serial: {report['resumed_identical_to_serial']}",
+        f"verdict: {'OK' if report['ok'] else 'FAILED'}",
+    ]
+    return "\n".join(lines)

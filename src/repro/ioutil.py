@@ -1,0 +1,48 @@
+"""Crash-safe artifact writes shared by every JSON/JSONL producer.
+
+A ``repro`` invocation killed mid-write (Ctrl-C during ``--emit-metrics``,
+an OOM-killed bench run, a supervised worker terminated by its parent)
+must never leave a *truncated* artifact behind — a half-written
+``BENCH_perf.json`` that parses as garbage is strictly worse than no file.
+Everything here follows the same discipline as the result cache's entry
+writes: stage the full payload in a temp file in the destination
+directory, then :func:`os.replace` it into place, which is atomic on every
+platform we care about.  Readers see either the previous complete artifact
+or the new complete artifact, never a torn one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "atomic_write_json"]
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Write ``data`` to ``path`` via a same-directory temp file + rename."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+    try:
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Atomic counterpart of ``Path.write_text`` (UTF-8)."""
+    return atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(path: str | Path, payload, **dump_kwargs) -> Path:
+    """Serialize ``payload`` as JSON and write it atomically.
+
+    ``dump_kwargs`` pass straight to :func:`json.dumps` (``indent``,
+    ``sort_keys``, ...).  A trailing newline is always appended so the
+    artifacts stay friendly to line-oriented tools.
+    """
+    return atomic_write_text(path, json.dumps(payload, **dump_kwargs) + "\n")

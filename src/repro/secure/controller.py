@@ -112,9 +112,11 @@ class RecoveryPolicy:
     max_retries:
         Bounded re-fetch attempts after an integrity failure or a dropped
         DRAM response before the fetch is abandoned.
-    backoff_base_cycles / backoff_multiplier:
+    backoff_base_cycles / backoff_multiplier / backoff_cap_cycles:
         Cycle-modeled exponential backoff: retry *n* waits
-        ``base * multiplier**(n-1)`` cycles before re-issuing the fetch.
+        ``base * multiplier**(n-1)`` cycles before re-issuing the fetch,
+        clamped to ``backoff_cap_cycles`` when a cap is set (``None``
+        leaves the growth unbounded, the historical behavior).
     degrade_after_faults:
         Consecutive unrecovered pipeline faults that trip graceful
         degradation: speculation is disabled and fetches fall back to the
@@ -128,6 +130,7 @@ class RecoveryPolicy:
     max_retries: int = 2
     backoff_base_cycles: int = 200
     backoff_multiplier: int = 2
+    backoff_cap_cycles: int | None = None
     degrade_after_faults: int = 8
     reencrypt_on_overflow: bool = True
 
@@ -142,14 +145,32 @@ class RecoveryPolicy:
             raise ValueError(
                 f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
             )
+        if self.backoff_cap_cycles is not None and self.backoff_cap_cycles < 0:
+            raise ValueError(
+                f"backoff_cap_cycles must be >= 0, got {self.backoff_cap_cycles}"
+            )
         if self.degrade_after_faults < 1:
             raise ValueError(
                 f"degrade_after_faults must be >= 1, got {self.degrade_after_faults}"
             )
 
     def backoff_cycles(self, attempt: int) -> int:
-        """Backoff before retry ``attempt`` (1-based)."""
-        return self.backoff_base_cycles * self.backoff_multiplier ** (attempt - 1)
+        """Backoff before retry ``attempt`` (1-based), clamped to any cap.
+
+        Grown iteratively with an early exit at the cap so huge attempt
+        numbers stay cheap — ``multiplier ** attempt`` would build a
+        thousands-of-bits integer before the clamp could discard it.
+        """
+        cap = self.backoff_cap_cycles
+        if self.backoff_base_cycles == 0 or self.backoff_multiplier == 1:
+            wait = self.backoff_base_cycles
+            return wait if cap is None else min(wait, cap)
+        wait = self.backoff_base_cycles
+        for _ in range(attempt - 1):
+            wait *= self.backoff_multiplier
+            if cap is not None and wait >= cap:
+                return cap
+        return wait if cap is None else min(wait, cap)
 
 
 @dataclass

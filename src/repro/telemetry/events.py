@@ -32,11 +32,12 @@ instrumented hot paths guard with a single attribute check.
 
 from __future__ import annotations
 
-import json
 import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
+
+from repro.ioutil import atomic_write_json
 
 __all__ = [
     "TraceEvent",
@@ -281,9 +282,7 @@ class EventTracer:
 
     def write_chrome(self, path, metadata: dict | None = None) -> Path:
         """Write the Chrome JSON to ``path``; returns the path written."""
-        path = Path(path)
-        path.write_text(json.dumps(self.to_chrome(metadata)) + "\n")
-        return path
+        return atomic_write_json(path, self.to_chrome(metadata))
 
 
 class NullTracer:

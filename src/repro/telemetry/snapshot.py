@@ -37,6 +37,8 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.ioutil import atomic_write_text
+
 __all__ = ["MetricsSnapshot", "SnapshotSeries", "merge_snapshots"]
 
 SNAPSHOT_SCHEMA = "repro.telemetry.snapshot/v1"
@@ -180,9 +182,7 @@ class MetricsSnapshot:
         return cls.from_dict(json.loads(text))
 
     def save(self, path) -> Path:
-        path = Path(path)
-        path.write_text(self.to_json() + "\n")
-        return path
+        return atomic_write_text(path, self.to_json() + "\n")
 
     @classmethod
     def load(cls, path) -> "MetricsSnapshot":
@@ -313,9 +313,7 @@ class SnapshotSeries:
         return series
 
     def save(self, path) -> Path:
-        path = Path(path)
-        path.write_text(self.to_jsonl())
-        return path
+        return atomic_write_text(path, self.to_jsonl())
 
     @classmethod
     def load(cls, path) -> "SnapshotSeries":

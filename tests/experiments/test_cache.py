@@ -152,3 +152,114 @@ class TestRunnerIntegration:
         assert len(paths) == 1
         payload = json.loads(paths[0].read_text())
         assert payload["metrics"]["scheme"] == "oracle"
+
+
+class TestSelfHealing:
+    """Digest verification, quarantine, and the verify/repair walk."""
+
+    def _store(self, cache, key="a" * 64):
+        cell = runner.run_cell("gzip", "oracle", references=REFS)
+        cache.store_result(key, cell.metrics, cell.snapshot)
+        return cell
+
+    def test_stored_entries_carry_a_digest(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._store(cache)
+        payload = json.loads(cache._result_path("a" * 64).read_text())
+        assert payload["digest"] == cache._payload_digest(payload)
+
+    def test_truncated_entry_is_quarantined_on_lookup(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._store(cache)
+        path = cache._result_path("a" * 64)
+        path.write_bytes(path.read_bytes()[:200])  # hand-truncated entry
+        assert cache.lookup_cell("a" * 64) is None
+        assert cache.stats.corrupt_entries == 1
+        assert cache.stats.quarantined_entries == 1
+        assert not path.exists()
+        quarantined = tmp_path / "quarantine" / "results" / path.name
+        assert quarantined.exists()
+        log_lines = [
+            json.loads(line)
+            for line in (tmp_path / "quarantine" / "log.jsonl")
+            .read_text()
+            .splitlines()
+        ]
+        assert log_lines[0]["tier"] == "results"
+        assert "reason" in log_lines[0]
+
+    def test_tampered_value_fails_the_digest(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._store(cache)
+        path = cache._result_path("a" * 64)
+        payload = json.loads(path.read_text())
+        payload["metrics"]["ipc"] = 99.0  # silent bit-flip, digest stale
+        path.write_text(json.dumps(payload, sort_keys=True))
+        assert cache.lookup_result("a" * 64) is None
+        assert cache.stats.quarantined_entries == 1
+
+    def test_legacy_digestless_entry_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._store(cache)
+        path = cache._result_path("a" * 64)
+        payload = json.loads(path.read_text())
+        del payload["digest"]
+        path.write_text(json.dumps(payload, sort_keys=True))
+        assert cache.lookup_result("a" * 64) is None
+        assert cache.stats.corrupt_entries == 1
+
+    def test_corrupt_trace_blob_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        miss_trace, preseed = get_miss_trace("gzip", references=REFS)
+        cache.store_trace("b" * 64, miss_trace, preseed)
+        path = cache._trace_path("b" * 64)
+        path.write_bytes(path.read_bytes()[:-10])
+        assert cache.lookup_trace("b" * 64) is None
+        assert cache.stats.quarantined_entries == 1
+        assert (tmp_path / "quarantine" / "traces" / path.name).exists()
+
+    def test_stats_and_lookup_survive_empty_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._store(cache)
+        cache._result_path("a" * 64).write_text("")
+        assert cache.lookup_cell("a" * 64) is None  # miss, not a crash
+        stats = cache.disk_stats()  # must not raise either
+        assert stats["quarantine"]["entries"] >= 1
+
+    def test_verify_reports_without_touching(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._store(cache)
+        bad = tmp_path / "results" / "de" / ("d" * 64 + ".json")
+        bad.parent.mkdir(parents=True, exist_ok=True)
+        bad.write_text("{not json")
+        outcome = cache.verify()
+        assert outcome["checked"] == 2
+        assert outcome["ok"] == 1
+        assert len(outcome["corrupt"]) == 1
+        assert outcome["repaired"] == 0
+        assert bad.exists()  # report-only leaves the entry in place
+
+    def test_verify_repair_quarantines(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._store(cache)
+        bad = tmp_path / "results" / "de" / ("d" * 64 + ".json")
+        bad.parent.mkdir(parents=True, exist_ok=True)
+        bad.write_text("{not json")
+        outcome = cache.verify(repair=True)
+        assert outcome["repaired"] == 1
+        assert not bad.exists()
+        assert (tmp_path / "quarantine" / "results" / bad.name).exists()
+        clean = cache.verify()
+        assert clean["checked"] == 1 and not clean["corrupt"]
+
+    def test_quarantined_entry_recomputes_transparently(self):
+        run_scheme("gzip", "oracle", references=REFS, use_cache=True)
+        cache = result_cache.default_cache()
+        entry = next(p for p in cache._entry_paths() if p.suffix == ".json")
+        entry.write_bytes(entry.read_bytes()[:50])
+        runner._MISS_TRACE_CACHE.clear()
+        fresh = run_scheme("gzip", "oracle", references=REFS)
+        healed = run_scheme("gzip", "oracle", references=REFS, use_cache=True)
+        assert dataclasses.asdict(healed) == dataclasses.asdict(fresh)
+        assert cache.stats.quarantined_entries == 1
+        assert cache.stats.result_stores >= 1  # the entry was re-stored

@@ -409,7 +409,138 @@ class TestEmitMetrics:
         )
 
 
+class TestSupervisedRun:
+    def test_supervise_matches_plain_run(self, capsys):
+        assert main(["run", "gzip", "oracle", "--refs", "1200", "--no-cache"]) == 0
+        plain = capsys.readouterr().out
+        assert main(
+            ["run", "gzip", "oracle", "--refs", "1200", "--supervise"]
+        ) == 0
+        supervised = capsys.readouterr().out
+        assert "supervision:" in supervised
+        table = [line for line in plain.splitlines() if "oracle" in line]
+        assert all(line in supervised for line in table)
+
+    def test_resume_serves_finished_cells(self, capsys):
+        assert main(
+            ["run", "gzip", "oracle", "--refs", "1200", "--supervise"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["run", "gzip", "oracle", "--refs", "1200", "--resume"]) == 0
+        assert "cells_resumed=1" in capsys.readouterr().out
+
+    def test_figure_accepts_supervise(self, capsys):
+        assert main(["figure", "figure9", "--refs", "1200", "--supervise"]) == 0
+        assert "Figure 9" in capsys.readouterr().out
+        from repro.experiments import sweep as sweep_mod
+
+        assert sweep_mod._DEFAULT_SUPERVISION is None  # reset after the run
+
+    def test_keep_going_summary_counts_cells(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            cli,
+            "run_benchmark_cells_parallel",
+            lambda *args, **kwargs: (
+                {},
+                [RunFailure("gzip", "baseline", "RuntimeError", "boom", 2,
+                            cell_key="ab" * 32)],
+            ),
+        )
+        assert main(["run", "gzip", "baseline", "--keep-going"]) == 1
+        err = capsys.readouterr().err
+        assert "FAILED" in err and "abababababab" in err
+        assert "keep-going: 1 of 1 cell(s) failed, 0 completed" in err
+
+
+class TestCacheVerify:
+    def test_verify_clean_cache(self, capsys):
+        assert main(["run", "gzip", "oracle", "--refs", "1500"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "verify"]) == 0
+        out = capsys.readouterr().out
+        assert "0 corrupt" in out
+
+    def test_verify_reports_then_repairs(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        assert main(["run", "gzip", "oracle", "--refs", "1500"]) == 0
+        capsys.readouterr()
+        entry = next((tmp_path / "c" / "results").rglob("*.json"))
+        entry.write_text("{torn")
+        assert main(["cache", "verify"]) == 1
+        captured = capsys.readouterr()
+        assert "1 corrupt" in captured.out
+        assert entry.name in captured.err
+        assert main(["cache", "verify", "--repair"]) == 0
+        assert "quarantined 1" in capsys.readouterr().out
+        assert not entry.exists()
+        assert main(["cache", "verify"]) == 0
+        assert "0 corrupt" in capsys.readouterr().out
+
+    def test_stats_shows_quarantine_tier(self, capsys):
+        assert main(["cache", "stats"]) == 0
+        assert "quarantine" in capsys.readouterr().out
+
+
+class TestFaultsSweepLayer:
+    def test_sweep_layer_renders_soak_report(self, monkeypatch, capsys):
+        import repro.faults.orchestration as orchestration
+
+        report = {
+            "cells": 4, "seed": 1, "jobs": 2,
+            "chaos": {"planned": [
+                {"cell_key": "ab" * 6, "attempt": 0, "action": "kill"},
+            ]},
+            "supervision": {"retries": 1, "timeouts": 0,
+                            "worker_deaths": 1, "degraded_cells": 0},
+            "supervised_identical_to_serial": True,
+            "poisoned_entries": 1,
+            "resume": {"cells_resumed": 3, "cells_completed": 1},
+            "resume_quarantined": ["x.json"],
+            "resume_recomputed_only_poisoned": True,
+            "resumed_identical_to_serial": True,
+            "ok": True,
+        }
+        seen = {}
+        monkeypatch.setattr(
+            orchestration, "run_sweep_soak",
+            lambda **kwargs: seen.update(kwargs) or report,
+        )
+        assert main(["faults", "--layer", "sweep", "--refs", "700",
+                     "--seed", "3", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: OK" in out
+        assert seen["references"] == 700
+        assert seen["seed"] == 3
+
+    def test_sweep_layer_json_and_failure_exit(self, monkeypatch, capsys):
+        import repro.faults.orchestration as orchestration
+
+        monkeypatch.setattr(
+            orchestration, "run_sweep_soak", lambda **kwargs: {"ok": False}
+        )
+        assert main(["faults", "--layer", "sweep", "--json"]) == 1
+        assert json.loads(capsys.readouterr().out) == {"ok": False}
+
+    def test_machine_layer_is_default(self, capsys):
+        assert main(
+            ["faults", "--ops", "8", "--types", "bit_flip", "--rates", "0.5"]
+        ) == 0
+        assert "verdict:" in capsys.readouterr().out
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_cache_verify_accepts_repair(self):
+        args = build_parser().parse_args(["cache", "verify", "--repair"])
+        assert args.action == "verify" and args.repair
+
+    def test_engine_flags_include_supervision(self):
+        args = build_parser().parse_args(
+            ["run", "gzip", "oracle", "--resume", "--cell-timeout", "30"]
+        )
+        assert args.resume and args.cell_timeout == 30.0
+        args = build_parser().parse_args(["figure", "figure9", "--supervise"])
+        assert args.supervise

@@ -1,0 +1,297 @@
+"""Supervised sweep execution: equality, recovery, manifest resume."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments import cache as result_cache
+from repro.experiments import runner
+from repro.experiments.supervisor import (
+    MANIFEST_SCHEMA,
+    SupervisorPolicy,
+    SweepManifest,
+    manifest_path,
+    run_grid_supervised,
+    sweep_key,
+)
+from repro.experiments.sweep import (
+    reset_default_supervision,
+    run_grid,
+    set_default_supervision,
+)
+from repro.telemetry.events import EventTracer
+from repro.telemetry.registry import MetricRegistry
+
+REFS = 1200
+BENCHMARKS = ["gzip"]
+SCHEMES = ["oracle", "pred_regular"]
+
+FAST = SupervisorPolicy(
+    cell_timeout_seconds=60.0,
+    max_retries=2,
+    backoff_base_seconds=0.01,
+    backoff_cap_seconds=0.05,
+)
+
+
+def _metrics(sweep):
+    return {k: dataclasses.asdict(v) for k, v in sweep.results.items()}
+
+
+class _ScriptedChaos:
+    """Chaos stub: one fixed action on every cell's first attempt."""
+
+    def __init__(self, action, seconds=0.0):
+        self.action = action
+        self.seconds = seconds
+        self.calls = []
+
+    def action_for(self, cell_key, attempt):
+        self.calls.append((cell_key, attempt))
+        if attempt > 0:
+            return None
+        return (self.action, self.seconds)
+
+
+class TestPolicy:
+    def test_backoff_grows_to_cap(self):
+        policy = SupervisorPolicy(
+            backoff_base_seconds=0.1, backoff_multiplier=2.0,
+            backoff_cap_seconds=0.5,
+        )
+        assert policy.backoff_seconds(1) == pytest.approx(0.1)
+        assert policy.backoff_seconds(2) == pytest.approx(0.2)
+        assert policy.backoff_seconds(3) == pytest.approx(0.4)
+        assert policy.backoff_seconds(4) == pytest.approx(0.5)
+
+    def test_backoff_cheap_and_capped_at_huge_attempts(self):
+        policy = SupervisorPolicy(backoff_cap_seconds=1.5)
+        # Must not materialize multiplier**attempt for large attempts.
+        assert policy.backoff_seconds(10**6) == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SupervisorPolicy(cell_timeout_seconds=0)
+        with pytest.raises(ValueError):
+            SupervisorPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            SupervisorPolicy(backoff_multiplier=0.5)
+
+
+class TestManifest:
+    def test_header_and_round_trip(self, tmp_path):
+        path = tmp_path / "manifest.jsonl"
+        manifest = SweepManifest.open(path, meta={"key": "abc"})
+        manifest.record("start", "k1", "gzip/oracle", attempt=0)
+        manifest.record("done", "k1", "gzip/oracle", source="worker")
+        manifest.record("failed", "k2", "gzip/baseline", error="boom")
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0]["schema"] == MANIFEST_SCHEMA
+        replayed = SweepManifest.open(path, meta={})
+        assert set(replayed.done) == {"k1"}
+        assert set(replayed.failed) == {"k2"}
+
+    def test_done_supersedes_failed_on_replay(self, tmp_path):
+        path = tmp_path / "manifest.jsonl"
+        manifest = SweepManifest.open(path, meta={})
+        manifest.record("failed", "k1", "gzip/oracle", error="boom")
+        manifest.record("done", "k1", "gzip/oracle", source="worker")
+        replayed = SweepManifest.open(path, meta={})
+        assert set(replayed.done) == {"k1"}
+        assert not replayed.failed
+
+    def test_torn_trailing_line_is_ignored(self, tmp_path):
+        path = tmp_path / "manifest.jsonl"
+        manifest = SweepManifest.open(path, meta={})
+        manifest.record("done", "k1", "gzip/oracle", source="worker")
+        with path.open("a") as handle:
+            handle.write('{"event": "done", "key": "k2", "ce')  # crash mid-append
+        replayed = SweepManifest.open(path, meta={})
+        assert set(replayed.done) == {"k1"}
+
+    def test_sweep_key_varies_with_grid(self):
+        from repro.experiments.config import TABLE1_1M, TABLE1_256K
+
+        base = sweep_key(["gzip"], ["oracle"], TABLE1_256K, REFS, 1)
+        assert sweep_key(["mcf"], ["oracle"], TABLE1_256K, REFS, 1) != base
+        assert sweep_key(["gzip"], ["oracle"], TABLE1_1M, REFS, 1) != base
+        assert sweep_key(["gzip"], ["oracle"], TABLE1_256K, REFS, 2) != base
+
+
+class TestSupervisedEquality:
+    def test_supervised_equals_serial(self):
+        serial = run_grid(BENCHMARKS, SCHEMES, references=REFS)
+        supervised = run_grid_supervised(
+            BENCHMARKS, SCHEMES, references=REFS, jobs=2, policy=FAST
+        )
+        assert _metrics(supervised) == _metrics(serial)
+        assert (
+            supervised.merged_snapshot().values
+            == serial.merged_snapshot().values
+        )
+        assert supervised.supervision["cells_completed"] == len(SCHEMES)
+        assert supervised.supervision["failures"] == 0
+
+    def test_run_grid_supervise_flag_delegates(self):
+        serial = run_grid(BENCHMARKS, ["oracle"], references=REFS)
+        supervised = run_grid(
+            BENCHMARKS, ["oracle"], references=REFS,
+            supervise=True, policy=FAST,
+        )
+        assert _metrics(supervised) == _metrics(serial)
+        assert supervised.supervision is not None
+
+    def test_default_supervision_installs_and_resets(self):
+        set_default_supervision(policy=FAST)
+        try:
+            sweep = run_grid(BENCHMARKS, ["oracle"], references=REFS)
+            assert sweep.supervision is not None
+        finally:
+            reset_default_supervision()
+        sweep = run_grid(BENCHMARKS, ["oracle"], references=REFS)
+        assert sweep.supervision is None
+
+
+class TestRecovery:
+    def test_killed_workers_are_retried_to_success(self):
+        serial = run_grid(BENCHMARKS, SCHEMES, references=REFS)
+        chaos = _ScriptedChaos("kill")
+        supervised = run_grid_supervised(
+            BENCHMARKS, SCHEMES, references=REFS, jobs=2,
+            policy=FAST, chaos=chaos,
+        )
+        stats = supervised.supervision
+        assert stats["worker_deaths"] == len(SCHEMES)
+        assert stats["retries"] == len(SCHEMES)
+        assert stats["failures"] == 0
+        assert _metrics(supervised) == _metrics(serial)
+
+    def test_hung_workers_time_out_and_recover(self):
+        serial = run_grid(BENCHMARKS, ["oracle"], references=REFS)
+        chaos = _ScriptedChaos("hang", seconds=30.0)
+        policy = dataclasses.replace(FAST, cell_timeout_seconds=1.5)
+        supervised = run_grid_supervised(
+            BENCHMARKS, ["oracle"], references=REFS, jobs=1,
+            policy=policy, chaos=chaos,
+        )
+        assert supervised.supervision["timeouts"] == 1
+        assert supervised.supervision["failures"] == 0
+        assert _metrics(supervised) == _metrics(serial)
+
+    def test_exhausted_retries_degrade_to_in_process(self):
+        class AlwaysKill:
+            def action_for(self, cell_key, attempt):
+                return ("kill", 0.0)
+
+        serial = run_grid(BENCHMARKS, ["oracle"], references=REFS)
+        policy = dataclasses.replace(FAST, max_retries=1)
+        supervised = run_grid_supervised(
+            BENCHMARKS, ["oracle"], references=REFS, jobs=1,
+            policy=policy, chaos=AlwaysKill(),
+        )
+        assert supervised.supervision["degraded_cells"] == 1
+        assert supervised.supervision["failures"] == 0
+        assert _metrics(supervised) == _metrics(serial)
+
+    def test_keep_going_records_failed_cells_with_keys(self):
+        policy = dataclasses.replace(FAST, max_retries=0)
+        sweep = run_grid_supervised(
+            ["gzip", "nosuchbenchmark"], ["oracle"], references=REFS,
+            jobs=1, keep_going=True, policy=policy,
+        )
+        assert ("gzip", "oracle") in sweep.results
+        assert len(sweep.failures) == 1
+        benchmark, scheme, cell_key = sweep.failed_cells()[0]
+        assert benchmark == "nosuchbenchmark"
+        assert scheme == "oracle"
+        assert len(cell_key) == 64
+        assert sweep.supervision["failures"] == 1
+
+    def test_failure_raises_without_keep_going(self):
+        policy = dataclasses.replace(
+            FAST, max_retries=0, degrade_to_serial=False
+        )
+        with pytest.raises(RuntimeError, match="SupervisionExhausted"):
+            run_grid_supervised(
+                ["nosuchbenchmark"], ["oracle"], references=REFS,
+                jobs=1, policy=policy, chaos=_ScriptedChaos("kill"),
+            )
+
+
+class TestResume:
+    def test_resume_serves_finished_cells_from_cache(self):
+        first = run_grid_supervised(
+            BENCHMARKS, SCHEMES, references=REFS, jobs=2, policy=FAST
+        )
+        disk = result_cache.default_cache()
+        disk.stats = result_cache.CacheStats()
+        runner._MISS_TRACE_CACHE.clear()
+        resumed = run_grid_supervised(
+            BENCHMARKS, SCHEMES, references=REFS, jobs=2,
+            policy=FAST, resume=True,
+        )
+        stats = resumed.supervision
+        assert stats["cells_resumed"] == len(SCHEMES)
+        assert stats["cells_completed"] == 0
+        assert _metrics(resumed) == _metrics(first)
+        # Resume hit the cache once per cell and recomputed nothing.
+        assert disk.stats.result_hits == len(SCHEMES)
+        assert disk.stats.result_stores == 0
+
+    def test_resume_recomputes_quarantined_cells_only(self):
+        run_grid_supervised(
+            BENCHMARKS, SCHEMES, references=REFS, jobs=2, policy=FAST
+        )
+        disk = result_cache.default_cache()
+        entries = sorted((disk.root / "results").rglob("*.json"))
+        poisoned = entries[0]
+        poisoned.write_bytes(poisoned.read_bytes()[:100])
+        disk.stats = result_cache.CacheStats()
+        runner._MISS_TRACE_CACHE.clear()
+        resumed = run_grid_supervised(
+            BENCHMARKS, SCHEMES, references=REFS, jobs=2,
+            policy=FAST, resume=True,
+        )
+        stats = resumed.supervision
+        assert stats["cells_resumed"] == len(SCHEMES) - 1
+        assert stats["cells_completed"] == 1
+        assert disk.stats.quarantined_entries == 1
+        # The quarantined entry was moved aside, reason journaled.
+        quarantined = list((disk.root / "quarantine" / "results").iterdir())
+        assert [p.name for p in quarantined] == [poisoned.name]
+        serial = run_grid(BENCHMARKS, SCHEMES, references=REFS)
+        assert _metrics(resumed) == _metrics(serial)
+
+    def test_manifest_written_under_cache_root(self):
+        run_grid_supervised(
+            BENCHMARKS, ["oracle"], references=REFS, jobs=1, policy=FAST
+        )
+        disk = result_cache.default_cache()
+        manifests = list(disk.root.glob("manifest-*.jsonl"))
+        assert len(manifests) == 1
+        from repro.experiments.config import TABLE1_256K
+
+        expected = manifest_path(
+            disk.root,
+            sweep_key(BENCHMARKS, ["oracle"], TABLE1_256K, REFS, 1),
+        )
+        assert manifests[0] == expected
+
+
+class TestTelemetryWiring:
+    def test_registry_and_tracer_capture_supervision(self):
+        registry = MetricRegistry()
+        tracer = EventTracer(capacity=4096)
+        run_grid_supervised(
+            BENCHMARKS, ["oracle"], references=REFS, jobs=1,
+            policy=FAST, registry=registry, tracer=tracer,
+        )
+        snapshot = registry.snapshot()
+        assert snapshot.values["sweep.supervisor.cells_completed"] == 1
+        assert "sweep.cache.corrupt_entries" in snapshot.values
+        counters = [
+            event for event in tracer.events() if event.name == "sweep.inflight"
+        ]
+        assert counters, "expected sweep.inflight counter samples"
+        assert all(event.track == "sweep" for event in counters)

@@ -1,0 +1,108 @@
+"""Orchestration chaos: seeded injectors and the sweep soak."""
+
+import pytest
+
+from repro.faults.orchestration import (
+    ChaosSpec,
+    SweepChaos,
+    render_soak_report,
+    run_sweep_soak,
+)
+from repro.experiments.supervisor import SupervisorPolicy
+
+KEY_A = "ab" * 32
+KEY_B = "cd" * 32
+
+
+class TestChaosSpec:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ValueError):
+            ChaosSpec(kill_rate=1.5)
+        with pytest.raises(ValueError):
+            ChaosSpec(kill_rate=-0.1)
+
+    def test_rates_must_sum_to_at_most_one(self):
+        with pytest.raises(ValueError):
+            ChaosSpec(kill_rate=0.6, hang_rate=0.6)
+        ChaosSpec(kill_rate=0.5, hang_rate=0.5)  # exactly 1 is fine
+
+
+class TestSweepChaos:
+    def test_decisions_are_deterministic(self):
+        spec = ChaosSpec(kill_rate=0.4, corrupt_rate=0.4, seed=7)
+        first = SweepChaos(spec)
+        second = SweepChaos(spec)
+        keys = [KEY_A, KEY_B]
+        assert [first.action_for(k, 0) for k in keys] == [
+            second.action_for(k, 0) for k in keys
+        ]
+
+    def test_decisions_vary_with_seed_and_key(self):
+        keys = [f"{i:02x}" * 32 for i in range(64)]
+        a = [SweepChaos(ChaosSpec(kill_rate=0.5, seed=1)).action_for(k, 0)
+             for k in keys]
+        b = [SweepChaos(ChaosSpec(kill_rate=0.5, seed=2)).action_for(k, 0)
+             for k in keys]
+        assert a != b
+
+    def test_first_attempt_only_by_default(self):
+        chaos = SweepChaos(ChaosSpec(kill_rate=1.0))
+        assert chaos.action_for(KEY_A, 0) == ("kill", 0.0)
+        assert chaos.action_for(KEY_A, 1) is None
+        assert chaos.action_for(KEY_A, 2) is None
+
+    def test_every_attempt_when_configured(self):
+        chaos = SweepChaos(ChaosSpec(kill_rate=1.0, first_attempt_only=False))
+        assert chaos.action_for(KEY_A, 0) == ("kill", 0.0)
+        assert chaos.action_for(KEY_A, 3) == ("kill", 0.0)
+
+    def test_planned_actions_are_recorded(self):
+        chaos = SweepChaos(ChaosSpec(corrupt_rate=1.0))
+        chaos.action_for(KEY_A, 0)
+        chaos.action_for(KEY_B, 0)
+        assert chaos.planned == [
+            (KEY_A, 0, "corrupt"),
+            (KEY_B, 0, "corrupt"),
+        ]
+
+    def test_hang_and_slow_carry_their_durations(self):
+        hang = SweepChaos(ChaosSpec(hang_rate=1.0, hang_seconds=9.0))
+        assert hang.action_for(KEY_A, 0) == ("hang", 9.0)
+        slow = SweepChaos(ChaosSpec(slow_rate=1.0, slow_seconds=0.25))
+        assert slow.action_for(KEY_A, 0) == ("slow", 0.25)
+
+
+class TestSoak:
+    def test_soak_recovers_to_serial_results(self, tmp_path):
+        soak_cache = tmp_path / "soak-cache"
+        report = run_sweep_soak(
+            benchmarks=("gzip",),
+            schemes=("oracle", "pred_regular"),
+            references=900,
+            jobs=2,
+            chaos_spec=ChaosSpec(
+                kill_rate=0.5, corrupt_rate=0.5, first_attempt_only=True
+            ),
+            policy=SupervisorPolicy(
+                cell_timeout_seconds=30.0,
+                max_retries=2,
+                backoff_base_seconds=0.01,
+                backoff_cap_seconds=0.05,
+            ),
+            corrupt_cells=1,
+            cache_dir=str(soak_cache),
+        )
+        assert report["supervised_identical_to_serial"]
+        assert report["resumed_identical_to_serial"]
+        assert report["resume_recomputed_only_poisoned"]
+        assert report["ok"]
+        assert report["poisoned_entries"] >= 1
+        rendered = render_soak_report(report)
+        assert "verdict: OK" in rendered
+        assert "supervised == serial: True" in rendered
+        # An explicit cache_dir keeps the soak's evidence on disk: cached
+        # results, the sweep manifests, and the quarantine tier with the
+        # poisoned entries.
+        assert (soak_cache / "results").is_dir()
+        assert list(soak_cache.glob("manifest-*.jsonl"))
+        assert (soak_cache / "quarantine").is_dir()

@@ -1,5 +1,7 @@
 """RecoveryPolicy semantics: retries, quarantine, degradation, overflow."""
 
+import time
+
 import pytest
 
 from repro.crypto.rng import HardwareRng
@@ -45,10 +47,41 @@ class TestPolicyValidation:
             RecoveryPolicy(backoff_multiplier=0)
         with pytest.raises(ValueError):
             RecoveryPolicy(degrade_after_faults=0)
+        with pytest.raises(ValueError):
+            RecoveryPolicy(backoff_cap_cycles=-1)
 
     def test_backoff_is_geometric(self):
         policy = RecoveryPolicy(backoff_base_cycles=100, backoff_multiplier=3)
         assert [policy.backoff_cycles(n) for n in (1, 2, 3)] == [100, 300, 900]
+
+    def test_backoff_cap_clamps_growth(self):
+        policy = RecoveryPolicy(
+            backoff_base_cycles=100, backoff_multiplier=3,
+            backoff_cap_cycles=500,
+        )
+        assert [policy.backoff_cycles(n) for n in (1, 2, 3, 4)] == [
+            100, 300, 500, 500,
+        ]
+
+    def test_capped_backoff_is_cheap_at_huge_attempts(self):
+        # Uncapped geometric growth at attempt 10**6 would be a
+        # multi-megabit integer; the cap must short-circuit long before.
+        policy = RecoveryPolicy(
+            backoff_base_cycles=200, backoff_multiplier=2,
+            backoff_cap_cycles=10_000,
+        )
+        start = time.monotonic()
+        assert policy.backoff_cycles(10**6) == 10_000
+        assert time.monotonic() - start < 0.5
+
+    def test_degenerate_multiplier_and_base_respect_cap(self):
+        flat = RecoveryPolicy(
+            backoff_base_cycles=800, backoff_multiplier=1,
+            backoff_cap_cycles=500,
+        )
+        assert flat.backoff_cycles(10**9) == 500
+        zero = RecoveryPolicy(backoff_base_cycles=0, backoff_cap_cycles=500)
+        assert zero.backoff_cycles(10**9) == 0
 
 
 class TestTransientRecovery:

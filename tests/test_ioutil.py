@@ -1,0 +1,40 @@
+"""Atomic artifact writes."""
+
+import json
+
+from repro.ioutil import atomic_write_bytes, atomic_write_json, atomic_write_text
+
+
+class TestAtomicWrites:
+    def test_bytes_round_trip_and_no_temp_residue(self, tmp_path):
+        target = tmp_path / "artifact.bin"
+        atomic_write_bytes(target, b"payload")
+        assert target.read_bytes() == b"payload"
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_overwrites_previous_content(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        atomic_write_text(target, "old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "nested" / "deep" / "artifact.txt"
+        atomic_write_text(target, "content")
+        assert target.read_text() == "content"
+
+    def test_json_is_parseable_with_trailing_newline(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        atomic_write_json(target, {"b": 2, "a": 1}, indent=2, sort_keys=True)
+        text = target.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == {"a": 1, "b": 2}
+
+    def test_failed_serialization_leaves_no_file(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        try:
+            atomic_write_json(target, {"bad": object()})
+        except TypeError:
+            pass
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []
