@@ -10,6 +10,10 @@ Examples::
     python -m repro run captured baseline --trace trace.rtrc
     python -m repro faults --ops 40 --json --jobs 4
     python -m repro faults --layer sweep      # chaos-soak the sweep executor
+    python -m repro faults --layer fabric     # chaos-soak the lease fabric
+    python -m repro swarm start --benchmarks gzip,art --schemes oracle,pred_regular
+    python -m repro swarm drain --workers 2   # join the drain from any terminal
+    python -m repro swarm status              # per-cell / per-host liveness
     python -m repro cache stats               # the on-disk result cache
     python -m repro cache verify --repair     # digest-check + quarantine
     python -m repro run gzip oracle pred_regular --supervise --jobs 2
@@ -353,6 +357,26 @@ def _cmd_series(args: argparse.Namespace) -> int:
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
+    if args.layer == "fabric":
+        # Distributed-fabric chaos: worker kills mid-lease, heartbeat
+        # stalls, clock skew, duplicate claims, torn lease files — the
+        # soak requires serial == multi-worker-under-chaos, byte-identical.
+        import os
+
+        from repro.faults.orchestration import (
+            render_fabric_soak_report,
+            run_fabric_soak,
+        )
+
+        report = run_fabric_soak(
+            references=args.refs, seed=args.seed,
+            cache_dir=os.environ.get(result_cache.CACHE_DIR_ENV),
+        )
+        if args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            print(render_fabric_soak_report(report))
+        return 0 if report["ok"] else 1
     if args.layer == "sweep":
         # Orchestration chaos: sabotage the sweep *executor* (worker kills,
         # hangs, cache corruption) and require bit-identical recovery.
@@ -403,6 +427,81 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         print(report.render())
     ok = report.all_detected and report.pad_reuse_free
     return 0 if ok else 1
+
+
+def _cmd_swarm(args: argparse.Namespace) -> int:
+    from repro.fabric import (
+        SwarmSpec,
+        drain_swarm,
+        render_status,
+        start_swarm,
+        swarm_status,
+    )
+    from repro.fabric.worker import FabricPolicy
+
+    benchmarks = tuple(
+        name.strip() for name in args.benchmarks.split(",") if name.strip()
+    )
+    schemes = tuple(
+        name.strip() for name in args.schemes.split(",") if name.strip()
+    )
+    try:
+        spec = SwarmSpec(
+            benchmarks=benchmarks,
+            schemes=schemes,
+            machine=_MACHINES[args.l2].name,
+            references=args.refs,
+            seed=args.seed,
+        )
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    if args.action == "start":
+        key = start_swarm(spec)
+        print(f"swarm {key} seeded ({len(benchmarks) * len(schemes)} cells)")
+        print("join from any terminal or host sharing this cache dir with:")
+        print(
+            f"  repro swarm drain --benchmarks {args.benchmarks} "
+            f"--schemes {args.schemes} --l2 {args.l2} --seed {args.seed}"
+            + (f" --refs {args.refs}" if args.refs else "")
+        )
+        return 0
+
+    if args.action == "status":
+        status = swarm_status(spec, ttl_seconds=args.ttl)
+        if args.json:
+            print(json.dumps(status, indent=2))
+        else:
+            print(render_status(status))
+        return 0
+
+    # drain
+    sweep = drain_swarm(
+        spec,
+        workers=args.workers,
+        policy=FabricPolicy(ttl_seconds=args.ttl),
+        strict=False,
+    )
+    fabric = sweep.fabric or {}
+    if args.json:
+        print(json.dumps(fabric, indent=2, default=str))
+    else:
+        if fabric.get("degraded"):
+            print("lease directory unavailable; drained in single-host "
+                  "supervised mode")
+        else:
+            local = fabric.get("local", {})
+            print(
+                f"drained {len(sweep.results)}/"
+                f"{len(benchmarks) * len(schemes)} cells with "
+                f"{fabric.get('workers')} worker(s): "
+                f"local ran {local.get('cells_executed', 0)}, "
+                f"stored {local.get('stores', 0)}, "
+                f"fenced out {local.get('cells_fenced_out', 0)}"
+            )
+    complete = len(sweep.results) == len(benchmarks) * len(schemes)
+    return 0 if complete else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -495,6 +594,11 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             continue
         print(f"{tier:<10}  {tier_stats['entries']:>6} entries  "
               f"{tier_stats['bytes']:>10} bytes")
+    log_stats = stats["quarantine_log"]
+    print(f"quarantine log: {log_stats['entries']} entr"
+          f"{'y' if log_stats['entries'] == 1 else 'ies'} "
+          f"(rotation keeps last {log_stats['cap']}; "
+          f"override with {result_cache.QUARANTINE_LOG_MAX_ENV})")
     return 0
 
 
@@ -640,9 +744,11 @@ def build_parser() -> argparse.ArgumentParser:
         "faults", help="run a seeded fault-injection campaign"
     )
     faults.add_argument(
-        "--layer", choices=["machine", "sweep"], default="machine",
-        help="what to attack: the simulated machine (default) or the "
-             "sweep executor itself (worker kills, hangs, cache corruption)",
+        "--layer", choices=["machine", "sweep", "fabric"], default="machine",
+        help="what to attack: the simulated machine (default), the sweep "
+             "executor (worker kills, hangs, cache corruption), or the "
+             "distributed lease fabric (kills mid-lease, heartbeat stalls, "
+             "clock skew, duplicate claims, torn lease files)",
     )
     faults.add_argument("--ops", type=int, default=120, help="operations per cell")
     faults.add_argument(
@@ -677,6 +783,37 @@ def build_parser() -> argparse.ArgumentParser:
              "recomputes them (report-only without this flag)",
     )
     cache.set_defaults(func=_cmd_cache)
+
+    swarm = sub.add_parser(
+        "swarm",
+        help="drain a sweep with multiple workers over the shared "
+             "lease fabric (multi-terminal / multi-host)",
+    )
+    swarm.add_argument("action", choices=["start", "status", "drain"])
+    swarm.add_argument(
+        "--benchmarks", default="gzip,art", metavar="A,B,...",
+        help="comma-separated benchmark names (default gzip,art)",
+    )
+    swarm.add_argument(
+        "--schemes", default="oracle,pred_regular", metavar="A,B,...",
+        help="comma-separated scheme names (default oracle,pred_regular)",
+    )
+    swarm.add_argument("--l2", choices=sorted(_MACHINES), default="256K")
+    swarm.add_argument("--refs", type=int, default=None, help="trace length")
+    swarm.add_argument("--seed", type=int, default=1)
+    swarm.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="local worker processes for drain (default 2)",
+    )
+    swarm.add_argument(
+        "--ttl", type=float, default=10.0, metavar="SECONDS",
+        help="lease TTL; a dead worker's cells are taken over after "
+             "this long without a heartbeat (default 10)",
+    )
+    swarm.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    swarm.set_defaults(func=_cmd_swarm)
 
     bench = sub.add_parser(
         "bench", help="measure crypto/pipeline/grid performance"

@@ -32,10 +32,11 @@ Layout and controls::
 time (a ``digest`` field in result JSON, a leading digest line in trace
 pickles).  Loads verify the digest; a truncated, tampered or unparsable
 entry is *quarantined* — moved to ``quarantine/`` with the reason appended
-to ``quarantine/log.jsonl`` — counted, logged, and treated as a miss, so
-the caller transparently recomputes and the next store writes a clean
-entry.  ``repro cache verify [--repair]`` runs the same check over the
-whole cache offline.
+to ``quarantine/log.jsonl`` (size-capped: only the newest
+``$REPRO_QUARANTINE_LOG_MAX`` lines are retained) — counted, logged, and
+treated as a miss, so the caller transparently recomputes and the next
+store writes a clean entry.  ``repro cache verify [--repair]`` runs the
+same check over the whole cache offline.
 
 The CLI exposes ``repro cache stats`` / ``repro cache clear`` /
 ``repro cache verify`` and a ``--no-cache`` flag on the commands that
@@ -59,6 +60,8 @@ from repro.cpu.core import RunMetrics
 __all__ = [
     "CACHE_DIR_ENV",
     "CACHE_DISABLE_ENV",
+    "QUARANTINE_LOG_MAX_ENV",
+    "quarantine_log_max",
     "code_fingerprint",
     "result_key",
     "trace_key",
@@ -72,7 +75,24 @@ _LOG = logging.getLogger("repro.cache")
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 CACHE_DISABLE_ENV = "REPRO_NO_CACHE"
+QUARANTINE_LOG_MAX_ENV = "REPRO_QUARANTINE_LOG_MAX"
 _DEFAULT_DIRNAME = ".repro-cache"
+_DEFAULT_QUARANTINE_LOG_MAX = 512
+
+
+def quarantine_log_max() -> int:
+    """Retained ``quarantine/log.jsonl`` entries (size-capped rotation).
+
+    The log grows by one line per quarantined entry and — unrotated —
+    without bound across campaigns.  ``$REPRO_QUARANTINE_LOG_MAX``
+    overrides the default cap; values < 1 are clamped to 1.
+    """
+    raw = os.environ.get(QUARANTINE_LOG_MAX_ENV)
+    try:
+        value = int(raw) if raw else _DEFAULT_QUARANTINE_LOG_MAX
+    except ValueError:
+        value = _DEFAULT_QUARANTINE_LOG_MAX
+    return max(1, value)
 
 _FINGERPRINT: str | None = None
 
@@ -158,6 +178,7 @@ class CacheStats:
     trace_stores: int = 0
     corrupt_entries: int = 0          # digest/parse failures seen on load
     quarantined_entries: int = 0      # corrupt entries moved aside
+    fenced_rejects: int = 0           # stores refused by a fencing check
 
     @property
     def hit_rate(self) -> float:
@@ -239,6 +260,28 @@ class ResultCache:
             raise ValueError("digest mismatch (truncated or tampered)")
         return blob
 
+    @property
+    def _quarantine_log(self) -> Path:
+        return self.root / "quarantine" / "log.jsonl"
+
+    def quarantine_log_entries(self) -> int:
+        """Lines currently retained in ``quarantine/log.jsonl``."""
+        try:
+            with self._quarantine_log.open() as handle:
+                return sum(1 for line in handle if line.strip())
+        except OSError:
+            return 0
+
+    def _rotate_quarantine_log(self, cap: int) -> None:
+        """Keep only the newest ``cap`` log lines (atomic rewrite)."""
+        log = self._quarantine_log
+        lines = [line for line in log.read_text().splitlines() if line.strip()]
+        if len(lines) <= cap:
+            return
+        tmp = log.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text("\n".join(lines[-cap:]) + "\n")
+        os.replace(tmp, log)
+
     def _quarantine(self, tier: str, path: Path, reason: str) -> None:
         """Move a corrupt entry aside and record why, never raising."""
         self.stats.corrupt_entries += 1
@@ -247,7 +290,7 @@ class ResultCache:
             destination = self.root / "quarantine" / tier / path.name
             destination.parent.mkdir(parents=True, exist_ok=True)
             os.replace(path, destination)
-            with (self.root / "quarantine" / "log.jsonl").open("a") as handle:
+            with self._quarantine_log.open("a") as handle:
                 handle.write(
                     json.dumps(
                         {"tier": tier, "entry": path.name, "reason": reason},
@@ -255,6 +298,7 @@ class ResultCache:
                     )
                     + "\n"
                 )
+            self._rotate_quarantine_log(quarantine_log_max())
             self.stats.quarantined_entries += 1
         except OSError:
             # Quarantine is best-effort: a vanished file or read-only cache
@@ -318,17 +362,32 @@ class ResultCache:
         self.stats.result_hits += 1
         return metrics, snapshot
 
-    def store_result(self, key: str, metrics: RunMetrics, snapshot=None) -> None:
-        """Persist one cell's metrics (and telemetry snapshot) under its key."""
+    def store_result(
+        self, key: str, metrics: RunMetrics, snapshot=None, fence=None
+    ) -> bool:
+        """Persist one cell's metrics (and telemetry snapshot) under its key.
+
+        ``fence`` is an optional zero-argument callable consulted
+        immediately before the write (the fabric passes a fencing-token
+        check here): when it returns falsy the store is *refused* —
+        counted in ``stats.fenced_rejects`` — so a resurrected zombie
+        worker whose lease was taken over can never clobber the current
+        owner's entry.  Returns whether the entry was written.
+        """
         if not self.enabled:
-            return
+            return False
         path = self._result_path(key)
         payload = {"metrics": dataclasses.asdict(metrics)}
         if snapshot is not None:
             payload["snapshot"] = snapshot.to_dict()
         payload["digest"] = self._payload_digest(payload)
-        self._write_atomic(path, json.dumps(payload, sort_keys=True).encode())
+        data = json.dumps(payload, sort_keys=True).encode()
+        if fence is not None and not fence():
+            self.stats.fenced_rejects += 1
+            return False
+        self._write_atomic(path, data)
         self.stats.result_stores += 1
+        return True
 
     # -- traces ----------------------------------------------------------------
 
@@ -444,6 +503,10 @@ class ResultCache:
                 except OSError:
                     continue
             stats[tier] = {"entries": counted, "bytes": total}
+        stats["quarantine_log"] = {
+            "entries": self.quarantine_log_entries(),
+            "cap": quarantine_log_max(),
+        }
         return stats
 
 

@@ -64,6 +64,8 @@ __all__ = [
     "SweepManifest",
     "sweep_key",
     "manifest_path",
+    "grid_cells",
+    "verified_done_cell",
     "run_grid_supervised",
 ]
 
@@ -190,6 +192,49 @@ def manifest_path(cache_root: Path | str, key: str) -> Path:
     return Path(cache_root) / f"manifest-{key}.jsonl"
 
 
+def grid_cells(benchmarks, schemes, machine, references, seed):
+    """Enumerate a grid's cells as ``(benchmark, spec, cell_key)`` triples.
+
+    The single source of truth for cell identity and order: the supervisor
+    and the distributed fabric both iterate exactly this sequence, so a
+    manifest written by one is drainable by the other.
+    """
+    cells = []
+    for benchmark in benchmarks:
+        for scheme in schemes:
+            spec = SCHEMES[scheme] if isinstance(scheme, str) else scheme
+            cell_key = result_cache.result_key(
+                benchmark, spec, machine,
+                references or default_references(), seed,
+            )
+            cells.append((benchmark, spec, cell_key))
+    return cells
+
+
+def verified_done_cell(disk, cell_key: str, series_interval: int = 0):
+    """A manifest-``done`` cell's cached result — verified, or ``None``.
+
+    A ``done`` event is a *claim*, not proof: the entry behind it may have
+    been quarantined, deleted, or truncated since it was journaled (a
+    stale manifest over a poisoned cache).  Serve the cell only if the
+    cache entry still exists *and* passes its digest check (``lookup_cell``
+    quarantines and reports a miss otherwise), so a bad entry is
+    recomputed instead of silently dropping the cell from the sweep.
+
+    Cached entries carry no :class:`~repro.telemetry.snapshot.
+    SnapshotSeries`, so when the caller asked for one (``series_interval``
+    > 0) the cell must be recomputed regardless — a resumed series sweep
+    would otherwise silently lose the series of every resumed cell.
+    """
+    if series_interval:
+        return None
+    cached = disk.lookup_cell(cell_key)
+    if cached is None:
+        return None
+    metrics, snapshot = cached
+    return CellResult(metrics=metrics, snapshot=snapshot)
+
+
 class SweepManifest:
     """Append-only journal of one sweep's per-cell progress.
 
@@ -197,8 +242,17 @@ class SweepManifest:
     every later line is an event (``start`` / ``done`` / ``failed`` /
     ``degrade``) keyed by the cell's cache key.  Appends are single
     ``write`` calls of one line, so a crash can at worst lose the final
-    line — never corrupt an earlier one — and :meth:`load` simply ignores
-    a torn trailing line.
+    line — never corrupt an earlier one — and replay simply ignores a torn
+    trailing line.
+
+    Several writers (the fabric's workers, possibly on different hosts over
+    a shared filesystem) may append to one manifest concurrently: the file
+    is opened in append mode, each event is one short write, and replay is
+    order-insensitive up to the done/failed precedence rule, so interleaved
+    appends replay to the union of every writer's events.  If a writer
+    crashes mid-append and another writer's complete line lands glued onto
+    the torn fragment, :meth:`_parse_line` salvages the intact suffix, so
+    only the torn event itself is lost.
     """
 
     def __init__(self, path: Path, meta: dict | None = None):
@@ -218,15 +272,34 @@ class SweepManifest:
             manifest._append({"schema": MANIFEST_SCHEMA, "sweep": manifest._meta})
         return manifest
 
+    @staticmethod
+    def _parse_line(line: str):
+        """Parse one journal line, salvaging a complete record glued onto a
+        torn fragment (writer A crashed mid-append, writer B's O_APPEND
+        write landed on the same line)."""
+        try:
+            return json.loads(line)
+        except ValueError:
+            start = line.find('{"', 1)
+            while start != -1:
+                try:
+                    return json.loads(line[start:])
+                except ValueError:
+                    start = line.find('{"', start + 1)
+            return None
+
     def _replay(self) -> None:
-        for line in self.path.read_text().splitlines():
+        try:
+            text = self.path.read_text()
+        except FileNotFoundError:
+            return
+        for line in text.splitlines():
             line = line.strip()
             if not line:
                 continue
-            try:
-                record = json.loads(line)
-            except ValueError:
-                continue  # torn trailing line from a crash mid-append
+            record = self._parse_line(line)
+            if record is None:
+                continue  # torn line from a crash mid-append
             event = record.get("event")
             key = record.get("key")
             if event == "done" and key:
@@ -235,6 +308,17 @@ class SweepManifest:
             elif event == "failed" and key:
                 self.done.pop(key, None)
                 self.failed[key] = record
+
+    def refresh(self) -> None:
+        """Re-read the journal, folding in other writers' appends.
+
+        Fabric workers draining one manifest from several processes (or
+        hosts) call this between claims so cells finished elsewhere are
+        skipped instead of re-claimed.
+        """
+        self.done.clear()
+        self.failed.clear()
+        self._replay()
 
     def _append(self, record: dict) -> None:
         with self.path.open("a") as handle:
@@ -630,24 +714,29 @@ def run_grid_supervised(
     )
 
     tasks: list[_CellTask] = []
-    index = 0
     order: list[tuple[str, str]] = []
     resumed: dict[int, CellResult] = {}
     supervisor = _Supervisor(
         policy, manifest, jobs, keep_going, chaos=chaos, tracer=tracer
     )
-    for benchmark in benchmarks:
-        for scheme in schemes:
-            spec = SCHEMES[scheme] if isinstance(scheme, str) else scheme
-            cell_key = result_cache.result_key(
-                benchmark, spec, machine,
-                references or default_references(), seed,
-            )
-            order.append((benchmark, spec.name))
-            task = _CellTask(
+    for index, (benchmark, spec, cell_key) in enumerate(
+        grid_cells(benchmarks, schemes, machine, references, seed)
+    ):
+        order.append((benchmark, spec.name))
+        if resume and cell_key in manifest.done and use_cache:
+            cell = verified_done_cell(disk, cell_key, series_interval)
+            if cell is not None:
+                resumed[index] = cell
+                supervisor.stats.cells_resumed += 1
+                supervisor.stats.cells_total += 1
+                continue
+            # Manifest says done but the entry is gone, quarantined, or
+            # cannot satisfy the request (series): recompute the cell.
+        tasks.append(
+            _CellTask(
                 index=index,
                 benchmark=benchmark,
-                scheme=scheme,
+                scheme=spec,
                 machine=machine,
                 references=references,
                 seed=seed,
@@ -655,21 +744,7 @@ def run_grid_supervised(
                 series_interval=series_interval,
                 cell_key=cell_key,
             )
-            if resume and cell_key in manifest.done and use_cache:
-                cached = disk.lookup_cell(cell_key)
-                if cached is not None:
-                    metrics, snapshot = cached
-                    resumed[index] = CellResult(
-                        metrics=metrics, snapshot=snapshot
-                    )
-                    supervisor.stats.cells_resumed += 1
-                    supervisor.stats.cells_total += 1
-                    index += 1
-                    continue
-                # Manifest says done but the entry is gone or was
-                # quarantined: fall through and recompute.
-            tasks.append(task)
-            index += 1
+        )
 
     supervisor.run(tasks)
 

@@ -40,7 +40,9 @@ class SweepResult:
     run can retry exactly those cells — and the corresponding key is
     simply absent from ``results``.  ``supervision`` carries the
     supervisor's recovery counters when the grid ran under
-    :func:`repro.experiments.supervisor.run_grid_supervised`.
+    :func:`repro.experiments.supervisor.run_grid_supervised`.  ``fabric``
+    carries the drain summary when the grid was executed by the
+    distributed fabric (:func:`repro.fabric.drain_swarm`).
     """
 
     machine: str
@@ -54,6 +56,7 @@ class SweepResult:
         repr=False, default_factory=dict
     )
     supervision: dict | None = None
+    fabric: dict | None = None
 
     @property
     def complete(self) -> bool:

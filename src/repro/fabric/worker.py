@@ -1,0 +1,423 @@
+"""The fabric drain loop: claim → heartbeat → execute → journal → release.
+
+A :class:`FabricWorker` is one participant in a multi-worker (possibly
+multi-host) sweep: it walks the sweep's cells in the shared canonical
+order (:func:`repro.experiments.supervisor.grid_cells`), claims whatever
+is unclaimed via :class:`~repro.fabric.lease.LeaseManager`, executes the
+cell with the *same* :func:`~repro.experiments.runner.run_cell` as every
+other engine (so results are identical by construction), stores the
+result under a **fencing check**, journals ``done`` into the shared
+checkpoint manifest, and releases the lease.
+
+Liveness is cooperative: a background heartbeat thread renews the lease
+every ``ttl / 3`` seconds; a worker that dies mid-cell simply stops
+renewing, and a peer takes the lease over once the TTL lapses.  A worker
+that *loses* its lease (takeover after a heartbeat stall, a duplicate
+claim from a skewed peer) finishes its computation but is refused at
+store time by the fencing token, so the cell is neither lost nor stored
+twice under one token.
+
+When the lease directory itself is unusable (read-only share, missing
+mount), the drain degrades gracefully: :meth:`FabricWorker.drain` raises
+:class:`LeaseDirUnavailable` and the coordinator falls back to
+single-host supervised execution — fewer hosts, same results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.experiments import cache as result_cache
+from repro.experiments.runner import CellResult, get_miss_trace, run_cell
+from repro.experiments.supervisor import (
+    SweepManifest,
+    grid_cells,
+    manifest_path,
+    sweep_key,
+    verified_done_cell,
+)
+from repro.fabric.lease import Lease, LeaseLost, LeaseManager, lease_root
+from repro.ioutil import atomic_write_json
+
+__all__ = [
+    "CHAOS_KILL_EXIT",
+    "FabricPolicy",
+    "FabricStats",
+    "LeaseDirUnavailable",
+    "DrainStalled",
+    "FabricWorker",
+]
+
+#: Exit code of a chaos-commanded mid-lease worker death.
+CHAOS_KILL_EXIT = 47
+
+
+class LeaseDirUnavailable(OSError):
+    """The lease directory cannot be used; degrade to single-host mode."""
+
+
+class DrainStalled(RuntimeError):
+    """The drain made no progress within the configured timeout."""
+
+
+@dataclass(frozen=True)
+class FabricPolicy:
+    """Lease and pacing parameters of one fabric worker."""
+
+    ttl_seconds: float = 10.0
+    heartbeat_interval_seconds: float | None = None   # None -> ttl / 3
+    claim_backoff_seconds: float = 0.05
+    claim_backoff_multiplier: float = 2.0
+    claim_backoff_cap_seconds: float = 0.5
+    drain_timeout_seconds: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.ttl_seconds <= 0:
+            raise ValueError(f"ttl_seconds must be > 0, got {self.ttl_seconds}")
+        if (
+            self.heartbeat_interval_seconds is not None
+            and not 0 < self.heartbeat_interval_seconds
+        ):
+            raise ValueError("heartbeat_interval_seconds must be > 0")
+        if self.claim_backoff_multiplier < 1:
+            raise ValueError("claim_backoff_multiplier must be >= 1")
+        if self.drain_timeout_seconds <= 0:
+            raise ValueError("drain_timeout_seconds must be > 0")
+
+    @property
+    def heartbeat_interval(self) -> float:
+        if self.heartbeat_interval_seconds is not None:
+            return self.heartbeat_interval_seconds
+        return self.ttl_seconds / 3.0
+
+
+@dataclass
+class FabricStats:
+    """What one worker did during a drain."""
+
+    cells_executed: int = 0        # computed by this worker
+    cells_cache_hits: int = 0      # claimed, then found already in cache
+    cells_skipped_done: int = 0    # manifest said done (verified) at claim time
+    cells_fenced_out: int = 0      # computed but refused at store time
+    stores: int = 0                # fenced stores that landed
+    passes: int = 0                # sweeps over the pending list
+    heartbeats: int = 0            # successful renewals (mirror of lease stats)
+    lease_lost: int = 0            # takeovers detected mid-cell
+    degraded: int = 0              # 1 if the drain fell back to supervised mode
+
+    def as_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+    def publish(self, registry, prefix: str = "fabric.worker") -> None:
+        for name, value in self.as_dict().items():
+            registry.counter(f"{prefix}.{name}").inc(value)
+
+
+class _HeartbeatPump(threading.Thread):
+    """Renews one lease in the background while its cell executes.
+
+    Also the fabric's observability heartbeat: every tick emits a
+    ``fabric.lease.heartbeat_age`` counter sample (track ``fabric``) onto
+    the worker's tracer, so ``repro trace`` timelines show lease health
+    alongside ``sweep.inflight``.  A chaos-commanded stall keeps the
+    thread alive but skips renewals until the stall elapses — the emitted
+    age then visibly climbs toward the TTL.
+    """
+
+    def __init__(self, manager, lease, interval, tracer=None, epoch=0.0,
+                 stall_seconds=0.0):
+        super().__init__(daemon=True)
+        self.manager = manager
+        self.lease = lease
+        self.interval = interval
+        self.tracer = tracer
+        self.epoch = epoch
+        self.stall_until = (
+            manager.clock() + stall_seconds if stall_seconds > 0 else 0.0
+        )
+        self.lost = False
+        self.renewals = 0
+        self._halt = threading.Event()
+
+    def _emit_age(self) -> None:
+        if self.tracer is None or not getattr(self.tracer, "enabled", False):
+            return
+        now = self.manager.clock()
+        age = max(0.0, now - self.lease.heartbeat)
+        at = max(0, int((time.monotonic() - self.epoch) * 1_000_000))
+        self.tracer.counter(
+            "fabric.lease.heartbeat_age", at=at, track="fabric",
+            seconds=round(age, 6),
+        )
+
+    def run(self) -> None:
+        while not self._halt.wait(self.interval):
+            self._emit_age()
+            if self.manager.clock() < self.stall_until:
+                continue  # chaos: pretend the worker froze mid-heartbeat
+            try:
+                self.lease = self.manager.renew(self.lease)
+                self.renewals += 1
+            except LeaseLost:
+                self.lost = True
+                return
+            except OSError:
+                continue  # transient share hiccup; retry next tick
+        self._emit_age()
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=5.0)
+
+
+class FabricWorker:
+    """One drain participant over a shared cache + lease directory.
+
+    Parameters
+    ----------
+    spec:
+        The sweep to drain (a :class:`repro.fabric.coordinator.SwarmSpec`
+        or anything with its ``benchmarks/schemes/machine_config/
+        references/seed`` surface).
+    owner:
+        Identity recorded in leases and the manifest; defaults to
+        ``<host>:<pid>``.
+    policy, chaos, tracer, registry:
+        Pacing knobs, a :class:`repro.faults.orchestration.FabricChaos`
+        (or None), an :class:`~repro.telemetry.events.EventTracer` for
+        the heartbeat-age track, and a metrics registry for counters.
+    clock:
+        Time source, skewable by chaos (leases compare wall clocks).
+    """
+
+    def __init__(
+        self,
+        spec,
+        owner: str | None = None,
+        policy: FabricPolicy | None = None,
+        chaos=None,
+        tracer=None,
+        registry=None,
+        clock=time.time,
+    ):
+        self.spec = spec
+        self.policy = policy or FabricPolicy()
+        self.chaos = chaos
+        self.tracer = tracer
+        self.registry = registry
+        self.owner = owner or f"{os.uname().nodename}:{os.getpid()}"
+        skew = 0.0
+        if chaos is not None:
+            skew = chaos.clock_skew_for(self.owner)
+        self.clock = (lambda base=clock, s=skew: base() + s) if skew else clock
+        self.stats = FabricStats()
+        self.results: dict[int, object] = {}   # index -> CellResult (local)
+        disk = result_cache.default_cache()
+        self.disk = disk
+        self.key = sweep_key(
+            list(spec.benchmarks), list(spec.schemes),
+            spec.machine_config, spec.references, spec.seed,
+        )
+        self.lease = LeaseManager(
+            lease_root(disk.root, self.key),
+            owner=self.owner,
+            ttl_seconds=self.policy.ttl_seconds,
+            clock=self.clock,
+        )
+        self._epoch = time.monotonic()
+
+    # -- status beacon ---------------------------------------------------------
+
+    def _beacon(self, state: str) -> None:
+        """Publish this worker's liveness row for ``repro swarm status``."""
+        try:
+            atomic_write_json(
+                self.lease.root / "workers" / f"{self.owner.replace('/', '_')}.json",
+                {
+                    "owner": self.owner,
+                    "pid": os.getpid(),
+                    "state": state,
+                    "updated": self.clock(),
+                    "stats": self.stats.as_dict(),
+                    "leases": self.lease.stats.as_dict(),
+                },
+                sort_keys=True,
+            )
+        except OSError:
+            pass
+
+    # -- the drain loop --------------------------------------------------------
+
+    def drain(self) -> FabricStats:
+        """Drain the sweep until every cell is journaled ``done``.
+
+        Returns this worker's stats; raises :class:`LeaseDirUnavailable`
+        when the lease directory cannot be created or written (callers
+        degrade to supervised single-host mode), :class:`DrainStalled`
+        when nothing progresses within ``drain_timeout_seconds``.
+        """
+        try:
+            self.lease.root.mkdir(parents=True, exist_ok=True)
+            probe = self.lease.root / f".probe.{self.owner.replace('/', '_')}"
+            probe.write_text(str(os.getpid()))
+            probe.unlink()
+        except OSError as err:
+            raise LeaseDirUnavailable(
+                f"lease directory {self.lease.root} unusable: {err}"
+            ) from err
+
+        cells = grid_cells(
+            list(self.spec.benchmarks), list(self.spec.schemes),
+            self.spec.machine_config, self.spec.references, self.spec.seed,
+        )
+        manifest = SweepManifest.open(
+            manifest_path(self.disk.root, self.key), meta=self.spec.meta()
+        )
+        deadline = time.monotonic() + self.policy.drain_timeout_seconds
+        backoff = self.policy.claim_backoff_seconds
+        self._beacon("draining")
+        try:
+            while True:
+                manifest.refresh()
+                pending = []
+                for index, (benchmark, spec, cell_key) in enumerate(cells):
+                    if cell_key in manifest.done:
+                        # A done event is a claim; believe it only if the
+                        # entry still verifies (stale manifests happen).
+                        if verified_done_cell(self.disk, cell_key) is not None:
+                            continue
+                    pending.append((index, benchmark, spec, cell_key))
+                if not pending:
+                    break
+                if time.monotonic() > deadline:
+                    raise DrainStalled(
+                        f"{len(pending)} cell(s) still pending after "
+                        f"{self.policy.drain_timeout_seconds:.0f}s"
+                    )
+                self.stats.passes += 1
+                progressed = False
+                for index, benchmark, spec, cell_key in pending:
+                    lease = self.lease.try_acquire(cell_key)
+                    if lease is None:
+                        continue
+                    progressed = True
+                    self._run_leased_cell(
+                        manifest, lease, index, benchmark, spec, cell_key
+                    )
+                    self._beacon("draining")
+                if progressed:
+                    backoff = self.policy.claim_backoff_seconds
+                else:
+                    # Every pending cell is leased by a live peer: wait for
+                    # their done events (or their TTLs) with capped backoff.
+                    time.sleep(backoff)
+                    backoff = min(
+                        backoff * self.policy.claim_backoff_multiplier,
+                        self.policy.claim_backoff_cap_seconds,
+                    )
+        finally:
+            self.stats.heartbeats = self.lease.stats.renewals
+            self.stats.lease_lost = self.lease.stats.lost
+            if self.registry is not None:
+                self.stats.publish(self.registry)
+                self.lease.stats.publish(self.registry)
+                self.registry.gauge("fabric.lease.heartbeat_age").set(0.0)
+            self._beacon("finished")
+        return self.stats
+
+    # -- one cell --------------------------------------------------------------
+
+    def _run_leased_cell(
+        self, manifest, lease: Lease, index, benchmark, spec, cell_key
+    ) -> None:
+        cell_name = f"{benchmark}/{spec.name}"
+        action, seconds = (None, 0.0)
+        if self.chaos is not None:
+            planned = self.chaos.action_for(self.owner, cell_key)
+            if planned is not None:
+                action, seconds = planned
+        manifest.record(
+            "start", cell_key, cell_name,
+            owner=self.owner, token=lease.token,
+            chaos=action,
+        )
+        if action == "kill":
+            # Die mid-lease, heartbeat and all: a peer must take over
+            # after the TTL.  The exit code is recognizable in waitpid.
+            os._exit(CHAOS_KILL_EXIT)
+        if action == "torn":
+            # Tear our own lease file: peers must detect the corruption
+            # (digest) and treat the lease as up for takeover.
+            path = self.lease._lease_path(cell_key)
+            data = path.read_bytes()
+            path.write_bytes(data[: max(1, len(data) // 2)])
+        if action == "dup":
+            # A confused peer (clock far ahead) double-claims our cell:
+            # our lease is stolen mid-flight and our store must fence out.
+            phantom = LeaseManager(
+                self.lease.root,
+                owner=f"{self.owner}!dup",
+                ttl_seconds=self.policy.ttl_seconds,
+                clock=lambda: self.clock() + self.policy.ttl_seconds * 4,
+            )
+            stolen = phantom.try_acquire(cell_key)
+            if stolen is not None:
+                phantom.release(stolen)
+
+        pump = _HeartbeatPump(
+            self.lease, lease,
+            interval=self.policy.heartbeat_interval,
+            tracer=self.tracer, epoch=self._epoch,
+            stall_seconds=seconds if action == "stall" else 0.0,
+        )
+        pump.start()
+        try:
+            cached = self.disk.lookup_cell(cell_key)
+            if cached is not None:
+                metrics, snapshot = cached
+                cell = CellResult(metrics=metrics, snapshot=snapshot)
+                self.stats.cells_cache_hits += 1
+                stored = True
+            else:
+                # Share the scheme-independent miss trace across workers
+                # through the trace tier, then compute with the result
+                # cache bypassed: the store below must go through the
+                # fencing check, never behind our back.
+                get_miss_trace(
+                    benchmark, self.spec.machine_config,
+                    self.spec.references, self.spec.seed, use_cache=True,
+                )
+                cell = run_cell(
+                    benchmark, spec,
+                    machine=self.spec.machine_config,
+                    references=self.spec.references,
+                    seed=self.spec.seed,
+                    use_cache=False,
+                )
+                self.stats.cells_executed += 1
+                stored = self.disk.store_result(
+                    cell_key, cell.metrics, cell.snapshot,
+                    fence=self.lease.fence(pump.lease),
+                )
+                if stored:
+                    self.lease.journal_store(pump.lease)
+        finally:
+            pump.stop()
+        if not stored or pump.lost or not self.lease.fence_ok(pump.lease):
+            # Zombie path: the lease moved on while we computed.  The new
+            # owner recomputes and journals; we record nothing.
+            self.stats.cells_fenced_out += 1
+            return
+        if cached is None:
+            self.stats.stores += 1
+        self.results[index] = cell
+        manifest.record(
+            "done", cell_key, cell_name,
+            source="fabric", owner=self.owner, token=lease.token,
+        )
+        self.lease.release(pump.lease)

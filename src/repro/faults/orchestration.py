@@ -22,6 +22,13 @@ chaos, then a corrupted-cache resume — all three must produce identical
 :class:`~repro.experiments.sweep.SweepResult` contents (metrics *and*
 merged telemetry snapshot), and the resume must recompute only the cells
 whose entries were corrupted.
+
+The fabric half (:class:`FabricChaos`, :func:`run_fabric_soak`, behind
+``repro faults --layer fabric``) attacks the *distributed* machinery
+instead: worker kills mid-lease, heartbeat stalls, torn lease files,
+duplicate claims from clock-skewed phantom peers, and per-owner clock
+skew — and requires every multi-worker drain to stay byte-identical to
+the serial grid with a duplicate-free fenced-store journal.
 """
 
 from __future__ import annotations
@@ -44,6 +51,10 @@ __all__ = [
     "SweepChaos",
     "run_sweep_soak",
     "render_soak_report",
+    "FabricChaosSpec",
+    "FabricChaos",
+    "run_fabric_soak",
+    "render_fabric_soak_report",
 ]
 
 
@@ -296,6 +307,301 @@ def render_soak_report(report: dict) -> str:
         f"resume recomputed only poisoned cells: "
         f"{report['resume_recomputed_only_poisoned']}",
         f"resumed == serial: {report['resumed_identical_to_serial']}",
+        f"verdict: {'OK' if report['ok'] else 'FAILED'}",
+    ]
+    return "\n".join(lines)
+
+
+# -- fabric chaos --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FabricChaosSpec:
+    """Injection rates (per first claim of a cell by an owner) for the
+    distributed-fabric sabotages, plus per-owner clock skew.
+
+    Rates are cumulative probabilities over one uniform roll and must sum
+    to at most 1.  Owners listed in ``immune_owners`` receive no actions
+    at all — a soak must keep at least one worker immune from ``kill`` or
+    a drain can run out of survivors and stall instead of converging.
+    """
+
+    kill_rate: float = 0.0
+    stall_rate: float = 0.0
+    torn_rate: float = 0.0
+    dup_rate: float = 0.0
+    stall_seconds: float = 5.0
+    clock_skew_seconds: float = 0.0
+    seed: int = 0xFAB01
+    immune_owners: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        rates = (self.kill_rate, self.stall_rate, self.torn_rate, self.dup_rate)
+        if any(not 0.0 <= rate <= 1.0 for rate in rates):
+            raise ValueError(f"rates must be in [0, 1], got {rates}")
+        if sum(rates) > 1.0:
+            raise ValueError(f"rates must sum to <= 1, got {sum(rates)}")
+        if self.clock_skew_seconds < 0:
+            raise ValueError("clock_skew_seconds must be >= 0")
+
+
+def _owner_hash(owner: str) -> int:
+    import hashlib
+
+    return int.from_bytes(hashlib.sha256(owner.encode()).digest()[:8], "big")
+
+
+class FabricChaos:
+    """Seeded sabotage plan consulted by fabric workers per (owner, cell).
+
+    Decisions are pure functions of ``(spec.seed, owner, cell_key)`` so
+    every worker process derives the same plan from the same spec — but
+    each action fires **at most once** per (owner, cell): a cell whose
+    first attempt was sabotaged is retried clean (possibly by the same
+    owner after a takeover), so chaotic drains provably converge.
+    """
+
+    def __init__(self, spec: FabricChaosSpec):
+        self.spec = spec
+        self.planned: list[tuple[str, str, str]] = []  # (owner, cell_key, action)
+        self._fired: set[tuple[str, str]] = set()
+
+    def clock_skew_for(self, owner: str) -> float:
+        """This owner's wall-clock skew in seconds (symmetric, seeded).
+
+        Skew shifts every lease-expiry comparison the owner makes; the
+        fencing tokens — not the clocks — are what keep results correct.
+        """
+        spec = self.spec
+        if spec.clock_skew_seconds <= 0 or owner in spec.immune_owners:
+            return 0.0
+        rng = HardwareRng((spec.seed ^ _owner_hash(owner) ^ 0x5C3E) & (2**64 - 1))
+        return (rng.next_float() * 2.0 - 1.0) * spec.clock_skew_seconds
+
+    def action_for(self, owner: str, cell_key: str) -> tuple[str, float] | None:
+        """The sabotage for this claim: ``(action, seconds)`` or None."""
+        spec = self.spec
+        if owner in spec.immune_owners or (owner, cell_key) in self._fired:
+            return None
+        rng = HardwareRng(
+            (spec.seed ^ _owner_hash(owner) ^ int(cell_key[:16], 16))
+            & (2**64 - 1)
+        )
+        roll = rng.next_float()
+        action: tuple[str, float] | None = None
+        if roll < spec.kill_rate:
+            action = ("kill", 0.0)
+        elif roll < spec.kill_rate + spec.stall_rate:
+            action = ("stall", spec.stall_seconds)
+        elif roll < spec.kill_rate + spec.stall_rate + spec.torn_rate:
+            action = ("torn", 0.0)
+        elif (
+            roll
+            < spec.kill_rate + spec.stall_rate + spec.torn_rate + spec.dup_rate
+        ):
+            action = ("dup", 0.0)
+        if action is not None:
+            self._fired.add((owner, cell_key))
+            self.planned.append((owner, cell_key, action[0]))
+        return action
+
+
+# -- the fabric soak -----------------------------------------------------------
+
+
+def _fresh_cache(cache_dir: str) -> None:
+    os.makedirs(cache_dir, exist_ok=True)
+    os.environ[result_cache.CACHE_DIR_ENV] = cache_dir
+    result_cache.reset_default_cache()
+    runner._MISS_TRACE_CACHE.clear()
+
+
+def run_fabric_soak(
+    benchmarks: tuple[str, ...] = ("gzip", "art"),
+    schemes: tuple[str, ...] = ("oracle", "pred_regular"),
+    machine: MachineConfig = TABLE1_256K,
+    references: int = 3000,
+    seed: int = 1,
+    chaos_spec: FabricChaosSpec | None = None,
+    ttl_seconds: float = 2.0,
+    cache_dir: str | None = None,
+) -> dict:
+    """Partition-chaos soak for the distributed sweep fabric.
+
+    Four drains of the same grid, each against its own private cache:
+
+    1. **serial** — plain ``run_grid``: ground truth.
+    2. **duo** — a clean 2-worker fabric drain; must equal serial.
+    3. **chaos** — a 4-worker drain under kill/stall/torn/dup injection
+       with per-owner clock skew; the in-process worker is kill-immune so
+       the drain always has a survivor.  Must equal serial, and the store
+       journal must contain no duplicate ``(cell, token)`` — fencing let
+       exactly one store land per token.
+    4. **takeover** — one worker is chaos-killed mid-lease on its first
+       cell; the surviving worker must take the lease over after the TTL
+       and finish the grid.  Must equal serial with ≥1 takeover and the
+       killed worker's recognizable exit code.
+
+    "Equal" means metrics *and* the merged telemetry snapshot compare
+    byte-identical after canonical JSON serialization.  Returns a
+    machine-readable report; ``report["ok"]`` is the verdict.  With
+    ``cache_dir`` the phase caches (leases, manifests, journals) are kept
+    under it for post-mortem.
+    """
+    import json as _json
+
+    from repro.fabric import SwarmSpec, drain_swarm
+    from repro.fabric.worker import CHAOS_KILL_EXIT, FabricPolicy
+
+    chaos_spec = chaos_spec or FabricChaosSpec(
+        kill_rate=0.2, stall_rate=0.25, torn_rate=0.2, dup_rate=0.25,
+        stall_seconds=ttl_seconds * 2.5, clock_skew_seconds=ttl_seconds,
+        immune_owners=("c0",),
+    )
+    policy = FabricPolicy(
+        ttl_seconds=ttl_seconds,
+        claim_backoff_seconds=0.02,
+        claim_backoff_cap_seconds=0.25,
+        drain_timeout_seconds=600.0,
+    )
+    spec = SwarmSpec(
+        benchmarks=tuple(benchmarks), schemes=tuple(schemes),
+        machine=machine.name, references=references, seed=seed,
+    )
+
+    keep_cache = cache_dir is not None
+    if keep_cache:
+        os.makedirs(cache_dir, exist_ok=True)
+    else:
+        cache_dir = tempfile.mkdtemp(prefix="repro-fabric-soak-")
+    saved_env = os.environ.get(result_cache.CACHE_DIR_ENV)
+    phase_dirs = {
+        name: os.path.join(cache_dir, name)
+        for name in ("serial", "duo", "chaos", "takeover")
+    }
+    try:
+        _fresh_cache(phase_dirs["serial"])
+        serial = run_grid(
+            list(benchmarks), list(schemes), machine=machine,
+            references=references, seed=seed,
+        )
+        serial_metrics = _json.dumps(_metrics_dicts(serial), sort_keys=True)
+        serial_snapshot = _json.dumps(_merged_values(serial), sort_keys=True)
+
+        def identical(sweep) -> bool:
+            return (
+                _json.dumps(_metrics_dicts(sweep), sort_keys=True)
+                == serial_metrics
+                and _json.dumps(_merged_values(sweep), sort_keys=True)
+                == serial_snapshot
+            )
+
+        _fresh_cache(phase_dirs["duo"])
+        duo = drain_swarm(spec, workers=2, policy=policy, owner_prefix="d")
+        duo_ok = identical(duo) and not duo.fabric["degraded"]
+
+        _fresh_cache(phase_dirs["chaos"])
+        chaos = FabricChaos(chaos_spec)
+        chaotic = drain_swarm(
+            spec, workers=4, policy=policy, chaos=chaos, owner_prefix="c",
+        )
+        # Injections fire inside each worker's *own* copy of the chaos
+        # plan, so the authoritative record is the shared manifest: every
+        # sabotaged claim journaled a start event with a chaos tag.
+        injected = []
+        from repro.experiments.supervisor import manifest_path as _mpath
+
+        manifest_file = _mpath(phase_dirs["chaos"], spec.key)
+        for line in manifest_file.read_text().splitlines():
+            try:
+                entry = _json.loads(line)
+            except ValueError:
+                continue
+            if entry.get("event") == "start" and entry.get("chaos"):
+                injected.append(
+                    {
+                        "owner": entry.get("owner"),
+                        "cell_key": entry.get("key", "")[:12],
+                        "action": entry["chaos"],
+                    }
+                )
+        tokens = chaotic.fabric["stored_tokens"]
+        unique_tokens = len({(key, token) for key, token, _ in tokens}) == len(
+            tokens
+        )
+        chaos_ok = identical(chaotic) and unique_tokens
+
+        _fresh_cache(phase_dirs["takeover"])
+        # Deterministic targeted kill: the forked worker "t1" dies on its
+        # very first claim; the in-process "t0" is immune and must take
+        # the orphaned lease over once its TTL lapses.
+        kill_chaos = FabricChaos(
+            FabricChaosSpec(kill_rate=1.0, immune_owners=("t0",))
+        )
+        takeover = drain_swarm(
+            spec, workers=2, policy=policy, chaos=kill_chaos, owner_prefix="t",
+        )
+        takeovers = takeover.fabric["local_leases"]["taken_over"]
+        kill_seen = CHAOS_KILL_EXIT in takeover.fabric["worker_exit_codes"]
+        takeover_ok = identical(takeover) and takeovers >= 1 and kill_seen
+
+        report = {
+            "benchmarks": list(benchmarks),
+            "schemes": list(schemes),
+            "references": references,
+            "seed": seed,
+            "cells": len(benchmarks) * len(schemes),
+            "ttl_seconds": ttl_seconds,
+            "chaos": {
+                "spec": dataclasses.asdict(chaos_spec),
+                "planned": injected,
+            },
+            "duo": {
+                "identical_to_serial": duo_ok,
+                "fabric": duo.fabric,
+            },
+            "chaos_drain": {
+                "identical_to_serial": identical(chaotic),
+                "unique_store_tokens": unique_tokens,
+                "fabric": chaotic.fabric,
+            },
+            "takeover": {
+                "identical_to_serial": identical(takeover),
+                "takeovers": takeovers,
+                "kill_exit_seen": kill_seen,
+                "fabric": takeover.fabric,
+            },
+            "ok": duo_ok and chaos_ok and takeover_ok,
+        }
+        return report
+    finally:
+        if saved_env is None:
+            os.environ.pop(result_cache.CACHE_DIR_ENV, None)
+        else:
+            os.environ[result_cache.CACHE_DIR_ENV] = saved_env
+        result_cache.reset_default_cache()
+        runner._MISS_TRACE_CACHE.clear()
+        if not keep_cache:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def render_fabric_soak_report(report: dict) -> str:
+    """Human-readable verdict of one :func:`run_fabric_soak` run."""
+    duo = report["duo"]
+    chaos = report["chaos_drain"]
+    takeover = report["takeover"]
+    actions = [entry["action"] for entry in report["chaos"]["planned"]]
+    lines = [
+        f"Fabric chaos soak ({report['cells']} cells, seed {report['seed']}, "
+        f"ttl {report['ttl_seconds']}s)",
+        f"2-worker drain == serial: {duo['identical_to_serial']}",
+        f"chaos injected: {len(actions)} "
+        f"({', '.join(sorted(set(actions))) or 'none'})",
+        f"4-worker chaos drain == serial: {chaos['identical_to_serial']}",
+        f"store journal tokens unique: {chaos['unique_store_tokens']}",
+        f"takeover drain == serial: {takeover['identical_to_serial']} "
+        f"(takeovers {takeover['takeovers']}, "
+        f"kill exit seen {takeover['kill_exit_seen']})",
         f"verdict: {'OK' if report['ok'] else 'FAILED'}",
     ]
     return "\n".join(lines)

@@ -263,3 +263,71 @@ class TestSelfHealing:
         assert dataclasses.asdict(healed) == dataclasses.asdict(fresh)
         assert cache.stats.quarantined_entries == 1
         assert cache.stats.result_stores >= 1  # the entry was re-stored
+
+
+class TestQuarantineLogRotation:
+    def _quarantine_n(self, cache, metrics, n):
+        for index in range(n):
+            key = f"{index:064x}"
+            cache.store_result(key, metrics)
+            cache._result_path(key).write_text("{torn")
+            assert cache.lookup_result(key) is None
+
+    def test_log_is_capped_by_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(result_cache.QUARANTINE_LOG_MAX_ENV, "3")
+        cache = ResultCache(tmp_path)
+        metrics = run_scheme("gzip", "oracle", references=REFS)
+        self._quarantine_n(cache, metrics, 5)
+        assert cache.stats.quarantined_entries == 5
+        assert cache.quarantine_log_entries() == 3
+        # The survivors are the *latest* three entries.
+        lines = [
+            json.loads(line)
+            for line in (tmp_path / "quarantine" / "log.jsonl")
+            .read_text()
+            .splitlines()
+        ]
+        kept = {line["entry"] for line in lines}
+        assert kept == {f"{index:064x}.json" for index in (2, 3, 4)}
+
+    def test_default_cap_keeps_everything_small(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        metrics = run_scheme("gzip", "oracle", references=REFS)
+        self._quarantine_n(cache, metrics, 4)
+        assert cache.quarantine_log_entries() == 4
+
+    def test_invalid_env_value_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv(result_cache.QUARANTINE_LOG_MAX_ENV, "banana")
+        assert result_cache.quarantine_log_max() == 512
+        monkeypatch.setenv(result_cache.QUARANTINE_LOG_MAX_ENV, "0")
+        assert result_cache.quarantine_log_max() == 1
+
+    def test_disk_stats_surface_quarantine_log(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(result_cache.QUARANTINE_LOG_MAX_ENV, "7")
+        cache = ResultCache(tmp_path)
+        metrics = run_scheme("gzip", "oracle", references=REFS)
+        self._quarantine_n(cache, metrics, 2)
+        stats = cache.disk_stats()
+        assert stats["quarantine_log"] == {"entries": 2, "cap": 7}
+
+
+class TestFencedStores:
+    def test_fence_false_refuses_the_store(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        metrics = run_scheme("gzip", "oracle", references=REFS)
+        assert cache.store_result("d" * 64, metrics, fence=lambda: False) is False
+        assert cache.stats.fenced_rejects == 1
+        assert not cache._result_path("d" * 64).exists()
+        assert cache.lookup_result("d" * 64) is None
+
+    def test_fence_true_lets_the_store_land(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        metrics = run_scheme("gzip", "oracle", references=REFS)
+        assert cache.store_result("d" * 64, metrics, fence=lambda: True) is True
+        assert cache.stats.fenced_rejects == 0
+        assert cache.lookup_result("d" * 64) is not None
+
+    def test_no_fence_is_unconditional(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        metrics = run_scheme("gzip", "oracle", references=REFS)
+        assert cache.store_result("e" * 64, metrics) is True

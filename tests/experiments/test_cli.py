@@ -544,3 +544,64 @@ class TestParser:
         assert args.resume and args.cell_timeout == 30.0
         args = build_parser().parse_args(["figure", "figure9", "--supervise"])
         assert args.supervise
+
+
+class TestSwarmCommand:
+    GRID = ["--benchmarks", "gzip", "--schemes", "oracle,pred_regular",
+            "--refs", "1200"]
+
+    def test_start_then_drain_then_status(self, capsys):
+        assert main(["swarm", "start", *self.GRID]) == 0
+        out = capsys.readouterr().out
+        assert "seeded (2 cells)" in out
+        assert "repro swarm drain" in out
+        assert main(["swarm", "drain", *self.GRID, "--workers", "2",
+                     "--ttl", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "drained 2/2 cells" in out
+        assert main(["swarm", "status", *self.GRID]) == 0
+        out = capsys.readouterr().out
+        assert "complete" in out
+        assert "done" in out
+
+    def test_status_json_is_machine_readable(self, capsys):
+        assert main(["swarm", "start", *self.GRID]) == 0
+        capsys.readouterr()
+        assert main(["swarm", "status", *self.GRID, "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["total"] == 2
+        assert status["counts"]["pending"] == 2
+        assert not status["complete"]
+
+    def test_unknown_scheme_is_a_usage_error(self, capsys):
+        assert main(["swarm", "start", "--benchmarks", "gzip",
+                     "--schemes", "nope"]) == 2
+        assert "unknown scheme" in capsys.readouterr().err
+
+    def test_faults_layer_fabric_is_wired(self, capsys, monkeypatch):
+        # The soak itself is exercised in tests/faults; here we only prove
+        # the CLI dispatches to it and honors --json and the exit code.
+        calls = {}
+
+        def fake_soak(**kwargs):
+            calls.update(kwargs)
+            return {"ok": True, "cells": 4}
+
+        monkeypatch.setattr(
+            "repro.faults.orchestration.run_fabric_soak", fake_soak
+        )
+        assert main(["faults", "--layer", "fabric", "--refs", "999",
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"]
+        assert calls["references"] == 999
+
+
+class TestCacheQuarantineLogStats:
+    def test_stats_report_quarantine_log_line(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_QUARANTINE_LOG_MAX", "9")
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "quarantine log: 0 entries" in out
+        assert "keeps last 9" in out
+        assert "REPRO_QUARANTINE_LOG_MAX" in out

@@ -295,3 +295,122 @@ class TestTelemetryWiring:
         ]
         assert counters, "expected sweep.inflight counter samples"
         assert all(event.track == "sweep" for event in counters)
+
+
+class TestManifestConcurrency:
+    def test_interleaved_writers_replay_to_union(self, tmp_path):
+        path = tmp_path / "manifest.jsonl"
+        alpha = SweepManifest.open(path, meta={"key": "abc"})
+        beta = SweepManifest.open(path, meta={"key": "abc"})
+        for index in range(6):
+            writer = alpha if index % 2 == 0 else beta
+            writer.record("done", f"k{index}", f"cell{index}", source="test")
+        replayed = SweepManifest.open(path, meta={})
+        assert set(replayed.done) == {f"k{index}" for index in range(6)}
+
+    def test_refresh_folds_in_other_writers(self, tmp_path):
+        path = tmp_path / "manifest.jsonl"
+        alpha = SweepManifest.open(path, meta={})
+        beta = SweepManifest.open(path, meta={})
+        beta.record("done", "k1", "cell1", source="beta")
+        assert "k1" not in alpha.done
+        alpha.refresh()
+        assert "k1" in alpha.done
+
+    def test_record_glued_onto_torn_fragment_is_salvaged(self, tmp_path):
+        # Writer A crashes mid-append (no trailing newline); writer B's
+        # O_APPEND write lands on the same line.  B's record must survive
+        # replay; only A's torn event is lost.
+        path = tmp_path / "manifest.jsonl"
+        manifest = SweepManifest.open(path, meta={})
+        manifest.record("done", "k1", "cell1", source="a")
+        with path.open("a") as handle:
+            handle.write('{"event": "done", "key": "torn", "ce')
+        survivor = SweepManifest.open(path, meta={})
+        survivor.record("done", "k2", "cell2", source="b")
+        replayed = SweepManifest.open(path, meta={})
+        assert set(replayed.done) == {"k1", "k2"}
+        assert "torn" not in replayed.done
+
+    def test_parse_line_rejects_pure_garbage(self):
+        assert SweepManifest._parse_line("not json at all") is None
+        assert SweepManifest._parse_line('{"torn": "fra') is None
+
+    def test_parse_line_salvages_record_with_nested_objects(self):
+        glued = '{"torn": "fra{"event": "done", "key": "k", "x": {"y": 1}}'
+        record = SweepManifest._parse_line(glued)
+        assert record == {"event": "done", "key": "k", "x": {"y": 1}}
+
+    def test_two_processes_append_simultaneously(self, tmp_path):
+        import multiprocessing
+
+        path = tmp_path / "manifest.jsonl"
+        SweepManifest.open(path, meta={"key": "abc"})
+        mp = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        barrier = mp.Barrier(2)
+
+        def hammer(writer_id, barrier=barrier, path=path):
+            manifest = SweepManifest.open(path, meta={})
+            barrier.wait()
+            for index in range(50):
+                manifest.record(
+                    "done", f"w{writer_id}-{index}", "cell", source="mp"
+                )
+
+        procs = [mp.Process(target=hammer, args=(w,)) for w in range(2)]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        replayed = SweepManifest.open(path, meta={})
+        expected = {f"w{w}-{i}" for w in range(2) for i in range(50)}
+        assert set(replayed.done) == expected
+
+
+class TestResumeVerification:
+    def test_resume_ignores_stale_done_event_for_deleted_entry(self):
+        # The manifest says done, but the cache entry vanished entirely
+        # (pruned, or written by a host whose store never landed): resume
+        # must verify the entry exists and recompute, not trust the
+        # journal blindly.
+        first = run_grid_supervised(
+            BENCHMARKS, SCHEMES, references=REFS, jobs=2, policy=FAST
+        )
+        disk = result_cache.default_cache()
+        victim = sorted((disk.root / "results").rglob("*.json"))[0]
+        victim.unlink()
+        disk.stats = result_cache.CacheStats()
+        runner._MISS_TRACE_CACHE.clear()
+        resumed = run_grid_supervised(
+            BENCHMARKS, SCHEMES, references=REFS, jobs=2,
+            policy=FAST, resume=True,
+        )
+        stats = resumed.supervision
+        assert stats["cells_resumed"] == len(SCHEMES) - 1
+        assert stats["cells_completed"] == 1
+        assert _metrics(resumed) == _metrics(first)
+
+    def test_resume_with_series_recomputes_instead_of_dropping(self):
+        # Cache entries carry no SnapshotSeries; a resumed sweep that
+        # wants series must recompute every cell rather than silently
+        # serving series-less cache hits.
+        interval = 400
+        first = run_grid_supervised(
+            BENCHMARKS, ["oracle"], references=REFS, jobs=1,
+            policy=FAST, series_interval=interval,
+        )
+        assert ("gzip", "oracle") in first.series
+        runner._MISS_TRACE_CACHE.clear()
+        resumed = run_grid_supervised(
+            BENCHMARKS, ["oracle"], references=REFS, jobs=1,
+            policy=FAST, resume=True, series_interval=interval,
+        )
+        assert resumed.supervision["cells_resumed"] == 0
+        assert resumed.supervision["cells_completed"] == 1
+        assert ("gzip", "oracle") in resumed.series
+        assert _metrics(resumed) == _metrics(first)

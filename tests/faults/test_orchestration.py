@@ -106,3 +106,85 @@ class TestSoak:
         assert (soak_cache / "results").is_dir()
         assert list(soak_cache.glob("manifest-*.jsonl"))
         assert (soak_cache / "quarantine").is_dir()
+
+
+class TestFabricChaos:
+    def test_rates_validated(self):
+        from repro.faults.orchestration import FabricChaosSpec
+
+        with pytest.raises(ValueError):
+            FabricChaosSpec(kill_rate=1.5)
+        with pytest.raises(ValueError):
+            FabricChaosSpec(kill_rate=0.6, stall_rate=0.6)
+        with pytest.raises(ValueError):
+            FabricChaosSpec(clock_skew_seconds=-1.0)
+
+    def test_decisions_are_deterministic_and_fire_once(self):
+        from repro.faults.orchestration import FabricChaos, FabricChaosSpec
+
+        spec = FabricChaosSpec(
+            kill_rate=0.25, stall_rate=0.25, torn_rate=0.25, dup_rate=0.25
+        )
+        first = FabricChaos(spec)
+        second = FabricChaos(spec)
+        plans = [first.action_for("w1", key) for key in (KEY_A, KEY_B)]
+        assert plans == [
+            second.action_for("w1", key) for key in (KEY_A, KEY_B)
+        ]
+        assert any(plan is not None for plan in plans)
+        # Replays of a sabotaged claim run clean: chaos fires at most
+        # once per (owner, cell), or takeover loops would never converge.
+        assert first.action_for("w1", KEY_A) is None
+        assert first.action_for("w1", KEY_B) is None
+
+    def test_immune_owner_gets_no_chaos(self):
+        from repro.faults.orchestration import FabricChaos, FabricChaosSpec
+
+        chaos = FabricChaos(
+            FabricChaosSpec(
+                kill_rate=1.0, clock_skew_seconds=5.0, immune_owners=("c0",)
+            )
+        )
+        assert chaos.action_for("c0", KEY_A) is None
+        assert chaos.clock_skew_for("c0") == 0.0
+        assert chaos.action_for("c1", KEY_A) == ("kill", 0.0)
+
+    def test_clock_skew_is_seeded_and_bounded(self):
+        from repro.faults.orchestration import FabricChaos, FabricChaosSpec
+
+        spec = FabricChaosSpec(clock_skew_seconds=3.0)
+        skew = FabricChaos(spec).clock_skew_for("w7")
+        assert FabricChaos(spec).clock_skew_for("w7") == skew
+        assert -3.0 <= skew <= 3.0
+        assert FabricChaos(spec).clock_skew_for("w8") != skew
+
+
+class TestFabricSoak:
+    def test_fabric_soak_converges_to_serial(self, tmp_path):
+        from repro.faults.orchestration import (
+            render_fabric_soak_report,
+            run_fabric_soak,
+        )
+
+        soak_cache = tmp_path / "fabric-cache"
+        report = run_fabric_soak(
+            benchmarks=("gzip",),
+            schemes=("oracle", "pred_regular"),
+            references=900,
+            ttl_seconds=1.5,
+            cache_dir=str(soak_cache),
+        )
+        assert report["duo"]["identical_to_serial"]
+        assert report["chaos_drain"]["identical_to_serial"]
+        assert report["chaos_drain"]["unique_store_tokens"]
+        assert report["takeover"]["identical_to_serial"]
+        assert report["takeover"]["takeovers"] >= 1
+        assert report["takeover"]["kill_exit_seen"]
+        assert report["ok"]
+        rendered = render_fabric_soak_report(report)
+        assert "verdict: OK" in rendered
+        assert "takeover drain == serial: True" in rendered
+        # Phase caches (leases, manifests, journals) are kept as evidence.
+        for phase in ("serial", "duo", "chaos", "takeover"):
+            assert (soak_cache / phase).is_dir()
+        assert list((soak_cache / "chaos" / "leases").glob("*/stores.jsonl"))
