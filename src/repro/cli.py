@@ -40,8 +40,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
+from repro.cpu.engine import BACKEND_ENV, available_backends
 from repro.cpu.system import collect_miss_trace, replay_miss_trace
 from repro.cpu.tracefile import TraceFormatError, load_trace_file
 from repro.experiments import cache as result_cache
@@ -646,6 +648,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the command's telemetry snapshot as JSON "
              "(honored by run and trace)",
     )
+    parser.add_argument(
+        "--backend", default=None, choices=available_backends(),
+        help="replay backend for every simulation in this command "
+             f"(default: ${BACKEND_ENV} or 'batched'; all backends "
+             "produce bit-identical results)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list benchmarks, schemes and figures").set_defaults(
@@ -873,6 +881,11 @@ def main(argv: list[str] | None = None) -> int:
     exit instead of a traceback.
     """
     args = build_parser().parse_args(argv)
+    if args.backend:
+        # Environment, not plumbing: the selection must reach every replay
+        # call site, including parallel sweep workers (which inherit the
+        # parent's environment at pool startup).
+        os.environ[BACKEND_ENV] = args.backend
     try:
         return args.func(args)
     except FileNotFoundError as err:

@@ -1,6 +1,13 @@
 """Trace-driven CPU timing model and full-system simulator."""
 
 from repro.cpu.core import CoreConfig, RunMetrics
+from repro.cpu.engine import (
+    BACKEND_ENV,
+    DEFAULT_BACKEND,
+    available_backends,
+    register_backend,
+    resolve_backend,
+)
 from repro.cpu.system import (
     FunctionalMismatchError,
     MissEvent,
@@ -14,6 +21,11 @@ from repro.cpu.trace import MemoryAccess, TraceSummary, summarize_trace
 __all__ = [
     "CoreConfig",
     "RunMetrics",
+    "BACKEND_ENV",
+    "DEFAULT_BACKEND",
+    "available_backends",
+    "register_backend",
+    "resolve_backend",
     "FunctionalMismatchError",
     "MissEvent",
     "MissTrace",

@@ -20,10 +20,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cpu.core import CoreConfig, RunMetrics
+from repro.cpu.engine import resolve_backend
 from repro.cpu.trace import MemoryAccess
 from repro.memory.address import AddressMap, DEFAULT_ADDRESS_MAP
 from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
-from repro.secure.controller import FetchClass, SecureMemoryController
+from repro.secure.controller import SecureMemoryController
 from repro.telemetry.profile import profile_scope
 
 __all__ = [
@@ -170,63 +171,32 @@ def replay_miss_trace(
     core: CoreConfig | None = None,
     scheme: str = "unnamed",
     on_fetch=None,
+    backend: str | None = None,
+    hook_interval: int = 0,
 ) -> RunMetrics:
     """Replay an off-chip event stream through one security scheme.
 
-    ``on_fetch``, when given, is called with the cumulative fetch count
-    after every controller fetch — the hook :mod:`repro.experiments.runner`
-    uses to spill periodic telemetry snapshots (``SnapshotSeries``) without
-    the replay loop knowing anything about registries.
+    Dispatches to a replay backend from :mod:`repro.cpu.engine` —
+    ``backend`` names one explicitly, otherwise ``$REPRO_REPLAY_BACKEND``
+    or the default (the batched core) decides.  Every backend produces
+    bit-identical results; they differ only in speed.
+
+    ``on_fetch``, when given, is called with the cumulative fetch count —
+    the hook :mod:`repro.experiments.runner` uses to spill periodic
+    telemetry snapshots (``SnapshotSeries``) without the replay loop
+    knowing anything about registries.  ``hook_interval`` tells batched
+    backends the coarsest schedule the caller needs: > 0 promises the
+    caller only acts every ``hook_interval`` fetches, so the hook is
+    called exactly at those multiples; 0 (the default) keeps per-fetch
+    calls.
     """
-    core = core or CoreConfig()
-    cycle = 0.0
-    width = float(core.issue_width)
-    hidden = 1.0 - core.miss_overlap
-    fetches = 0
-
-    for event in miss_trace.events:
-        cycle += event.gap_instructions / width
-        cycle += event.gap_l2_hits * core.l2_hit_penalty
-        for address in event.fetch_addresses:
-            result = controller.fetch_line(int(cycle), address)
-            stall = (result.data_ready - cycle) * hidden
-            if stall > 0:
-                cycle += stall
-            if on_fetch is not None:
-                fetches += 1
-                on_fetch(fetches)
-        for address in event.writeback_addresses:
-            controller.writeback_line(int(cycle), address)
-
-    # Drain trailing computation so IPC reflects the whole trace.
-    cycle += 1.0  # avoid zero-cycle degenerate traces
-
-    stats = controller.stats
-    predictor_stats = controller.predictor.stats
-    return RunMetrics(
+    return resolve_backend(backend).replay(
+        miss_trace,
+        controller,
+        core=core,
         scheme=scheme,
-        cycles=cycle,
-        instructions=miss_trace.total_instructions,
-        l2_misses=miss_trace.l2_misses,
-        fetches=stats.fetches,
-        writebacks=stats.writebacks,
-        prediction_lookups=predictor_stats.lookups,
-        prediction_hits=predictor_stats.hits,
-        guesses_issued=predictor_stats.guesses_issued,
-        seqcache_lookups=(
-            controller.seqcache.demand_lookups if controller.seqcache else 0
-        ),
-        seqcache_hits=(
-            controller.seqcache.demand_hits if controller.seqcache else 0
-        ),
-        class_both=stats.class_counts[FetchClass.BOTH],
-        class_pred_only=stats.class_counts[FetchClass.PRED_ONLY],
-        class_cache_only=stats.class_counts[FetchClass.CACHE_ONLY],
-        class_neither=stats.class_counts[FetchClass.NEITHER],
-        mean_exposed_latency=stats.mean_exposed_latency,
-        engine_demand_blocks=controller.engine.stats.demand_blocks,
-        engine_speculative_blocks=controller.engine.stats.speculative_blocks,
-        root_resets=controller.page_table.total_resets,
+        on_fetch=on_fetch,
+        hook_interval=hook_interval,
     )
 
 

@@ -78,6 +78,28 @@ class CryptoEngineStats:
         """All blocks issued, demand plus speculative."""
         return self.demand_blocks + self.speculative_blocks
 
+    def absorb(
+        self,
+        demand_blocks: int = 0,
+        speculative_blocks: int = 0,
+        queue_delay_cycles: int = 0,
+        busy_cycles: int = 0,
+        last_issue_time: int | None = None,
+    ) -> None:
+        """Fold a batch of issues into the counters.
+
+        Batch entry point for the batched replay core, which accumulates
+        per-epoch deltas instead of bumping these fields per issue.
+        ``last_issue_time`` replaces (not adds to) the high-water mark;
+        ``None`` leaves it untouched — the batch issued nothing.
+        """
+        self.demand_blocks += demand_blocks
+        self.speculative_blocks += speculative_blocks
+        self.queue_delay_cycles += queue_delay_cycles
+        self.busy_cycles += busy_cycles
+        if last_issue_time is not None:
+            self.last_issue_time = last_issue_time
+
     def utilization(self, elapsed_cycles: int) -> float:
         """Fraction of issue slots used over ``elapsed_cycles``."""
         if elapsed_cycles <= 0:

@@ -1,6 +1,6 @@
 """Performance benchmark: measure what the fast paths actually buy.
 
-Three layers, mirroring where this codebase spends its time:
+Four layers, mirroring where this codebase spends its time:
 
 * **crypto** — raw AES-CTR throughput (blocks/sec) of the scalar T-table
   loop vs the numpy-vectorized :meth:`~repro.crypto.aes.AES.encrypt_blocks`
@@ -9,11 +9,20 @@ Three layers, mirroring where this codebase spends its time:
   tree, speculative candidate batches) run twice over an identical seeded
   fetch/write-back workload: once with vectorization and the pad memo
   disabled, once with both enabled.
+* **replay** — the trace-replay hot path itself: every cell of a
+  benchmark x scheme grid replayed through both the ``reference`` and the
+  ``batched`` backend of :mod:`repro.cpu.engine` on identical fresh
+  controllers.  Reports references/sec per backend, the cold per-cell and
+  aggregate speedups (trace compilation included on the batched side, once
+  per benchmark — exactly how a grid pays it), and a bit-identity verdict
+  over the full metrics + telemetry snapshot of every cell.
 * **grid** — a smoke experiment grid through the public engine: a cold
   serial pass that populates the on-disk result cache, a warm pass served
-  from it, and a cold parallel pass with ``--jobs`` workers.  The warm
-  metrics are compared field-for-field against the cold ones — a cache hit
-  must be indistinguishable from a fresh run.
+  from it, and a cold parallel pass with ``--jobs`` workers (pool warmed
+  first, so the measured ratio is steady-state throughput rather than
+  worker-fork latency).  The warm metrics are compared field-for-field
+  against the cold ones — a cache hit must be indistinguishable from a
+  fresh run.
 
 ``run_bench`` writes the whole report to ``BENCH_perf.json`` (CI uploads it
 as an artifact) and returns it as a dict.  All workloads are seeded; wall
@@ -22,6 +31,7 @@ clocks are the only nondeterministic values in the report.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import platform
@@ -30,10 +40,13 @@ import tempfile
 import time
 from pathlib import Path
 
+from repro.cpu import engine as replay_engine
+from repro.cpu.system import replay_miss_trace
 from repro.crypto.aes import AES, set_vectorized, vectorized_enabled
 from repro.crypto.rng import HardwareRng
 from repro.experiments import cache as result_cache
 from repro.experiments import runner
+from repro.experiments.parallel import warm_pool
 from repro.experiments.sweep import SweepResult, run_grid
 from repro.ioutil import atomic_write_json
 from repro.secure.controller import SecureMemoryController
@@ -43,8 +56,10 @@ from repro.secure.seqnum import PageSecurityTable
 __all__ = [
     "BENCH_BENCHMARKS",
     "BENCH_SCHEMES",
+    "REPLAY_SCHEMES",
     "crypto_bench",
     "otp_bench",
+    "replay_bench",
     "grid_bench",
     "run_bench",
     "render_report",
@@ -56,6 +71,16 @@ __all__ = [
 #: the trace tier of the cache matters as much as the result tier.
 BENCH_BENCHMARKS = ("gzip", "art", "gcc")
 BENCH_SCHEMES = ("oracle", "pred_regular", "pred_plus_cache_32k")
+
+#: Replay-layer grid: the paper's scheme ladder (decryption-oracle upper
+#: bound, static and adaptive regular prediction, prediction + sequence
+#: number cache), i.e. one cell per distinct replay fast path.
+REPLAY_SCHEMES = (
+    "oracle",
+    "pred_regular_static",
+    "pred_regular",
+    "pred_plus_cache_32k",
+)
 
 _MASK64 = (1 << 64) - 1
 
@@ -175,6 +200,108 @@ def otp_bench(operations: int = 2000, seed: int = 7) -> dict:
     }
 
 
+# -- replay-backend layer ------------------------------------------------------
+
+
+def replay_bench(
+    references: int = 6000,
+    seed: int = 1,
+    trials: int = 3,
+    benchmarks: tuple[str, ...] = BENCH_BENCHMARKS,
+    schemes: tuple[str, ...] = REPLAY_SCHEMES,
+) -> dict:
+    """Reference vs batched replay backend over a benchmark x scheme grid.
+
+    Every cell runs on a fresh controller (counter state fast-forwarded by
+    the same preseed) through both backends, interleaved ``trials`` times
+    with the best time kept per backend — the interleaving defends the
+    ratio against machine-load drift.  Trace compilation is timed cold
+    once per benchmark and charged to the batched side of the aggregate,
+    matching how a real grid pays it (one compile, all schemes reuse it).
+
+    ``metrics_identical`` is the replay identity contract checked end to
+    end: per cell, the full :class:`~repro.cpu.core.RunMetrics` *and* the
+    complete telemetry snapshot must match bit-for-bit across backends.
+    """
+    machine = runner.TABLE1_256K
+    cells = []
+    identical = True
+    ref_total = bat_total = compile_total = 0.0
+    for benchmark in benchmarks:
+        miss_trace, preseed = runner.get_miss_trace(
+            benchmark, machine, references, seed
+        )
+        probe = runner.make_controller(runner.SCHEMES[schemes[0]], machine, seed)
+        replay_engine._COMPILED.clear()
+        compile_start = _now()
+        replay_engine.compile_trace(
+            miss_trace, probe.address_map, probe.dram.config, machine.core
+        )
+        compile_total += _now() - compile_start
+        for scheme in schemes:
+            spec = runner.SCHEMES[scheme]
+            best = {"reference": float("inf"), "batched": float("inf")}
+            outcome = {}
+            for _ in range(max(1, trials)):
+                for backend in ("reference", "batched"):
+                    controller = runner.make_controller(spec, machine, seed)
+                    runner.apply_preseed(controller, preseed)
+                    start = _now()
+                    metrics = replay_miss_trace(
+                        miss_trace,
+                        controller,
+                        core=machine.core,
+                        scheme=scheme,
+                        backend=backend,
+                    )
+                    best[backend] = min(best[backend], _now() - start)
+                    outcome[backend] = (
+                        dataclasses.asdict(metrics),
+                        runner.collect_cell_snapshot(controller, miss_trace),
+                    )
+            cell_identical = outcome["reference"] == outcome["batched"]
+            identical = identical and cell_identical
+            ref_total += best["reference"]
+            bat_total += best["batched"]
+            cells.append(
+                {
+                    "benchmark": benchmark,
+                    "scheme": scheme,
+                    "reference_seconds": round(best["reference"], 4),
+                    "batched_seconds": round(best["batched"], 4),
+                    "reference_refs_per_sec": round(
+                        references / best["reference"], 1
+                    ),
+                    "batched_refs_per_sec": round(
+                        references / best["batched"], 1
+                    ),
+                    "speedup": round(best["reference"] / best["batched"], 2),
+                    "identical": cell_identical,
+                }
+            )
+    return {
+        "references": references,
+        "seed": seed,
+        "trials": trials,
+        "benchmarks": list(benchmarks),
+        "schemes": list(schemes),
+        "backends": replay_engine.available_backends(),
+        "cells": cells,
+        "reference_seconds": round(ref_total, 4),
+        "batched_seconds": round(bat_total, 4),
+        "compile_seconds": round(compile_total, 4),
+        "reference_refs_per_sec": round(
+            len(cells) * references / ref_total, 1
+        ) if ref_total else None,
+        "batched_refs_per_sec": round(
+            len(cells) * references / (bat_total + compile_total), 1
+        ) if bat_total + compile_total else None,
+        "speedup": round(ref_total / (bat_total + compile_total), 2)
+        if bat_total + compile_total else None,
+        "metrics_identical": identical,
+    }
+
+
 # -- experiment grid layer -----------------------------------------------------
 
 
@@ -242,10 +369,16 @@ def grid_bench(
         warm_seconds = _now() - warm_start
         hit_rate = warm_cache.stats.hit_rate
 
-        # Cold parallel pass: cache and in-process memo wiped first.
+        # Cold parallel pass: cache and in-process memo wiped first.  The
+        # worker pool is warmed *outside* the timed region — the pool is
+        # process-wide and amortized over every batch of a real sweep, so
+        # charging its one-time fork cost to this single grid would
+        # benchmark process startup, not parallel throughput.
         warm_cache.clear()
         result_cache.reset_default_cache()
         runner._MISS_TRACE_CACHE.clear()
+        if jobs > 1:
+            warm_pool(min(jobs, len(benchmarks)))
         parallel_start = _now()
         parallel = run_grid(
             list(benchmarks),
@@ -311,6 +444,7 @@ def run_bench(
         },
         "crypto": crypto_bench(),
         "otp": otp_bench(operations=operations, seed=seed + 6),
+        "replay": replay_bench(references=references, seed=seed),
         "grid": grid_bench(references=references, seed=seed, jobs=jobs),
     }
     if output is not None:
@@ -325,6 +459,7 @@ def run_bench(
 _GUARDED_SPEEDUPS = (
     ("crypto", "vector_speedup"),
     ("otp", "speedup"),
+    ("replay", "speedup"),
     ("grid", "warm_speedup"),
     ("grid", "parallel_speedup"),
 )
@@ -360,6 +495,24 @@ def check_regression(current: dict, baseline: dict, tolerance: float = 0.2) -> l
         violations.append(
             f"grid.warm_cache_hit_rate: expected 1.0, got {hit_rate}"
         )
+    replay = current.get("replay")
+    if replay is not None and replay.get("metrics_identical") is not True:
+        violations.append(
+            "replay.metrics_identical: batched backend diverged from the "
+            "reference replay"
+        )
+    # Parallel execution must beat the serial loop wherever it can — i.e.
+    # on any multi-CPU box (a 1-CPU runner degrades to the serial path,
+    # where the ratio is meaningless).  This is an invariant of the
+    # current report, independent of the baseline.
+    cpus = (current.get("environment") or {}).get("cpus")
+    parallel_speedup = grid.get("parallel_speedup")
+    if cpus and cpus > 1 and parallel_speedup is not None:
+        if parallel_speedup <= 1.0:
+            violations.append(
+                f"grid.parallel_speedup: {parallel_speedup:.2f} <= 1.00 on a "
+                f"{cpus}-CPU machine — the pool is slower than the serial loop"
+            )
     for section, field in _GUARDED_SPEEDUPS:
         expected = (baseline.get(section) or {}).get(field)
         actual = (current.get(section) or {}).get(field)
@@ -430,11 +583,25 @@ def render_report(report: dict) -> str:
         f"otp:    baseline {otp['baseline_ops_per_sec']:.0f} ops/s, "
         f"optimized {otp['optimized_ops_per_sec']:.0f} ops/s "
         f"(x{otp['speedup']:.1f})",
-        f"grid:   cold {grid['cold_seconds']:.2f}s, "
-        f"warm {grid['warm_seconds']:.2f}s (x{grid['warm_speedup']:.1f}), "
-        f"parallel[{grid['jobs']}] {grid['parallel_seconds']:.2f}s "
-        f"(x{grid['parallel_speedup']:.1f})",
-        f"        warm cache hit rate {grid['warm_cache_hit_rate']:.0%}, "
-        f"metrics identical: {grid['metrics_identical']}",
     ]
+    replay = report.get("replay")
+    if replay is not None:
+        lines.append(
+            f"replay: reference {replay['reference_refs_per_sec'] or 0:.0f} "
+            f"refs/s, batched {replay['batched_refs_per_sec'] or 0:.0f} refs/s "
+            f"(x{replay['speedup'] or 0:.1f} over "
+            f"{len(replay['cells'])} cells, compile "
+            f"{replay['compile_seconds']:.3f}s), "
+            f"identical: {replay['metrics_identical']}"
+        )
+    lines.extend(
+        [
+            f"grid:   cold {grid['cold_seconds']:.2f}s, "
+            f"warm {grid['warm_seconds']:.2f}s (x{grid['warm_speedup']:.1f}), "
+            f"parallel[{grid['jobs']}] {grid['parallel_seconds']:.2f}s "
+            f"(x{grid['parallel_speedup']:.1f})",
+            f"        warm cache hit rate {grid['warm_cache_hit_rate']:.0%}, "
+            f"metrics identical: {grid['metrics_identical']}",
+        ]
+    )
     return "\n".join(lines)

@@ -25,8 +25,10 @@ which honors ``$REPRO_JOBS`` before falling back to the CPU count.
 
 from __future__ import annotations
 
+import atexit
 import os
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.cpu.core import RunMetrics
@@ -44,6 +46,9 @@ __all__ = [
     "JOBS_ENV",
     "default_jobs",
     "resolve_jobs",
+    "warm_pool",
+    "shutdown_pool",
+    "shared_pool",
     "parallel_map",
     "run_grid_cells",
     "run_benchmark_cells_parallel",
@@ -72,6 +77,62 @@ def resolve_jobs(jobs: int | None) -> int:
     return max(1, jobs)
 
 
+# -- shared worker pool --------------------------------------------------------
+#
+# Forking (or spawning) a process pool costs tens to hundreds of
+# milliseconds — comparable to simulating an entire grid cell through the
+# batched replay core.  A sweep that opens a fresh pool per batch therefore
+# pays the startup tax over and over and can end up *slower* than the
+# serial loop.  The pool below is created once, reused by every
+# ``parallel_map`` call that fits inside it, and torn down at process exit
+# (or explicitly via :func:`shutdown_pool` / the :func:`shared_pool`
+# context manager).
+
+_POOL: ProcessPoolExecutor | None = None
+_POOL_JOBS = 0
+
+
+def warm_pool(jobs: int | None = None) -> ProcessPoolExecutor:
+    """Start (or grow) the shared worker pool before it is first needed.
+
+    Returns the live pool.  Growing an existing pool replaces it; callers
+    holding a reference from an earlier call should re-fetch.
+    """
+    global _POOL, _POOL_JOBS
+    jobs = resolve_jobs(jobs)
+    if _POOL is None or _POOL_JOBS < jobs:
+        if _POOL is not None:
+            _POOL.shutdown(wait=True)
+        _POOL = ProcessPoolExecutor(max_workers=jobs)
+        _POOL_JOBS = jobs
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared pool (no-op when none is running)."""
+    global _POOL, _POOL_JOBS
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+        _POOL_JOBS = 0
+
+
+atexit.register(shutdown_pool)
+
+
+@contextmanager
+def shared_pool(jobs: int | None = None):
+    """Scope a warm shared pool over several ``parallel_map`` calls.
+
+    ``with shared_pool(jobs):`` warms the pool once; every
+    ``parallel_map`` inside the block reuses it, so multi-batch sweeps pay
+    worker startup a single time.  The pool persists after the block (it
+    is the process-wide shared pool) — use :func:`shutdown_pool` to drop
+    it eagerly.
+    """
+    yield warm_pool(jobs)
+
+
 def parallel_map(fn, items, jobs: int | None = 1) -> list:
     """Order-preserving map over ``items`` with up to ``jobs`` processes.
 
@@ -79,13 +140,18 @@ def parallel_map(fn, items, jobs: int | None = 1) -> list:
     one item — this is a plain list comprehension, so serial and parallel
     callers share a single code path.  Worker exceptions propagate to the
     caller in input order.
+
+    Multi-job calls run on the shared pool (warming it on first use), and
+    items are chunked several-per-worker-round so small cells do not pay
+    one IPC round-trip each.
     """
     items = list(items)
     jobs = min(resolve_jobs(jobs), len(items))
     if jobs <= 1:
         return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(fn, items, chunksize=1))
+    pool = warm_pool(jobs)
+    chunksize = max(1, len(items) // (jobs * 4))
+    return list(pool.map(fn, items, chunksize=chunksize))
 
 
 # -- grid partitioning ---------------------------------------------------------

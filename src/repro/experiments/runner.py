@@ -278,6 +278,7 @@ def run_cell(
     use_cache: bool = False,
     tracer=None,
     series_interval: int = 0,
+    backend: str | None = None,
 ) -> CellResult:
     """Run one (benchmark, scheme, machine) point, returning metrics + snapshot.
 
@@ -289,7 +290,9 @@ def run_cell(
     ``series_interval`` spills a cumulative :class:`SnapshotSeries` sample
     every that many fetches during the replay.  Traced and series runs
     bypass the cache — a cached cell has no events or mid-run state to
-    replay.
+    replay.  ``backend`` picks a replay backend from
+    :mod:`repro.cpu.engine` (default: environment / batched); every
+    backend yields bit-identical cells.
     """
     spec = SCHEMES[scheme] if isinstance(scheme, str) else scheme
     references = references or default_references()
@@ -345,6 +348,11 @@ def run_cell(
             core=machine.core,
             scheme=spec.name,
             on_fetch=on_fetch,
+            backend=backend,
+            # The series only acts on interval multiples, so batched
+            # backends may call the hook exactly there (identical samples,
+            # thousands fewer Python calls).
+            hook_interval=series_interval,
         )
     snapshot = collect_cell_snapshot(controller, miss_trace, meta=meta)
     if series is not None:

@@ -155,19 +155,34 @@ class _HeartbeatPump(threading.Thread):
             seconds=round(age, 6),
         )
 
+    def _tick(self) -> bool:
+        """One heartbeat: emit the age sample, renew unless stalled.
+
+        Returns True when the lease is lost and the pump must die.
+        """
+        self._emit_age()
+        if self.manager.clock() < self.stall_until:
+            return False  # chaos: pretend the worker froze mid-heartbeat
+        try:
+            self.lease = self.manager.renew(self.lease)
+            self.renewals += 1
+        except LeaseLost:
+            self.lost = True
+            return True
+        except OSError:
+            pass  # transient share hiccup; retry next tick
+        return False
+
     def run(self) -> None:
+        # Tick once immediately: the lease's heartbeat trail starts when
+        # execution starts, so even a cell that completes in under one
+        # interval (the batched replay core makes that the common case)
+        # leaves a renewal and an age sample behind for observers.
+        if self._tick():
+            return
         while not self._halt.wait(self.interval):
-            self._emit_age()
-            if self.manager.clock() < self.stall_until:
-                continue  # chaos: pretend the worker froze mid-heartbeat
-            try:
-                self.lease = self.manager.renew(self.lease)
-                self.renewals += 1
-            except LeaseLost:
-                self.lost = True
+            if self._tick():
                 return
-            except OSError:
-                continue  # transient share hiccup; retry next tick
         self._emit_age()
 
     def stop(self) -> None:

@@ -43,6 +43,23 @@ class BusStats:
     busy_cycles: int = 0
     queue_delay_cycles: int = 0
 
+    def absorb(
+        self,
+        transfers: int = 0,
+        bytes_moved: int = 0,
+        busy_cycles: int = 0,
+        queue_delay_cycles: int = 0,
+    ) -> None:
+        """Fold a batch of transfers into the counters.
+
+        Batch entry point for the batched replay core, which accumulates
+        per-epoch deltas instead of bumping these fields per transfer.
+        """
+        self.transfers += transfers
+        self.bytes_moved += bytes_moved
+        self.busy_cycles += busy_cycles
+        self.queue_delay_cycles += queue_delay_cycles
+
 
 class MemoryBus:
     """Single shared bus; transfers are serialized in arrival order."""

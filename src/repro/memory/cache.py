@@ -71,6 +71,27 @@ class CacheStats:
     def miss_rate(self) -> float:
         return self.misses / self.accesses if self.accesses else 0.0
 
+    def absorb(
+        self,
+        accesses: int = 0,
+        hits: int = 0,
+        misses: int = 0,
+        evictions: int = 0,
+        dirty_evictions: int = 0,
+        writes: int = 0,
+    ) -> None:
+        """Fold a batch of accesses into the counters.
+
+        Batch entry point for the batched replay core, which accumulates
+        per-epoch deltas instead of bumping these fields per access.
+        """
+        self.accesses += accesses
+        self.hits += hits
+        self.misses += misses
+        self.evictions += evictions
+        self.dirty_evictions += dirty_evictions
+        self.writes += writes
+
     def publish(self, registry, prefix: str) -> None:
         """Export these counters into a telemetry registry under ``prefix``."""
         registry.counter(f"{prefix}.accesses").inc(self.accesses)

@@ -57,6 +57,27 @@ class DramStats:
     row_conflicts: int = 0
     bank_queue_cycles: int = 0
 
+    def absorb(
+        self,
+        reads: int = 0,
+        writes: int = 0,
+        row_hits: int = 0,
+        row_empties: int = 0,
+        row_conflicts: int = 0,
+        bank_queue_cycles: int = 0,
+    ) -> None:
+        """Fold a batch of accesses into the counters.
+
+        Batch entry point for the batched replay core, which accumulates
+        per-epoch deltas instead of bumping these fields per access.
+        """
+        self.reads += reads
+        self.writes += writes
+        self.row_hits += row_hits
+        self.row_empties += row_empties
+        self.row_conflicts += row_conflicts
+        self.bank_queue_cycles += bank_queue_cycles
+
     def publish(self, registry, prefix: str = "memory.dram") -> None:
         """Export these counters into a telemetry registry under ``prefix``."""
         registry.counter(f"{prefix}.reads").inc(self.reads)

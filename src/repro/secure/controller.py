@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from repro.crypto.engine import CryptoEngine
 from repro.memory.address import AddressMap, DEFAULT_ADDRESS_MAP
 from repro.memory.backing import BackingStore
+from repro.memory.bus import MemoryBus
 from repro.memory.dram import Dram
 from repro.secure.errors import (
     CounterOverflowError,
@@ -240,6 +241,42 @@ class ControllerStats:
             bisect_right(DEFAULT_LATENCY_BOUNDS, exposed)
         ] += 1
 
+    def absorb(
+        self,
+        fetches: int = 0,
+        writebacks: int = 0,
+        rebased_writebacks: int = 0,
+        covered_fetches: int = 0,
+        class_both: int = 0,
+        class_pred_only: int = 0,
+        class_cache_only: int = 0,
+        class_neither: int = 0,
+        exposed_latency: int = 0,
+        decryption_overhead: int = 0,
+        exposed_latency_counts: list | None = None,
+    ) -> None:
+        """Fold a batch of fetches/write-backs into the counters.
+
+        Batch entry point for the batched replay core, which accumulates
+        per-epoch deltas instead of bumping these fields per reference.
+        ``exposed_latency_counts`` must align bucket-for-bucket with this
+        object's histogram (``DEFAULT_LATENCY_BOUNDS`` plus overflow).
+        """
+        self.fetches += fetches
+        self.writebacks += writebacks
+        self.rebased_writebacks += rebased_writebacks
+        self.covered_fetches += covered_fetches
+        self.class_counts[FetchClass.BOTH] += class_both
+        self.class_counts[FetchClass.PRED_ONLY] += class_pred_only
+        self.class_counts[FetchClass.CACHE_ONLY] += class_cache_only
+        self.class_counts[FetchClass.NEITHER] += class_neither
+        self.total_exposed_latency += exposed_latency
+        self.total_decryption_overhead += decryption_overhead
+        if exposed_latency_counts is not None:
+            counts = self.exposed_latency_counts
+            for index, count in enumerate(exposed_latency_counts):
+                counts[index] += count
+
     def publish(self, registry, prefix: str = "secure.controller") -> None:
         """Export these counters into a telemetry registry under ``prefix``."""
         registry.counter(f"{prefix}.fetches").inc(self.fetches)
@@ -397,6 +434,38 @@ class SecureMemoryController:
             self.seqcache.publish(registry)
         if self.otp is not None:
             self.otp.pad_cache.stats.publish(registry)
+
+    def batched_replay_supported(self) -> bool:
+        """Whether the batched replay core can drive this controller exactly.
+
+        The batched core (:mod:`repro.cpu.engine`) inlines the timing
+        arithmetic of this controller and its substrate objects, so it is
+        only exact when every one of them is the stock timing-model class
+        in its plain state.  Anything it cannot express bit-identically —
+        functional crypto, an attached tracer, recovery degradation,
+        quarantined lines, fault-injector proxies, subclassed components —
+        answers False here and is replayed on the reference path instead.
+        A :class:`RecoveryPolicy` by itself is fine: the stock substrate
+        never faults, so only the overflow clause can trigger, and the
+        batched core delegates saturated write-backs to
+        :meth:`writeback_line`.
+        """
+        return (
+            type(self) is SecureMemoryController
+            and not self.functional
+            and not self.degraded
+            and not self.quarantine
+            and not self.tracer.enabled
+            and type(self.engine) is CryptoEngine
+            and type(self.dram) is Dram
+            and type(self.dram.bus) is MemoryBus
+            and type(self.backing) is BackingStore
+            and type(self.page_table) is PageSecurityTable
+            and (
+                self.seqcache is None
+                or type(self.seqcache) is SequenceNumberCache
+            )
+        )
 
     # -- sequence-number state -------------------------------------------------
 

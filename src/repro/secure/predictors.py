@@ -60,6 +60,23 @@ class PredictorStats:
     def guesses_per_lookup(self) -> float:
         return self.guesses_issued / self.lookups if self.lookups else 0.0
 
+    def absorb(
+        self,
+        lookups: int = 0,
+        hits: int = 0,
+        guesses_issued: int = 0,
+        root_resets: int = 0,
+    ) -> None:
+        """Fold a batch of predictions into the counters.
+
+        Batch entry point for the batched replay core, which accumulates
+        per-epoch deltas instead of bumping these fields per lookup.
+        """
+        self.lookups += lookups
+        self.hits += hits
+        self.guesses_issued += guesses_issued
+        self.root_resets += root_resets
+
     def publish(self, registry, prefix: str = "secure.predictor") -> None:
         """Export these counters into a telemetry registry under ``prefix``."""
         registry.counter(f"{prefix}.lookups").inc(self.lookups)

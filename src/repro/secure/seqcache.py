@@ -58,6 +58,15 @@ class SequenceNumberCache:
         """Raw tag-array counters (includes fills and updates)."""
         return self._tags.stats
 
+    def absorb(self, demand_lookups: int = 0, demand_hits: int = 0) -> None:
+        """Fold a batch of demand lookups into the counters.
+
+        Batch entry point for the batched replay core, which accumulates
+        per-epoch deltas instead of bumping these fields per lookup.
+        """
+        self.demand_lookups += demand_lookups
+        self.demand_hits += demand_hits
+
     @property
     def hit_rate(self) -> float:
         """Demand hit rate (Figures 7/8)."""

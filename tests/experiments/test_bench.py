@@ -2,14 +2,25 @@
 
 import pytest
 
-from repro.experiments.bench import check_regression, temper_baseline
+from repro.experiments.bench import (
+    REPLAY_SCHEMES,
+    check_regression,
+    render_report,
+    replay_bench,
+    temper_baseline,
+)
 
 
 def _report(vector=4.0, otp=2.0, warm=10.0, parallel=2.5,
-            identical=True, hit_rate=1.0):
-    return {
+            identical=True, hit_rate=1.0, replay=12.0,
+            replay_identical=True, cpus=None):
+    report = {
         "crypto": {"vector_speedup": vector},
         "otp": {"speedup": otp},
+        "replay": {
+            "speedup": replay,
+            "metrics_identical": replay_identical,
+        },
         "grid": {
             "warm_speedup": warm,
             "parallel_speedup": parallel,
@@ -17,6 +28,9 @@ def _report(vector=4.0, otp=2.0, warm=10.0, parallel=2.5,
             "warm_cache_hit_rate": hit_rate,
         },
     }
+    if cpus is not None:
+        report["environment"] = {"cpus": cpus}
+    return report
 
 
 class TestCheckRegression:
@@ -61,6 +75,37 @@ class TestCheckRegression:
         with pytest.raises(ValueError):
             check_regression(_report(), _report(), tolerance=-0.1)
 
+    def test_replay_identity_is_a_hard_invariant(self):
+        current = _report(replay_identical=False)
+        violations = check_regression(current, _report())
+        assert any("replay.metrics_identical" in v for v in violations)
+
+    def test_replay_speedup_guarded_against_baseline(self):
+        current = _report(replay=8.0)  # 33% below baseline's 12.0
+        violations = check_regression(current, _report(), tolerance=0.2)
+        assert any("replay.speedup" in v for v in violations)
+        assert check_regression(current, _report(), tolerance=0.5) == []
+
+    def test_report_without_replay_section_tolerated(self):
+        # Old bench fixtures (and old committed baselines) predate the
+        # replay layer; their absence must not fail the guard.
+        current, baseline = _report(), _report()
+        del current["replay"], baseline["replay"]
+        assert check_regression(current, baseline) == []
+
+    def test_parallel_speedup_must_beat_serial_on_multi_cpu(self):
+        current = _report(parallel=0.92, cpus=8)
+        violations = check_regression(current, _report(parallel=0.92))
+        assert any("parallel_speedup" in v and "8-CPU" in v for v in violations)
+
+    def test_parallel_speedup_not_required_on_one_cpu(self):
+        current = _report(parallel=0.92, cpus=1)
+        assert check_regression(current, _report(parallel=0.92)) == []
+
+    def test_parallel_speedup_not_required_without_environment(self):
+        current = _report(parallel=0.92)  # no environment section at all
+        assert check_regression(current, _report(parallel=0.92)) == []
+
 
 class TestTemperBaseline:
     def test_min_across_runs_times_safety(self):
@@ -73,7 +118,7 @@ class TestTemperBaseline:
         baseline = temper_baseline([_report()], safety=0.8)
         values = baseline["tempering"]["values"]
         assert set(values) == {
-            "crypto.vector_speedup", "otp.speedup",
+            "crypto.vector_speedup", "otp.speedup", "replay.speedup",
             "grid.warm_speedup", "grid.parallel_speedup",
         }
 
@@ -111,3 +156,75 @@ class TestTemperBaseline:
             temper_baseline([_report()], safety=0.0)
         with pytest.raises(ValueError):
             temper_baseline([_report()], safety=1.1)
+
+
+class TestReplayBench:
+    def test_small_grid_structure_and_identity(self):
+        report = replay_bench(
+            references=500, trials=1,
+            benchmarks=("gzip",), schemes=("oracle", "pred_regular"),
+        )
+        assert report["metrics_identical"] is True
+        assert report["benchmarks"] == ["gzip"]
+        assert report["schemes"] == ["oracle", "pred_regular"]
+        assert "batched" in report["backends"]
+        assert len(report["cells"]) == 2
+        for cell in report["cells"]:
+            assert cell["identical"] is True
+            assert cell["reference_seconds"] >= 0
+            assert cell["batched_seconds"] >= 0
+            assert cell["reference_refs_per_sec"] > 0
+            assert cell["batched_refs_per_sec"] > 0
+        assert report["compile_seconds"] >= 0
+        assert report["speedup"] is not None
+
+    def test_default_schemes_cover_every_fast_path(self):
+        # One cell per distinct replay fast path: the oracle loop, the
+        # static and adaptive regular-predictor loops, and the
+        # seqcache-augmented loop.
+        assert REPLAY_SCHEMES == (
+            "oracle", "pred_regular_static", "pred_regular",
+            "pred_plus_cache_32k",
+        )
+
+
+class TestRenderReport:
+    def _full_report(self, with_replay=True):
+        report = {
+            "crypto": {
+                "scalar_blocks_per_sec": 1000.0,
+                "vector_blocks_per_sec": 4000.0,
+                "vector_speedup": 4.0,
+            },
+            "otp": {
+                "baseline_ops_per_sec": 100.0,
+                "optimized_ops_per_sec": 200.0,
+                "speedup": 2.0,
+            },
+            "grid": {
+                "cold_seconds": 2.0, "warm_seconds": 0.2,
+                "warm_speedup": 10.0, "parallel_seconds": 1.0,
+                "parallel_speedup": 2.0, "jobs": 2,
+                "warm_cache_hit_rate": 1.0, "metrics_identical": True,
+            },
+        }
+        if with_replay:
+            report["replay"] = {
+                "reference_refs_per_sec": 90000.0,
+                "batched_refs_per_sec": 990000.0,
+                "speedup": 11.0,
+                "cells": [{}] * 12,
+                "compile_seconds": 0.01,
+                "metrics_identical": True,
+            }
+        return report
+
+    def test_replay_line_rendered_when_present(self):
+        text = render_report(self._full_report())
+        assert "replay:" in text
+        assert "x11.0" in text
+        assert "identical: True" in text
+
+    def test_replay_line_omitted_for_old_reports(self):
+        text = render_report(self._full_report(with_replay=False))
+        assert "replay:" not in text

@@ -605,3 +605,32 @@ class TestCacheQuarantineLogStats:
         assert "quarantine log: 0 entries" in out
         assert "keeps last 9" in out
         assert "REPRO_QUARANTINE_LOG_MAX" in out
+
+
+class TestBackendFlag:
+    def test_backend_choice_exported_to_environment(self, capsys, monkeypatch):
+        import os
+
+        from repro.cpu.engine import BACKEND_ENV
+
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert main(["--backend", "reference", "run", "gzip", "oracle",
+                     "--refs", "1500"]) == 0
+        # Exported rather than threaded through call sites, so parallel
+        # sweep workers inherit the selection too.
+        assert os.environ[BACKEND_ENV] == "reference"
+
+    def test_backend_identical_output_across_backends(self, capsys):
+        outputs = {}
+        for backend in ("reference", "batched"):
+            # --no-cache so the second backend really replays instead of
+            # being served the first backend's cached cell.
+            assert main(["--backend", backend, "run", "gzip", "pred_regular",
+                         "--refs", "1500", "--no-cache"]) == 0
+            outputs[backend] = capsys.readouterr().out
+        assert outputs["reference"] == outputs["batched"]
+
+    def test_unknown_backend_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--backend", "turbo", "list"])
+        assert "invalid choice" in capsys.readouterr().err

@@ -4,12 +4,16 @@ import dataclasses
 
 import pytest
 
+from repro.experiments import parallel as parallel_module
 from repro.experiments.parallel import (
     default_jobs,
     parallel_map,
     resolve_jobs,
     run_benchmark_parallel,
     run_seeds,
+    shared_pool,
+    shutdown_pool,
+    warm_pool,
 )
 from repro.experiments.runner import RunFailure, SchemeSpec
 from repro.experiments.sweep import run_grid
@@ -58,6 +62,49 @@ class TestParallelMap:
         # A lambda is not picklable; jobs collapsing to 1 for one item means
         # it runs in-process and succeeds anyway.
         assert parallel_map(lambda x: x + 1, [41], jobs=4) == [42]
+
+
+class TestSharedPool:
+    """Pool amortization: workers start once, every batch after reuses them."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_pool_state(self):
+        shutdown_pool()
+        yield
+        shutdown_pool()
+
+    def test_parallel_map_reuses_the_shared_pool(self):
+        pool = warm_pool(2)
+        assert parallel_map(str, [1, 2, 3, 4], jobs=2) == ["1", "2", "3", "4"]
+        assert parallel_module._POOL is pool  # same workers, no restart
+        assert parallel_map(str, [5, 6, 7, 8], jobs=2) == ["5", "6", "7", "8"]
+        assert parallel_module._POOL is pool
+
+    def test_warm_pool_is_idempotent_for_fitting_sizes(self):
+        pool = warm_pool(2)
+        assert warm_pool(2) is pool
+        assert warm_pool(1) is pool  # smaller fits inside the warm pool
+
+    def test_warm_pool_grows_by_replacement(self):
+        small = warm_pool(1)
+        grown = warm_pool(2)
+        assert grown is not small
+        assert warm_pool(2) is grown
+
+    def test_shutdown_pool_clears_and_is_idempotent(self):
+        warm_pool(1)
+        shutdown_pool()
+        assert parallel_module._POOL is None
+        shutdown_pool()  # no-op without a pool
+        # The next use transparently restarts a pool.
+        assert parallel_map(str, [1, 2], jobs=2) == ["1", "2"]
+
+    def test_shared_pool_scopes_a_warm_pool(self):
+        with shared_pool(2) as pool:
+            assert parallel_module._POOL is pool
+            assert parallel_map(str, [1, 2, 3], jobs=2) == ["1", "2", "3"]
+        # The pool is the process-wide one; it persists past the block.
+        assert parallel_module._POOL is pool
 
 
 class TestGridEquivalence:
