@@ -439,22 +439,30 @@ def _cmd_swarm(args: argparse.Namespace) -> int:
         start_swarm,
         swarm_status,
     )
+    from repro.fabric.coordinator import load_spec
     from repro.fabric.worker import FabricPolicy
 
-    benchmarks = tuple(
-        name.strip() for name in args.benchmarks.split(",") if name.strip()
-    )
-    schemes = tuple(
-        name.strip() for name in args.schemes.split(",") if name.strip()
-    )
     try:
-        spec = SwarmSpec(
-            benchmarks=benchmarks,
-            schemes=schemes,
-            machine=_MACHINES[args.l2].name,
-            references=args.refs,
-            seed=args.seed,
-        )
+        if args.key:
+            if args.action != "status":
+                print("error: --key is only valid with status", file=sys.stderr)
+                return 2
+            spec = load_spec(args.key)
+            benchmarks, schemes = spec.benchmarks, spec.schemes
+        else:
+            benchmarks = tuple(
+                name.strip() for name in args.benchmarks.split(",") if name.strip()
+            )
+            schemes = tuple(
+                name.strip() for name in args.schemes.split(",") if name.strip()
+            )
+            spec = SwarmSpec(
+                benchmarks=benchmarks,
+                schemes=schemes,
+                machine=_MACHINES[args.l2].name,
+                references=args.refs,
+                seed=args.seed,
+            )
     except ValueError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
@@ -504,6 +512,177 @@ def _cmd_swarm(args: argparse.Namespace) -> int:
             )
     complete = len(sweep.results) == len(benchmarks) * len(schemes)
     return 0 if complete else 1
+
+
+_SERVICE_URL_ENV = "REPRO_SERVICE_URL"
+_SERVICE_DEFAULT_URL = "http://127.0.0.1:8642"
+
+
+def _service_url(args: argparse.Namespace) -> str:
+    return args.url or os.environ.get(_SERVICE_URL_ENV) or _SERVICE_DEFAULT_URL
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.queue import JobStore
+    from repro.service.scheduler import (
+        SchedulerPolicy,
+        ServiceScheduler,
+        TenantQuota,
+    )
+    from repro.service.server import ServiceServer
+
+    scheduler = ServiceScheduler(
+        store=JobStore(),
+        quota=TenantQuota(
+            max_inflight_jobs=args.tenant_inflight,
+            max_concurrent_jobs=args.tenant_concurrent,
+            max_cells_per_job=args.tenant_max_cells,
+        ),
+        policy=SchedulerPolicy(
+            max_concurrent_jobs=args.max_jobs,
+            sample_interval_seconds=args.sample_interval,
+            cell_jobs=args.jobs if args.jobs else 1,
+            executor=args.executor,
+            fabric_workers=args.fabric_workers,
+        ),
+    )
+    server = ServiceServer(scheduler, host=args.host, port=args.port)
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"repro service listening on http://{server.host}:{server.port}")
+        print(f"job store: {scheduler.store.root}")
+        assert server._server is not None
+        async with server._server:
+            await server._server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("service stopped")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(_service_url(args))
+    benchmarks = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    try:
+        receipt = client.submit(
+            args.tenant,
+            benchmarks,
+            schemes,
+            machine=_MACHINES[args.l2].name,
+            references=args.refs,
+            seed=args.seed,
+        )
+    except ServiceError as err:
+        if args.json:
+            print(json.dumps(err.payload, indent=2, sort_keys=True))
+        else:
+            print(f"error: {err}", file=sys.stderr)
+        return 1
+    except (ConnectionRefusedError, OSError) as err:
+        print(
+            f"error: cannot reach service at {_service_url(args)}: {err}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json and not args.watch:
+        print(json.dumps(receipt, indent=2, sort_keys=True))
+    else:
+        cached = len(receipt["cached_keys"])
+        print(
+            f"job {receipt['job_id']} queued: {receipt['cells_total']} cells, "
+            f"{cached} already cached"
+        )
+    if args.watch:
+        return _watch_job(client, receipt["job_id"], as_json=args.json)
+    return 0
+
+
+def _watch_job(client, job_id: str, as_json: bool = False) -> int:
+    from repro.service.client import ServiceError
+
+    try:
+        for event in client.events(job_id):
+            if as_json:
+                print(json.dumps(event, sort_keys=True))
+                continue
+            kind = event.get("event")
+            if kind == "state":
+                print(f"[{event.get('source')}] state -> {event.get('state')}")
+            elif kind == "sample":
+                snapshot = event.get("snapshot", {})
+                metrics = snapshot.get("metrics", {})
+                print(
+                    f"[sample] cells done "
+                    f"{metrics.get('service.job.cells_done', 0)}/"
+                    f"{metrics.get('service.job.cells_total', '?')}"
+                )
+            elif kind in ("start", "done", "failed"):
+                print(f"[manifest] {kind} {event.get('cell', event.get('key'))}")
+        record = client.job(job_id)
+    except ServiceError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    if not as_json:
+        print(f"job {job_id}: {record['state']}")
+    return 0 if record["state"] == "done" else 1
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(_service_url(args))
+    try:
+        if args.job:
+            payload = client.job(args.job)
+            rows = [payload]
+        else:
+            rows = client.jobs(args.tenant)
+    except ServiceError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    except (ConnectionRefusedError, OSError) as err:
+        print(
+            f"error: cannot reach service at {_service_url(args)}: {err}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    if not rows:
+        print("no jobs")
+        return 0
+    for record in rows:
+        spec = record["spec"]
+        grid = f"{len(spec['benchmarks'])}x{len(spec['schemes'])}"
+        detail = record.get("detail", {})
+        extra = ""
+        if record["state"] == "done":
+            extra = (
+                f"  hits {detail.get('cache_hits', 0)}"
+                f"/{detail.get('cells_total', 0)}"
+            )
+        print(
+            f"{record['job_id']}  {record['state']:<9} "
+            f"{spec['tenant']:<12} {grid:<6} {spec['machine']}{extra}"
+        )
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    return _watch_job(
+        ServiceClient(_service_url(args)), args.job_id, as_json=args.json
+    )
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -821,7 +1000,105 @@ def build_parser() -> argparse.ArgumentParser:
     swarm.add_argument(
         "--json", action="store_true", help="machine-readable output"
     )
+    swarm.add_argument(
+        "--key", default=None, metavar="SWEEP_KEY",
+        help="status only: look the swarm up by sweep key instead of "
+             "respecifying its grid",
+    )
     swarm.set_defaults(func=_cmd_swarm)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the sweep service front door (submit/stream/fetch "
+             "jobs over HTTP)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8642,
+        help="listen port (default 8642; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--max-jobs", type=int, default=2, metavar="N",
+        help="jobs executing at once across all tenants (default 2)",
+    )
+    serve.add_argument(
+        "--sample-interval", type=float, default=0.25, metavar="SECONDS",
+        help="progress-sample cadence in the event stream (default 0.25)",
+    )
+    serve.add_argument(
+        "--jobs", type=_jobs_arg, default=1, metavar="N",
+        help="worker processes per grid (default 1)",
+    )
+    serve.add_argument(
+        "--executor", choices=["supervised", "fabric"], default="supervised",
+        help="run grids under the supervisor (default) or drain them "
+             "through the lease fabric",
+    )
+    serve.add_argument(
+        "--fabric-workers", type=int, default=2, metavar="N",
+        help="drain width when --executor fabric (default 2)",
+    )
+    serve.add_argument(
+        "--tenant-inflight", type=int, default=4, metavar="N",
+        help="per-tenant queued+running job ceiling (default 4)",
+    )
+    serve.add_argument(
+        "--tenant-concurrent", type=int, default=1, metavar="N",
+        help="per-tenant running job ceiling (default 1)",
+    )
+    serve.add_argument(
+        "--tenant-max-cells", type=int, default=256, metavar="N",
+        help="per-tenant grid-size ceiling per job (default 256)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a grid to a running sweep service"
+    )
+    submit.add_argument(
+        "--url", default=None,
+        help=f"service URL (default ${_SERVICE_URL_ENV} or "
+             f"{_SERVICE_DEFAULT_URL})",
+    )
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument(
+        "--benchmarks", default="gzip,art", metavar="A,B,...",
+        help="comma-separated benchmark names (default gzip,art)",
+    )
+    submit.add_argument(
+        "--schemes", default="oracle,pred_regular", metavar="A,B,...",
+        help="comma-separated scheme names (default oracle,pred_regular)",
+    )
+    submit.add_argument("--l2", choices=sorted(_MACHINES), default="256K")
+    submit.add_argument("--refs", type=int, default=None, help="trace length")
+    submit.add_argument("--seed", type=int, default=1)
+    submit.add_argument(
+        "--watch", action="store_true",
+        help="stream the job's events until it completes",
+    )
+    submit.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    submit.set_defaults(func=_cmd_submit)
+
+    jobs_cmd = sub.add_parser("jobs", help="list sweep-service jobs")
+    jobs_cmd.add_argument("--url", default=None)
+    jobs_cmd.add_argument("--tenant", default=None, help="filter by tenant")
+    jobs_cmd.add_argument("--job", default=None, help="show one job by id")
+    jobs_cmd.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    jobs_cmd.set_defaults(func=_cmd_jobs)
+
+    watch = sub.add_parser(
+        "watch", help="stream one sweep-service job's live events"
+    )
+    watch.add_argument("job_id")
+    watch.add_argument("--url", default=None)
+    watch.add_argument(
+        "--json", action="store_true", help="emit raw NDJSON events"
+    )
+    watch.set_defaults(func=_cmd_watch)
 
     bench = sub.add_parser(
         "bench", help="measure crypto/pipeline/grid performance"

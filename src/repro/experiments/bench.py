@@ -419,6 +419,76 @@ def grid_bench(
         shutil.rmtree(cache_dir, ignore_errors=True)
 
 
+# -- service layer -------------------------------------------------------------
+
+
+def service_bench(references: int = 1500, seed: int = 1, trials: int = 3) -> dict:
+    """Warm-cache job round-trip latency through the full service stack.
+
+    Measures what a tenant pays for the front door itself: with every
+    cell already cached, a ``submit → wait → fetch result`` round trip is
+    pure service overhead (HTTP parse, admission, journal replay, resume
+    from cache, canonical serialization).  A cold job primes the private
+    cache first; the reported latency is the best of ``trials`` warm
+    round trips (minimum discards scheduler flukes, matching the other
+    sections' best-of-repeats convention).
+    """
+    from repro.service.client import ServiceClient
+    from repro.service.queue import JobStore
+    from repro.service.scheduler import SchedulerPolicy, ServiceScheduler
+    from repro.service.server import serve_in_thread
+
+    benchmarks = ["stream"]
+    schemes = ["baseline", "pred_regular"]
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-service-")
+    saved_env = os.environ.get(result_cache.CACHE_DIR_ENV)
+    os.environ[result_cache.CACHE_DIR_ENV] = cache_dir
+    result_cache.reset_default_cache()
+    try:
+        handle = serve_in_thread(
+            ServiceScheduler(
+                store=JobStore(),
+                policy=SchedulerPolicy(
+                    sample_interval_seconds=0.05, poll_interval_seconds=0.01
+                ),
+            )
+        )
+        try:
+            client = ServiceClient(handle.url)
+
+            def round_trip(tenant: str) -> tuple[float, bytes]:
+                start = _now()
+                receipt = client.submit(
+                    tenant, benchmarks, schemes, references=references, seed=seed
+                )
+                client.wait(receipt["job_id"], timeout=300.0)
+                data = client.result_bytes(receipt["job_id"])
+                return _now() - start, data
+
+            cold_seconds, cold_bytes = round_trip("bench-cold")
+            warm = [round_trip(f"bench-warm-{index}") for index in range(trials)]
+            warm_seconds = min(seconds for seconds, _ in warm)
+            identical = all(data == cold_bytes for _, data in warm)
+        finally:
+            handle.stop()
+        return {
+            "benchmarks": benchmarks,
+            "schemes": schemes,
+            "references": references,
+            "trials": trials,
+            "cold_submit_to_result_sec": round(cold_seconds, 4),
+            "submit_to_result_sec": round(warm_seconds, 4),
+            "results_identical": identical,
+        }
+    finally:
+        if saved_env is None:
+            os.environ.pop(result_cache.CACHE_DIR_ENV, None)
+        else:
+            os.environ[result_cache.CACHE_DIR_ENV] = saved_env
+        result_cache.reset_default_cache()
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
 # -- entry point ---------------------------------------------------------------
 
 
@@ -446,6 +516,7 @@ def run_bench(
         "otp": otp_bench(operations=operations, seed=seed + 6),
         "replay": replay_bench(references=references, seed=seed),
         "grid": grid_bench(references=references, seed=seed, jobs=jobs),
+        "service": service_bench(references=min(references, 1500), seed=seed),
     }
     if output is not None:
         atomic_write_json(Path(output), report, indent=2)
@@ -462,6 +533,14 @@ _GUARDED_SPEEDUPS = (
     ("replay", "speedup"),
     ("grid", "warm_speedup"),
     ("grid", "parallel_speedup"),
+)
+
+#: Latency ceilings guarded by :func:`check_regression` — unlike the
+#: ratios above these are absolute wall clocks, so the allowed band is
+#: doubled (``1 + 2 x tolerance``) to survive slow CI runners on top of a
+#: baseline that should itself carry generous headroom.
+_GUARDED_LATENCIES = (
+    ("service", "submit_to_result_sec"),
 )
 
 
@@ -513,6 +592,12 @@ def check_regression(current: dict, baseline: dict, tolerance: float = 0.2) -> l
                 f"grid.parallel_speedup: {parallel_speedup:.2f} <= 1.00 on a "
                 f"{cpus}-CPU machine — the pool is slower than the serial loop"
             )
+    service = current.get("service")
+    if service is not None and service.get("results_identical") is not True:
+        violations.append(
+            "service.results_identical: warm service results diverged from "
+            "the cold job's bytes"
+        )
     for section, field in _GUARDED_SPEEDUPS:
         expected = (baseline.get(section) or {}).get(field)
         actual = (current.get(section) or {}).get(field)
@@ -523,6 +608,17 @@ def check_regression(current: dict, baseline: dict, tolerance: float = 0.2) -> l
             violations.append(
                 f"{section}.{field}: {actual:.2f} < {floor:.2f} "
                 f"(baseline {expected:.2f}, tolerance {tolerance:.0%})"
+            )
+    for section, field in _GUARDED_LATENCIES:
+        expected = (baseline.get(section) or {}).get(field)
+        actual = (current.get(section) or {}).get(field)
+        if expected is None or actual is None:
+            continue
+        ceiling = expected * (1.0 + 2.0 * tolerance)
+        if actual > ceiling:
+            violations.append(
+                f"{section}.{field}: {actual:.2f}s > {ceiling:.2f}s "
+                f"(baseline {expected:.2f}s, tolerance 2x{tolerance:.0%})"
             )
     return violations
 
@@ -561,10 +657,26 @@ def temper_baseline(reports: list[dict], safety: float = 0.8) -> dict:
         value = round(min(observed) * safety, 2)
         tempered[name] = value
         baseline.setdefault(section, {})[field] = value
+    for section, field in _GUARDED_LATENCIES:
+        observed = [
+            value
+            for report in reports
+            if (value := (report.get(section) or {}).get(field)) is not None
+        ]
+        name = f"{section}.{field}"
+        if not observed:
+            tempered[name] = None
+            continue
+        # Latencies headroom the other way: the *maximum* across runs,
+        # divided by the safety factor so the ceiling sits above it.
+        value = round(max(observed) / safety, 2)
+        tempered[name] = value
+        baseline.setdefault(section, {})[field] = value
     baseline["tempering"] = {
         "runs": len(reports),
         "safety": safety,
-        "rule": "min across runs x safety",
+        "rule": "speedups: min across runs x safety; "
+                "latencies: max across runs / safety",
         "values": tempered,
     }
     return baseline
@@ -604,4 +716,12 @@ def render_report(report: dict) -> str:
             f"metrics identical: {grid['metrics_identical']}",
         ]
     )
+    service = report.get("service")
+    if service is not None:
+        lines.append(
+            f"service: cold job {service['cold_submit_to_result_sec']:.2f}s, "
+            f"warm submit->result {service['submit_to_result_sec']:.2f}s "
+            f"(best of {service['trials']}), "
+            f"identical: {service['results_identical']}"
+        )
     return "\n".join(lines)

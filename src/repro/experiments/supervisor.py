@@ -62,6 +62,9 @@ __all__ = [
     "SupervisorPolicy",
     "SupervisorStats",
     "SweepManifest",
+    "ManifestTail",
+    "parse_manifest_line",
+    "follow_manifest",
     "sweep_key",
     "manifest_path",
     "grid_cells",
@@ -192,6 +195,103 @@ def manifest_path(cache_root: Path | str, key: str) -> Path:
     return Path(cache_root) / f"manifest-{key}.jsonl"
 
 
+def parse_manifest_line(line: str):
+    """Parse one journal line, salvaging a complete record glued onto a
+    torn fragment (writer A crashed mid-append, writer B's O_APPEND write
+    landed on the same line).  Returns ``None`` for an unsalvageable line.
+
+    The single parsing rule for every JSONL journal in the system — sweep
+    manifests, the service layer's per-job journals — so each consumer
+    tolerates torn writes identically.
+    """
+    try:
+        return json.loads(line)
+    except ValueError:
+        start = line.find('{"', 1)
+        while start != -1:
+            try:
+                return json.loads(line[start:])
+            except ValueError:
+                start = line.find('{"', start + 1)
+        return None
+
+
+class ManifestTail:
+    """Incremental, torn-line-tolerant reader of one append-only journal.
+
+    Tracks a byte offset into the file and, on each :meth:`drain`, parses
+    only the *complete* lines appended since the previous call.  A trailing
+    fragment without its newline yet — an append caught mid-write — is
+    buffered and retried on the next drain, so a consumer polling a live
+    manifest never sees a torn event and never misses the completed form.
+    A file that does not exist yet simply drains to nothing (the journal's
+    writer may not have started).
+
+    This is the non-blocking core shared by :func:`follow_manifest` (the
+    blocking generator) and the service layer's asyncio event streams,
+    which interleave ``drain()`` with their own sleep primitive.
+    """
+
+    def __init__(self, path: Path | str):
+        self.path = Path(path)
+        self._offset = 0
+        self._partial = ""
+
+    def drain(self) -> list[dict]:
+        """Every complete event appended since the last drain, in order."""
+        try:
+            with self.path.open("rb") as handle:
+                handle.seek(self._offset)
+                data = handle.read()
+        except (FileNotFoundError, OSError):
+            return []
+        if not data:
+            return []
+        self._offset += len(data)
+        text = self._partial + data.decode("utf-8", "replace")
+        lines = text.split("\n")
+        # The final element is everything after the last newline: a torn
+        # trailing line still being appended.  Keep it for the next drain.
+        self._partial = lines.pop()
+        records = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            record = parse_manifest_line(line)
+            if record is not None:
+                records.append(record)
+        return records
+
+
+def follow_manifest(path, poll_interval: float = 0.2, stop=None):
+    """Yield a journal's events as they are appended (a blocking tail).
+
+    Factored out of the manifest replay so every consumer — the service's
+    ``GET /v1/jobs/{id}/events`` stream, ``repro watch``, external
+    monitors — follows one live JSONL journal the same way: events arrive
+    incrementally, torn trailing lines are buffered until complete, and
+    unsalvageable lines are skipped exactly as replay skips them.
+
+    ``stop`` is an optional zero-argument callable; once it returns true
+    *and* the journal has drained dry, the generator performs one final
+    drain (catching events appended between the last drain and the stop
+    signal — e.g. the terminal ``done`` line a writer appends just before
+    flipping its finished flag) and returns.  Without ``stop`` the
+    generator follows forever.
+    """
+    tail = ManifestTail(path)
+    while True:
+        records = tail.drain()
+        if records:
+            yield from records
+            continue
+        if stop is not None and stop():
+            yield from tail.drain()
+            return
+        time.sleep(poll_interval)
+
+
 def grid_cells(benchmarks, schemes, machine, references, seed):
     """Enumerate a grid's cells as ``(benchmark, spec, cell_key)`` triples.
 
@@ -272,21 +372,7 @@ class SweepManifest:
             manifest._append({"schema": MANIFEST_SCHEMA, "sweep": manifest._meta})
         return manifest
 
-    @staticmethod
-    def _parse_line(line: str):
-        """Parse one journal line, salvaging a complete record glued onto a
-        torn fragment (writer A crashed mid-append, writer B's O_APPEND
-        write landed on the same line)."""
-        try:
-            return json.loads(line)
-        except ValueError:
-            start = line.find('{"', 1)
-            while start != -1:
-                try:
-                    return json.loads(line[start:])
-                except ValueError:
-                    start = line.find('{"', start + 1)
-            return None
+    _parse_line = staticmethod(parse_manifest_line)
 
     def _replay(self) -> None:
         try:

@@ -9,6 +9,8 @@ ready for rendering.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass, field
 
 from repro.cpu.core import RunMetrics
@@ -23,11 +25,14 @@ from repro.telemetry.snapshot import (
 )
 
 __all__ = [
+    "SWEEP_RESULT_SCHEMA",
     "SweepResult",
     "run_grid",
     "set_default_supervision",
     "reset_default_supervision",
 ]
+
+SWEEP_RESULT_SCHEMA = "repro.sweep.result/v1"
 
 
 @dataclass
@@ -98,6 +103,89 @@ class SweepResult:
 
     def metrics(self, benchmark: str, scheme: str) -> RunMetrics:
         return self.results[(benchmark, scheme)]
+
+    # -- (de)serialization -----------------------------------------------------
+
+    def to_dict(self, include_execution: bool = False) -> dict:
+        """Versioned JSON-able form of the whole grid.
+
+        Cells are keyed ``"benchmark/scheme"`` in sorted order.  Execution
+        metadata (``supervision``/``fabric``) is excluded by default: it
+        describes *how* the grid ran, not *what* it computed, and leaving
+        it out makes serial, supervised, and fabric runs of the same spec
+        serialize byte-identically (the service's result contract).
+        """
+        payload: dict = {
+            "schema": SWEEP_RESULT_SCHEMA,
+            "machine": self.machine,
+            "references": self.references,
+            "results": {
+                f"{benchmark}/{scheme}": dataclasses.asdict(self.results[key])
+                for key in sorted(self.results)
+                for benchmark, scheme in [key]
+            },
+            "snapshots": {
+                f"{benchmark}/{scheme}": self.snapshots[key].to_dict()
+                for key in sorted(self.snapshots)
+                for benchmark, scheme in [key]
+            },
+            "series": {
+                f"{benchmark}/{scheme}": {
+                    "interval": series.interval,
+                    "meta": dict(series.meta),
+                    "samples": [sample.to_dict() for sample in series.samples],
+                }
+                for key in sorted(self.series)
+                for benchmark, scheme in [key]
+                for series in [self.series[key]]
+            },
+            "failures": [dataclasses.asdict(failure) for failure in self.failures],
+        }
+        if include_execution:
+            payload["supervision"] = self.supervision
+            payload["fabric"] = self.fabric
+        return payload
+
+    def canonical_json(self, include_execution: bool = False) -> str:
+        """Deterministic JSON text of :meth:`to_dict` (sorted keys, LF)."""
+        return (
+            json.dumps(
+                self.to_dict(include_execution=include_execution),
+                sort_keys=True,
+                separators=(",", ": "),
+            )
+            + "\n"
+        )
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SweepResult":
+        if payload.get("schema") != SWEEP_RESULT_SCHEMA:
+            raise ValueError(
+                f"not a sweep result (schema {payload.get('schema')!r})"
+            )
+        sweep = cls(machine=payload["machine"], references=payload["references"])
+        for cell, metrics in payload.get("results", {}).items():
+            benchmark, _, scheme = cell.partition("/")
+            sweep.results[(benchmark, scheme)] = RunMetrics(**metrics)
+        for cell, snapshot in payload.get("snapshots", {}).items():
+            benchmark, _, scheme = cell.partition("/")
+            sweep.snapshots[(benchmark, scheme)] = MetricsSnapshot.from_dict(snapshot)
+        for cell, series in payload.get("series", {}).items():
+            benchmark, _, scheme = cell.partition("/")
+            sweep.series[(benchmark, scheme)] = SnapshotSeries(
+                interval=series["interval"],
+                meta=dict(series.get("meta", {})),
+                samples=[
+                    MetricsSnapshot.from_dict(sample)
+                    for sample in series.get("samples", [])
+                ],
+            )
+        sweep.failures = [
+            RunFailure(**failure) for failure in payload.get("failures", [])
+        ]
+        sweep.supervision = payload.get("supervision")
+        sweep.fabric = payload.get("fabric")
+        return sweep
 
     def table(
         self, metric, title: str = "", normalize_to: str | None = None

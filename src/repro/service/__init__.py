@@ -1,0 +1,47 @@
+"""repro.service — the async, multi-tenant sweep-as-a-service front door.
+
+Clients submit (benchmark x scheme) grids as jobs, stream live progress,
+and fetch byte-stable results without touching the executor directly:
+
+* :mod:`repro.service.queue` — durable on-disk job store (JSON spec +
+  append-only JSONL state journal per job, crash-safe replay);
+* :mod:`repro.service.scheduler` — asyncio admission/execution loop with
+  per-tenant quotas and cache-hit vs computed-cell dedup accounting;
+* :mod:`repro.service.server` — stdlib-only asyncio HTTP/1.1 front door
+  (``POST /v1/jobs``, chunked ``/events`` streams, tenant usage);
+* :mod:`repro.service.client` — blocking client behind the ``repro
+  serve`` / ``submit`` / ``jobs`` / ``watch`` CLI verbs.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.queue import (
+    JOB_SCHEMA,
+    TERMINAL_STATES,
+    JobRecord,
+    JobSpec,
+    JobStore,
+)
+from repro.service.scheduler import (
+    QuotaExceeded,
+    SchedulerPolicy,
+    ServiceScheduler,
+    TenantQuota,
+)
+from repro.service.server import ServiceHandle, ServiceServer, serve_in_thread
+
+__all__ = [
+    "JOB_SCHEMA",
+    "TERMINAL_STATES",
+    "JobRecord",
+    "JobSpec",
+    "JobStore",
+    "QuotaExceeded",
+    "SchedulerPolicy",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHandle",
+    "ServiceScheduler",
+    "ServiceServer",
+    "TenantQuota",
+    "serve_in_thread",
+]

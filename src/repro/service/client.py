@@ -1,0 +1,170 @@
+"""Blocking HTTP client for the sweep service (stdlib ``http.client``).
+
+The thin wrapper behind ``repro submit`` / ``repro jobs`` / ``repro
+watch`` — and the reference consumer of the API: tests and the CI smoke
+drive the server exclusively through this client, so anything it can do,
+any HTTP client can.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from urllib.parse import urlsplit
+
+__all__ = ["ServiceError", "ServiceClient"]
+
+
+class ServiceError(Exception):
+    """A structured error response from the service (status + payload)."""
+
+    def __init__(self, status: int, payload: dict):
+        error = payload.get("error", {}) if isinstance(payload, dict) else {}
+        message = error.get("message") or f"HTTP {status}"
+        super().__init__(f"[{status}] {message}")
+        self.status = status
+        self.payload = payload
+
+    @property
+    def error_type(self) -> str:
+        error = self.payload.get("error", {}) if isinstance(self.payload, dict) else {}
+        return error.get("type", "unknown")
+
+
+class ServiceClient:
+    """One service endpoint; every method is a fresh connection."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        split = urlsplit(base_url)
+        if split.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme {split.scheme!r} (http only)")
+        netloc = split.netloc or split.path
+        self.host, _, port = netloc.partition(":")
+        self.port = int(port) if port else 80
+        self.timeout = timeout
+
+    def _connection(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        connection = self._connection()
+        try:
+            payload = json.dumps(body).encode("utf-8") if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+            try:
+                decoded = json.loads(data.decode("utf-8")) if data else {}
+            except ValueError:
+                decoded = {"raw": data.decode("utf-8", "replace")}
+            if response.status >= 400:
+                raise ServiceError(response.status, decoded)
+            return decoded
+        finally:
+            connection.close()
+
+    # -- API -------------------------------------------------------------------
+
+    def submit(
+        self,
+        tenant: str,
+        benchmarks: list[str],
+        schemes: list[str],
+        machine: str = "table1-256K",
+        references: int | None = None,
+        seed: int = 1,
+    ) -> dict:
+        """Submit one grid; returns the receipt (job id + dedup'd keys)."""
+        return self._request(
+            "POST",
+            "/v1/jobs",
+            body={
+                "tenant": tenant,
+                "benchmarks": list(benchmarks),
+                "schemes": list(schemes),
+                "machine": machine,
+                "references": references,
+                "seed": seed,
+            },
+        )
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self, tenant: str | None = None) -> list[dict]:
+        path = "/v1/jobs" + (f"?tenant={tenant}" if tenant else "")
+        return self._request("GET", path)["jobs"]
+
+    def result(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def result_bytes(self, job_id: str) -> bytes:
+        """The job's canonical result bytes, verbatim (identity checks)."""
+        connection = self._connection()
+        try:
+            connection.request("GET", f"/v1/jobs/{job_id}/result")
+            response = connection.getresponse()
+            data = response.read()
+            if response.status >= 400:
+                try:
+                    decoded = json.loads(data.decode("utf-8"))
+                except ValueError:
+                    decoded = {"raw": data.decode("utf-8", "replace")}
+                raise ServiceError(response.status, decoded)
+            return data
+        finally:
+            connection.close()
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def usage(self, tenant: str) -> dict:
+        return self._request("GET", f"/v1/tenants/{tenant}/usage")
+
+    def events(self, job_id: str):
+        """Yield the job's live event stream (blocks until terminal).
+
+        The connection stays open for the duration; ``http.client``
+        de-chunks the response, so iteration is line-per-event.
+        """
+        connection = self._connection()
+        try:
+            connection.request("GET", f"/v1/jobs/{job_id}/events")
+            response = connection.getresponse()
+            if response.status >= 400:
+                data = response.read()
+                try:
+                    decoded = json.loads(data.decode("utf-8"))
+                except ValueError:
+                    decoded = {"raw": data.decode("utf-8", "replace")}
+                raise ServiceError(response.status, decoded)
+            buffer = b""
+            while True:
+                chunk = response.read(4096)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, _, buffer = buffer.partition(b"\n")
+                    line = line.strip()
+                    if line:
+                        yield json.loads(line.decode("utf-8"))
+        finally:
+            connection.close()
+
+    def wait(self, job_id: str, timeout: float = 300.0, poll: float = 0.1) -> dict:
+        """Poll until the job reaches a terminal state; returns its record."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in ("done", "failed", "cancelled"):
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['state']} after {timeout}s"
+                )
+            time.sleep(poll)

@@ -1,0 +1,405 @@
+"""Asyncio job scheduler: admission under quotas, execution, accounting.
+
+The scheduler is the only component that runs grids.  Admission applies
+per-tenant quotas (inflight jobs, concurrent jobs, cells per job) and a
+global concurrency cap; execution routes each admitted job through
+:func:`~repro.experiments.supervisor.run_grid_supervised` (or a fabric
+drain) in a worker thread, with ``use_cache=True`` + ``resume=True`` so
+cells another tenant — or a previous life of this service — already
+computed are served from the content-addressed cache instead of re-run.
+
+Dedup accounting is measured, not trusted: immediately before running,
+the scheduler counts which of the job's cache keys already resolve
+(``cache_hits``); the remainder is ``cells_computed``.  The two always
+sum to the grid size, and because keys are content-addressed the same
+split is what any tenant would observe — cross-tenant dedup shows up as
+a second tenant's job arriving all-hits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+import time
+from dataclasses import dataclass
+
+from repro.experiments.cache import default_cache
+from repro.experiments.supervisor import (
+    ManifestTail,
+    SupervisorPolicy,
+    manifest_path,
+    run_grid_supervised,
+)
+from repro.service.queue import TERMINAL_STATES, JobRecord, JobSpec, JobStore
+from repro.telemetry.registry import MetricRegistry
+from repro.telemetry.snapshot import MetricsSnapshot
+
+__all__ = [
+    "TenantQuota",
+    "SchedulerPolicy",
+    "QuotaExceeded",
+    "ServiceScheduler",
+]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission limits (the multi-tenant fairness contract)."""
+
+    max_inflight_jobs: int = 4       # queued + running at once
+    max_concurrent_jobs: int = 1     # running at once
+    max_cells_per_job: int = 256     # grid size ceiling per submission
+
+
+@dataclass(frozen=True)
+class SchedulerPolicy:
+    """Service-wide execution knobs."""
+
+    max_concurrent_jobs: int = 2          # across all tenants
+    sample_interval_seconds: float = 0.25  # progress-sample cadence
+    poll_interval_seconds: float = 0.05    # admission-loop cadence
+    cell_jobs: int = 1                     # worker processes per grid
+    executor: str = "supervised"           # "supervised" | "fabric"
+    fabric_workers: int = 2                # drain width in fabric mode
+
+
+class QuotaExceeded(Exception):
+    """A submission the tenant's quota rejects (HTTP 429 at the edge)."""
+
+    status = 429
+
+    def __init__(self, tenant: str, reason: str, limit: int, current: int):
+        super().__init__(
+            f"tenant {tenant!r} over quota: {reason} (limit {limit}, at {current})"
+        )
+        self.tenant = tenant
+        self.reason = reason
+        self.limit = limit
+        self.current = current
+
+    def to_dict(self) -> dict:
+        return {
+            "error": {
+                "type": "quota_exceeded",
+                "status": self.status,
+                "message": str(self),
+                "tenant": self.tenant,
+                "reason": self.reason,
+                "limit": self.limit,
+                "current": self.current,
+            }
+        }
+
+
+def _tenant_slug(tenant: str) -> str:
+    return re.sub(r"[^a-z0-9_]", "_", tenant.lower())
+
+
+class ServiceScheduler:
+    """Admission + execution loop over a :class:`JobStore`.
+
+    Synchronous entry points (:meth:`submit`, :meth:`usage`,
+    :meth:`cancel`) are safe to call from the server's event loop; the
+    grid itself runs in a thread via ``run_in_executor`` so the loop stays
+    responsive while a job computes.
+    """
+
+    def __init__(
+        self,
+        store: JobStore | None = None,
+        quota: TenantQuota | None = None,
+        quotas: dict[str, TenantQuota] | None = None,
+        policy: SchedulerPolicy | None = None,
+        registry: MetricRegistry | None = None,
+    ):
+        self.store = store or JobStore()
+        self.quota = quota or TenantQuota()
+        self.quotas = dict(quotas or {})
+        self.policy = policy or SchedulerPolicy()
+        self.registry = registry or MetricRegistry()
+        self._stop = False
+        self._active: dict[str, asyncio.Task] = {}
+        self._cancelled: set[str] = set()
+        self._denials: dict[str, int] = {}
+
+    # -- admission -------------------------------------------------------------
+
+    def tenant_quota(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.quota)
+
+    def submit(self, spec: JobSpec) -> dict:
+        """Admit one job or raise :class:`QuotaExceeded`.
+
+        Returns the submission receipt: job id, state, sweep key, and the
+        dedup precheck — which of the grid's cache keys already resolve
+        (possibly computed by *other* tenants; content addressing makes
+        that indistinguishable from this tenant's own warm cache, which
+        is the point).
+        """
+        quota = self.tenant_quota(spec.tenant)
+        cells = spec.cells()
+        if len(cells) > quota.max_cells_per_job:
+            self._deny(spec.tenant)
+            raise QuotaExceeded(
+                spec.tenant, "cells per job", quota.max_cells_per_job, len(cells)
+            )
+        inflight = [
+            record
+            for record in self.store.jobs(spec.tenant)
+            if record.state not in TERMINAL_STATES
+        ]
+        if len(inflight) >= quota.max_inflight_jobs:
+            self._deny(spec.tenant)
+            raise QuotaExceeded(
+                spec.tenant, "inflight jobs", quota.max_inflight_jobs, len(inflight)
+            )
+        disk = default_cache()
+        cached = [key for _, _, key in cells if disk.lookup_cell(key) is not None]
+        record = self.store.submit(spec)
+        self.registry.counter("service.jobs.admitted").inc()
+        self._refresh_queue_depth()
+        return {
+            "job_id": record.job_id,
+            "state": record.state,
+            "sweep_key": spec.sweep_key,
+            "cells_total": len(cells),
+            "cached_keys": cached,
+        }
+
+    def _deny(self, tenant: str) -> None:
+        self._denials[tenant] = self._denials.get(tenant, 0) + 1
+        self.registry.counter("service.jobs.denied").inc()
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Cancel a queued or running job (idempotent for terminal states)."""
+        record = self.store.job(job_id)
+        if record.terminal:
+            return record
+        self._cancelled.add(job_id)
+        self.store.set_state(job_id, "cancelled")
+        self.registry.counter("service.jobs.cancelled").inc()
+        self._refresh_queue_depth()
+        return self.store.job(job_id)
+
+    def recover(self) -> list[JobRecord]:
+        """Replay the store after a restart; non-terminal jobs re-queue."""
+        return self.store.recover()
+
+    def request_stop(self) -> None:
+        self._stop = True
+
+    # -- the loop --------------------------------------------------------------
+
+    async def run(self) -> None:
+        """Admit queued jobs FIFO until :meth:`request_stop`, then drain."""
+        self._stop = False  # a stop request only ends the run it interrupts
+        try:
+            while not self._stop:
+                self._admit_ready()
+                await asyncio.sleep(self.policy.poll_interval_seconds)
+        finally:
+            if self._active:
+                await asyncio.gather(
+                    *self._active.values(), return_exceptions=True
+                )
+
+    def _admit_ready(self) -> None:
+        self._active = {
+            job_id: task
+            for job_id, task in self._active.items()
+            if not task.done()
+        }
+        if len(self._active) >= self.policy.max_concurrent_jobs:
+            return
+        running_by_tenant: dict[str, int] = {}
+        queued: list[JobRecord] = []
+        for record in self.store.jobs():
+            if record.job_id in self._cancelled:
+                continue
+            if record.job_id in self._active:
+                tenant = record.spec.tenant
+                running_by_tenant[tenant] = running_by_tenant.get(tenant, 0) + 1
+            elif record.state == "queued":
+                queued.append(record)
+        self.registry.gauge("service.queue.depth").set(len(queued))
+        for record in queued:
+            if len(self._active) >= self.policy.max_concurrent_jobs:
+                break
+            tenant = record.spec.tenant
+            limit = self.tenant_quota(tenant).max_concurrent_jobs
+            if running_by_tenant.get(tenant, 0) >= limit:
+                continue
+            running_by_tenant[tenant] = running_by_tenant.get(tenant, 0) + 1
+            self._active[record.job_id] = asyncio.ensure_future(
+                self._execute(record.job_id)
+            )
+
+    def _refresh_queue_depth(self) -> None:
+        depth = sum(
+            1 for record in self.store.jobs() if record.state == "queued"
+        )
+        self.registry.gauge("service.queue.depth").set(depth)
+
+    # -- execution -------------------------------------------------------------
+
+    async def _execute(self, job_id: str) -> None:
+        record = self.store.job(job_id)
+        spec = record.spec
+        resumed = bool(record.detail.get("recovered"))
+        self.store.set_state(job_id, "running", sweep_key=spec.sweep_key)
+        loop = asyncio.get_running_loop()
+        sampler = asyncio.ensure_future(self._sample_progress(job_id, spec))
+        try:
+            sweep, accounting = await loop.run_in_executor(
+                None, self._run_job, spec
+            )
+        except Exception as error:  # noqa: BLE001 — journalled, not raised
+            sampler.cancel()
+            await asyncio.gather(sampler, return_exceptions=True)
+            if job_id in self._cancelled:
+                return
+            self.store.set_state(
+                job_id,
+                "failed",
+                error_type=type(error).__name__,
+                message=str(error),
+            )
+            self.registry.counter("service.jobs.failed").inc()
+            return
+        sampler.cancel()
+        await asyncio.gather(sampler, return_exceptions=True)
+        if job_id in self._cancelled:
+            # The cancelled job's cells still landed in the shared cache
+            # (content-addressed work is never wasted), but its result and
+            # terminal state stay "cancelled".
+            return
+        self.store.store_result(job_id, sweep.canonical_json())
+        self.store.set_state(
+            job_id,
+            "done",
+            resumed=resumed,
+            complete=sweep.complete,
+            **accounting,
+        )
+        self.registry.counter("service.jobs.completed").inc()
+        slug = _tenant_slug(spec.tenant)
+        total = accounting["cells_total"]
+        if total:
+            self.registry.gauge(f"service.tenant.{slug}.cache_hit_ratio").set(
+                accounting["cache_hits"] / total
+            )
+
+    def _run_job(self, spec: JobSpec):
+        """Run one grid in a worker thread; returns (sweep, accounting)."""
+        disk = default_cache()
+        cells = spec.cells()
+        hits = sum(
+            1 for _, _, key in cells if disk.lookup_cell(key) is not None
+        )
+        if self.policy.executor == "fabric":
+            from repro.fabric.coordinator import SwarmSpec, drain_swarm
+
+            sweep = drain_swarm(
+                SwarmSpec(
+                    benchmarks=spec.benchmarks,
+                    schemes=spec.schemes,
+                    machine=spec.machine,
+                    references=spec.references,
+                    seed=spec.seed,
+                ),
+                workers=self.policy.fabric_workers,
+            )
+        else:
+            sweep = run_grid_supervised(
+                list(spec.benchmarks),
+                list(spec.schemes),
+                machine=spec.machine_config,
+                references=spec.references,
+                seed=spec.seed,
+                keep_going=True,
+                jobs=self.policy.cell_jobs,
+                use_cache=True,
+                resume=True,
+                policy=SupervisorPolicy(),
+            )
+        accounting = {
+            "cells_total": len(cells),
+            "cache_hits": hits,
+            "cells_computed": len(cells) - hits,
+        }
+        return sweep, accounting
+
+    async def _sample_progress(self, job_id: str, spec: JobSpec) -> None:
+        """Journal periodic progress snapshots while the job runs.
+
+        Samples are cumulative :class:`MetricsSnapshot` dicts with
+        ``meta["accesses"]`` carrying the sample index, so a consumer can
+        fold them straight into a
+        :class:`~repro.telemetry.snapshot.SnapshotSeries`.  The first
+        sample is emitted immediately so even a fully warm job (zero
+        compute time) streams at least one sample.
+        """
+        tail = ManifestTail(
+            manifest_path(default_cache().root, spec.sweep_key)
+        )
+        done = failed = 0
+        index = 0
+        try:
+            while True:
+                for event in tail.drain():
+                    if event.get("event") == "done":
+                        done += 1
+                    elif event.get("event") == "failed":
+                        failed += 1
+                index += 1
+                snapshot = MetricsSnapshot(
+                    values={
+                        "service.job.cells_done": done,
+                        "service.job.cells_failed": failed,
+                        "service.job.cells_total": len(spec.cells()),
+                    },
+                    kinds={
+                        "service.job.cells_done": "counter",
+                        "service.job.cells_failed": "counter",
+                        "service.job.cells_total": "gauge",
+                    },
+                    meta={"accesses": index, "job_id": job_id},
+                )
+                self.store.append(
+                    job_id,
+                    {
+                        "event": "sample",
+                        "ts": time.time(),
+                        "snapshot": snapshot.to_dict(),
+                    },
+                )
+                await asyncio.sleep(self.policy.sample_interval_seconds)
+        except asyncio.CancelledError:
+            return
+
+    # -- usage accounting ------------------------------------------------------
+
+    def usage(self, tenant: str) -> dict:
+        """Fold one tenant's journals into a usage report.
+
+        Everything except the denial counter is derived from the durable
+        journals, so usage survives restarts and two readers always
+        agree.
+        """
+        states: dict[str, int] = {}
+        cells_total = cache_hits = cells_computed = 0
+        for record in self.store.jobs(tenant):
+            states[record.state] = states.get(record.state, 0) + 1
+            if record.state == "done":
+                cells_total += record.detail.get("cells_total", 0)
+                cache_hits += record.detail.get("cache_hits", 0)
+                cells_computed += record.detail.get("cells_computed", 0)
+        return {
+            "tenant": tenant,
+            "jobs": states,
+            "cells_total": cells_total,
+            "cache_hits": cache_hits,
+            "cells_computed": cells_computed,
+            "cache_hit_ratio": (cache_hits / cells_total) if cells_total else 0.0,
+            "denied": self._denials.get(tenant, 0),
+        }

@@ -1,0 +1,159 @@
+"""End-to-end service smoke: the CI gate for the front door.
+
+Starts a real server (background thread), drives it exclusively through
+:class:`~repro.service.client.ServiceClient`, and asserts the service
+contract:
+
+1. **cold identity** — a submitted grid's result bytes equal a direct
+   serial :func:`~repro.experiments.sweep.run_grid` of the same spec;
+2. **live progress** — the event stream carried manifest ``start``/
+   ``done`` events and at least one progress ``sample``;
+3. **warm identity + dedup** — a second tenant resubmitting the same
+   grid is served entirely from cache (all cells hit) with byte-identical
+   results;
+4. **usage accounting** — each tenant's hits + computed sum to the grid
+   size.
+
+Run directly (CI's ``service-smoke`` job)::
+
+    PYTHONPATH=src python -m repro.service.smoke --refs 3000 --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.experiments import cache as result_cache
+from repro.experiments.sweep import run_grid
+from repro.service.client import ServiceClient
+from repro.service.queue import JobStore
+from repro.service.scheduler import SchedulerPolicy, ServiceScheduler
+from repro.service.server import serve_in_thread
+
+__all__ = ["run_service_smoke", "main"]
+
+_BENCHMARKS = ["stream"]
+_SCHEMES = ["baseline", "pred_regular"]
+
+
+def run_service_smoke(
+    references: int = 2000, seed: int = 1, cache_dir: str | None = None
+) -> dict:
+    """Run the full smoke; returns the report dict, raises on violation."""
+    saved_env = os.environ.get(result_cache.CACHE_DIR_ENV)
+    if cache_dir is not None:
+        os.environ[result_cache.CACHE_DIR_ENV] = str(cache_dir)
+        result_cache.reset_default_cache()
+    started = time.perf_counter()
+    try:
+        direct = run_grid(
+            _BENCHMARKS, _SCHEMES, references=references, seed=seed
+        ).canonical_json().encode("utf-8")
+
+        handle = serve_in_thread(
+            ServiceScheduler(
+                store=JobStore(),
+                policy=SchedulerPolicy(sample_interval_seconds=0.05),
+            )
+        )
+        try:
+            client = ServiceClient(handle.url)
+
+            # 1. cold submission (the direct run above did not use the
+            #    cache, so every cell computes inside the service).
+            receipt = client.submit(
+                "tenant-a", _BENCHMARKS, _SCHEMES, references=references, seed=seed
+            )
+            job_id = receipt["job_id"]
+            events = list(client.events(job_id))
+            record = client.wait(job_id, timeout=300.0)
+            if record["state"] != "done":
+                raise AssertionError(f"job ended {record['state']}: {record}")
+            service_bytes = client.result_bytes(job_id)
+            if service_bytes != direct:
+                raise AssertionError(
+                    "service result differs from direct run_grid "
+                    f"({len(service_bytes)} vs {len(direct)} bytes)"
+                )
+            samples = [e for e in events if e.get("event") == "sample"]
+            manifest_done = [
+                e
+                for e in events
+                if e.get("source") == "manifest" and e.get("event") == "done"
+            ]
+            if not samples:
+                raise AssertionError("event stream carried no progress samples")
+            if not manifest_done:
+                raise AssertionError("event stream carried no manifest done events")
+
+            # 2. warm resubmission from a second tenant: full dedup.
+            warm_receipt = client.submit(
+                "tenant-b", _BENCHMARKS, _SCHEMES, references=references, seed=seed
+            )
+            warm_record = client.wait(warm_receipt["job_id"], timeout=120.0)
+            warm_bytes = client.result_bytes(warm_receipt["job_id"])
+            if warm_bytes != direct:
+                raise AssertionError("warm service result differs from direct run")
+            cells_total = warm_record["detail"]["cells_total"]
+            if warm_record["detail"]["cache_hits"] != cells_total:
+                raise AssertionError(
+                    f"warm job should be all cache hits: {warm_record['detail']}"
+                )
+
+            # 3. usage accounting sums per tenant.
+            usage = {t: client.usage(t) for t in ("tenant-a", "tenant-b")}
+            for tenant, report in usage.items():
+                if report["cache_hits"] + report["cells_computed"] != report[
+                    "cells_total"
+                ]:
+                    raise AssertionError(f"usage does not sum for {tenant}: {report}")
+        finally:
+            handle.stop()
+
+        return {
+            "ok": True,
+            "references": references,
+            "grid_cells": len(_BENCHMARKS) * len(_SCHEMES),
+            "cold_identical": True,
+            "warm_identical": True,
+            "events_total": len(events),
+            "progress_samples": len(samples),
+            "manifest_done_events": len(manifest_done),
+            "warm_cache_hits": warm_record["detail"]["cache_hits"],
+            "usage": usage,
+            "elapsed_sec": round(time.perf_counter() - started, 3),
+        }
+    finally:
+        if cache_dir is not None:
+            if saved_env is None:
+                os.environ.pop(result_cache.CACHE_DIR_ENV, None)
+            else:
+                os.environ[result_cache.CACHE_DIR_ENV] = saved_env
+            result_cache.reset_default_cache()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="sweep-service smoke test")
+    parser.add_argument("--refs", type=int, default=2000)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--json", action="store_true", help="emit the report as JSON")
+    args = parser.parse_args(argv)
+    report = run_service_smoke(references=args.refs, seed=args.seed)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(
+            f"service smoke ok: {report['grid_cells']} cells, "
+            f"{report['progress_samples']} samples, "
+            f"warm hits {report['warm_cache_hits']}, "
+            f"{report['elapsed_sec']}s"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -120,7 +120,11 @@ class TestTemperBaseline:
         assert set(values) == {
             "crypto.vector_speedup", "otp.speedup", "replay.speedup",
             "grid.warm_speedup", "grid.parallel_speedup",
+            "service.submit_to_result_sec",
         }
+        # _report() carries no service section, so the latency tempers
+        # to None rather than failing.
+        assert values["service.submit_to_result_sec"] is None
 
     def test_missing_values_become_none(self):
         run = _report()
@@ -228,3 +232,47 @@ class TestRenderReport:
     def test_replay_line_omitted_for_old_reports(self):
         text = render_report(self._full_report(with_replay=False))
         assert "replay:" not in text
+
+
+class TestServiceLatencyGuard:
+    def _with_service(self, report, latency=0.2, identical=True):
+        report["service"] = {
+            "submit_to_result_sec": latency,
+            "results_identical": identical,
+        }
+        return report
+
+    def test_latency_within_ceiling_passes(self):
+        baseline = self._with_service(_report(), latency=0.2)
+        current = self._with_service(_report(), latency=0.25)
+        assert check_regression(current, baseline, tolerance=0.2) == []
+
+    def test_latency_over_ceiling_fails(self):
+        baseline = self._with_service(_report(), latency=0.2)
+        current = self._with_service(_report(), latency=0.5)
+        violations = check_regression(current, baseline, tolerance=0.2)
+        assert any("service.submit_to_result_sec" in v for v in violations)
+
+    def test_latency_improvements_always_pass(self):
+        baseline = self._with_service(_report(), latency=0.5)
+        current = self._with_service(_report(), latency=0.01)
+        assert check_regression(current, baseline) == []
+
+    def test_missing_service_section_is_skipped(self):
+        baseline = self._with_service(_report())
+        assert check_regression(_report(), baseline) == []
+
+    def test_service_identity_is_a_hard_invariant(self):
+        current = self._with_service(_report(), identical=False)
+        violations = check_regression(current, _report())
+        assert any("service.results_identical" in v for v in violations)
+
+    def test_temper_takes_max_over_safety_for_latencies(self):
+        reports = [
+            self._with_service(_report(), latency=value)
+            for value in (0.2, 0.4, 0.3)
+        ]
+        baseline = temper_baseline(reports, safety=0.8)
+        assert baseline["service"]["submit_to_result_sec"] == 0.5  # 0.4 / 0.8
+        values = baseline["tempering"]["values"]
+        assert values["service.submit_to_result_sec"] == 0.5

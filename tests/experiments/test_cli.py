@@ -634,3 +634,102 @@ class TestBackendFlag:
         with pytest.raises(SystemExit):
             main(["--backend", "turbo", "list"])
         assert "invalid choice" in capsys.readouterr().err
+
+
+class TestServiceCommands:
+    """The serve/submit/jobs/watch verbs against a real in-thread server."""
+
+    @pytest.fixture
+    def service_url(self, tmp_path, monkeypatch):
+        from repro.service.queue import JobStore
+        from repro.service.scheduler import SchedulerPolicy, ServiceScheduler
+        from repro.service.server import serve_in_thread
+
+        handle = serve_in_thread(
+            ServiceScheduler(
+                store=JobStore(tmp_path / "svc"),
+                policy=SchedulerPolicy(
+                    sample_interval_seconds=0.02, poll_interval_seconds=0.01
+                ),
+            )
+        )
+        monkeypatch.setenv("REPRO_SERVICE_URL", handle.url)
+        yield handle.url
+        handle.stop()
+
+    GRID = ["--benchmarks", "stream", "--schemes", "baseline",
+            "--refs", "800"]
+
+    def test_submit_watch_and_jobs_round_trip(self, service_url, capsys):
+        assert main(["submit", "--tenant", "alice", *self.GRID,
+                     "--watch"]) == 0
+        out = capsys.readouterr().out
+        assert "queued: 1 cells" in out
+        assert "state -> done" in out
+
+        assert main(["jobs"]) == 0
+        out = capsys.readouterr().out
+        assert "alice" in out and "done" in out
+
+        assert main(["jobs", "--tenant", "nobody", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+    def test_submit_json_receipt_and_watch_verb(self, service_url, capsys):
+        assert main(["submit", "--tenant", "bob", *self.GRID,
+                     "--json"]) == 0
+        receipt = json.loads(capsys.readouterr().out)
+        assert receipt["cells_total"] == 1
+        assert main(["watch", receipt["job_id"]]) == 0
+        out = capsys.readouterr().out
+        assert "state -> done" in out
+
+    def test_submit_quota_denial_exits_nonzero(self, service_url, capsys):
+        # Fill the default per-tenant inflight quota (4) with queued jobs
+        # by submitting distinct grids faster than one cell can run, then
+        # overflow it.  Distinct seeds make distinct jobs.
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(service_url)
+        for seed in range(2, 6):
+            client.submit("carol", ["stream"], ["baseline", "oracle",
+                                                "pred_regular"],
+                          references=800, seed=seed)
+        code = main(["submit", "--tenant", "carol", *self.GRID])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "429" in err or "quota" in err
+
+    def test_unreachable_service_is_one_line_error(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_URL", "http://127.0.0.1:1")
+        assert main(["submit", *self.GRID]) == 1
+        assert "cannot reach service" in capsys.readouterr().err
+
+
+class TestSwarmStatusByKey:
+    GRID = ["--benchmarks", "gzip", "--schemes", "oracle,pred_regular",
+            "--refs", "1200"]
+
+    def test_status_by_key_matches_status_by_grid(self, capsys):
+        from repro.fabric.coordinator import SwarmSpec
+
+        assert main(["swarm", "start", *self.GRID]) == 0
+        capsys.readouterr()
+        key = SwarmSpec(
+            benchmarks=("gzip",), schemes=("oracle", "pred_regular"),
+            references=1200,
+        ).key
+        assert main(["swarm", "status", "--key", key, "--json"]) == 0
+        by_key = json.loads(capsys.readouterr().out)
+        assert main(["swarm", "status", *self.GRID, "--json"]) == 0
+        by_grid = json.loads(capsys.readouterr().out)
+        assert by_key == by_grid
+        assert by_key["total"] == 2
+
+    def test_key_with_non_status_action_is_usage_error(self, capsys):
+        assert main(["swarm", "drain", "--key", "abc"]) == 2
+        assert "--key is only valid with status" in capsys.readouterr().err
+
+    def test_unknown_key_is_one_line_error(self, capsys):
+        assert main(["swarm", "status", "--key", "deadbeef"]) in (1, 2)
+        err = capsys.readouterr().err
+        assert err.strip()  # one-line error, no traceback

@@ -414,3 +414,67 @@ class TestResumeVerification:
         assert resumed.supervision["cells_completed"] == 1
         assert ("gzip", "oracle") in resumed.series
         assert _metrics(resumed) == _metrics(first)
+
+
+class TestManifestTailing:
+    def test_drain_is_incremental(self, tmp_path):
+        from repro.experiments.supervisor import ManifestTail
+
+        path = tmp_path / "journal.jsonl"
+        tail = ManifestTail(path)
+        assert tail.drain() == []  # file does not exist yet
+        with path.open("a") as handle:
+            handle.write('{"event": "a"}\n{"event": "b"}\n')
+        assert [r["event"] for r in tail.drain()] == ["a", "b"]
+        assert tail.drain() == []  # nothing new
+        with path.open("a") as handle:
+            handle.write('{"event": "c"}\n')
+        assert [r["event"] for r in tail.drain()] == ["c"]
+
+    def test_torn_trailing_line_buffered_until_complete(self, tmp_path):
+        from repro.experiments.supervisor import ManifestTail
+
+        path = tmp_path / "journal.jsonl"
+        tail = ManifestTail(path)
+        with path.open("a") as handle:
+            handle.write('{"event": "a"}\n{"event": "b"')  # torn append
+        assert [r["event"] for r in tail.drain()] == ["a"]
+        with path.open("a") as handle:
+            handle.write(', "n": 1}\n')  # the append completes
+        assert tail.drain() == [{"event": "b", "n": 1}]
+
+    def test_glued_record_salvaged_mid_stream(self, tmp_path):
+        from repro.experiments.supervisor import ManifestTail
+
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"torn{"event": "done", "key": "k"}\n{"event": "x"}\n')
+        records = ManifestTail(path).drain()
+        assert records == [{"event": "done", "key": "k"}, {"event": "x"}]
+
+    def test_follow_manifest_stops_after_final_drain(self, tmp_path):
+        from repro.experiments.supervisor import follow_manifest
+
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"event": "a"}\n')
+        stopped = {"flag": False}
+
+        def stop():
+            if not stopped["flag"]:
+                # Simulate the writer appending its terminal event just
+                # before flipping the finished flag: the final drain must
+                # still deliver it.
+                with path.open("a") as handle:
+                    handle.write('{"event": "done"}\n')
+                stopped["flag"] = True
+            return True
+
+        events = list(follow_manifest(path, poll_interval=0.01, stop=stop))
+        assert [e["event"] for e in events] == ["a", "done"]
+
+    def test_sweep_manifest_parse_line_is_the_shared_parser(self):
+        from repro.experiments.supervisor import (
+            SweepManifest,
+            parse_manifest_line,
+        )
+
+        assert SweepManifest._parse_line is parse_manifest_line

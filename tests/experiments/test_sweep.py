@@ -53,3 +53,37 @@ class TestBars:
         art = render_bars(table, width=10)
         longest = max(line.count("#") for line in art.splitlines())
         assert longest == 10
+
+
+class TestSerialization:
+    def test_round_trips_through_dict(self, grid):
+        from repro.experiments.sweep import SweepResult
+
+        restored = SweepResult.from_dict(grid.to_dict())
+        assert restored.machine == grid.machine
+        assert restored.references == grid.references
+        assert restored.results == grid.results
+        assert set(restored.snapshots) == set(grid.snapshots)
+        assert restored.canonical_json() == grid.canonical_json()
+
+    def test_canonical_json_is_deterministic(self, grid):
+        assert grid.canonical_json() == grid.canonical_json()
+        assert grid.canonical_json().endswith("\n")
+
+    def test_execution_metadata_excluded_by_default(self, grid):
+        # Supervision/fabric describe how a grid ran, not what it
+        # computed; excluding them keeps serial == supervised == fabric
+        # at the byte level (the service's result contract).
+        import copy
+
+        supervised = copy.copy(grid)
+        supervised.supervision = {"cells_completed": 6}
+        assert supervised.canonical_json() == grid.canonical_json()
+        payload = supervised.to_dict(include_execution=True)
+        assert payload["supervision"] == {"cells_completed": 6}
+
+    def test_from_dict_rejects_wrong_schema(self):
+        from repro.experiments.sweep import SweepResult
+
+        with pytest.raises(ValueError, match="not a sweep result"):
+            SweepResult.from_dict({"schema": "something/else"})

@@ -1,0 +1,126 @@
+"""Durable job store: spec validation, journal replay, crash recovery."""
+
+import json
+
+import pytest
+
+from repro.service.queue import JobSpec, JobStore, TERMINAL_STATES
+
+
+def _spec(**overrides):
+    base = dict(
+        tenant="acme",
+        benchmarks=("stream",),
+        schemes=("baseline",),
+        references=800,
+    )
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+class TestJobSpec:
+    def test_round_trips_through_dict(self):
+        spec = _spec()
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            _spec(benchmarks=("nope",))
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            _spec(schemes=("nope",))
+
+    def test_rejects_unknown_machine(self):
+        with pytest.raises(ValueError, match="unknown machine"):
+            _spec(machine="table9")
+
+    def test_rejects_bad_tenant(self):
+        with pytest.raises(ValueError, match="invalid tenant"):
+            _spec(tenant="bad tenant!")
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError, match="no benchmarks"):
+            _spec(benchmarks=())
+
+    def test_cells_are_content_addressed(self):
+        # The same grid spec from two different tenants names the same
+        # cache keys — the dedup substrate.
+        a = _spec(tenant="alice").cells()
+        b = _spec(tenant="bob").cells()
+        assert [key for _, _, key in a] == [key for _, _, key in b]
+        assert len(a) == 1
+
+
+class TestJobStore:
+    def test_submit_then_read_back(self, tmp_path):
+        store = JobStore(tmp_path / "service")
+        record = store.submit(_spec())
+        loaded = store.job(record.job_id)
+        assert loaded.state == "queued"
+        assert loaded.spec == record.spec
+        assert not loaded.terminal
+
+    def test_unknown_job_raises_key_error(self, tmp_path):
+        store = JobStore(tmp_path / "service")
+        with pytest.raises(KeyError):
+            store.job("job-missing")
+
+    def test_state_transitions_replay_in_order(self, tmp_path):
+        store = JobStore(tmp_path / "service")
+        record = store.submit(_spec())
+        store.set_state(record.job_id, "running")
+        store.set_state(record.job_id, "done", cache_hits=1, cells_total=1)
+        loaded = store.job(record.job_id)
+        assert loaded.state == "done"
+        assert loaded.terminal
+        assert loaded.detail["cache_hits"] == 1
+
+    def test_torn_trailing_line_does_not_break_replay(self, tmp_path):
+        store = JobStore(tmp_path / "service")
+        record = store.submit(_spec())
+        store.set_state(record.job_id, "running")
+        with store.journal_path(record.job_id).open("a") as handle:
+            handle.write('{"event": "state", "state": "done", "tr')  # no newline
+        loaded = store.job(record.job_id)
+        assert loaded.state == "running"  # torn event ignored, prior state holds
+
+    def test_jobs_lists_by_tenant_in_submission_order(self, tmp_path):
+        store = JobStore(tmp_path / "service")
+        first = store.submit(_spec(tenant="alice"))
+        store.submit(_spec(tenant="bob"))
+        second = store.submit(_spec(tenant="alice", schemes=("oracle",)))
+        alice = store.jobs("alice")
+        assert [r.job_id for r in alice] == [first.job_id, second.job_id]
+        assert len(store.jobs()) == 3
+
+    def test_recover_requeues_running_jobs(self, tmp_path):
+        store = JobStore(tmp_path / "service")
+        running = store.submit(_spec(tenant="alice"))
+        store.set_state(running.job_id, "running")
+        done = store.submit(_spec(tenant="bob"))
+        store.set_state(done.job_id, "done")
+
+        recovered = store.recover()
+
+        assert [r.job_id for r in recovered] == [running.job_id]
+        replayed = store.job(running.job_id)
+        assert replayed.state == "queued"
+        assert replayed.detail["recovered"] is True
+        assert store.job(done.job_id).state == "done"  # terminal jobs untouched
+
+    def test_result_written_atomically_and_read_back(self, tmp_path):
+        store = JobStore(tmp_path / "service")
+        record = store.submit(_spec())
+        store.store_result(record.job_id, '{"hello": 1}\n')
+        assert store.result_path(record.job_id).read_text() == '{"hello": 1}\n'
+
+    def test_spec_file_is_valid_json_with_identity(self, tmp_path):
+        store = JobStore(tmp_path / "service")
+        record = store.submit(_spec())
+        payload = json.loads(store.spec_path(record.job_id).read_text())
+        assert payload["job_id"] == record.job_id
+        assert payload["tenant"] == "acme"
+
+    def test_terminal_states_is_the_contract(self):
+        assert TERMINAL_STATES == {"done", "failed", "cancelled"}

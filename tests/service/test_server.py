@@ -1,0 +1,218 @@
+"""HTTP front door: end-to-end identity, streams, structured errors.
+
+Each test boots a real server on an ephemeral port via
+``serve_in_thread`` and drives it through :class:`ServiceClient` — the
+same path the CLI and CI smoke use.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.sweep import run_grid
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.queue import JobStore
+from repro.service.scheduler import (
+    SchedulerPolicy,
+    ServiceScheduler,
+    TenantQuota,
+)
+from repro.service.server import serve_in_thread
+
+_REFS = 800
+_BENCHMARKS = ["stream"]
+_SCHEMES = ["baseline"]
+
+
+@pytest.fixture
+def service(tmp_path):
+    handle = serve_in_thread(
+        ServiceScheduler(
+            store=JobStore(tmp_path / "service"),
+            policy=SchedulerPolicy(
+                sample_interval_seconds=0.02, poll_interval_seconds=0.01
+            ),
+        )
+    )
+    try:
+        yield ServiceClient(handle.url), handle
+    finally:
+        handle.stop()
+
+
+def _submit(client, tenant="acme", schemes=_SCHEMES):
+    return client.submit(
+        tenant, _BENCHMARKS, list(schemes), references=_REFS, seed=1
+    )
+
+
+class TestEndToEndIdentity:
+    def test_cold_and_warm_results_match_direct_run_grid(self, service):
+        client, _ = service
+        direct = run_grid(
+            _BENCHMARKS, _SCHEMES, references=_REFS, seed=1
+        ).canonical_json().encode("utf-8")
+
+        cold = _submit(client, tenant="alice")
+        assert client.wait(cold["job_id"])["state"] == "done"
+        assert client.result_bytes(cold["job_id"]) == direct
+
+        warm = _submit(client, tenant="bob")
+        assert len(warm["cached_keys"]) == 1
+        record = client.wait(warm["job_id"])
+        assert record["detail"]["cache_hits"] == 1
+        assert client.result_bytes(warm["job_id"]) == direct
+
+    def test_result_parses_as_sweep_result(self, service):
+        from repro.experiments.sweep import SweepResult
+
+        client, _ = service
+        receipt = _submit(client)
+        client.wait(receipt["job_id"])
+        sweep = SweepResult.from_dict(client.result(receipt["job_id"]))
+        assert sweep.machine == "table1-256K"
+        assert ("stream", "baseline") in sweep.results
+
+
+class TestEventStream:
+    def test_stream_carries_lifecycle_manifest_and_samples(self, service):
+        client, _ = service
+        receipt = _submit(client)
+        events = list(client.events(receipt["job_id"]))
+
+        states = [
+            e["state"] for e in events
+            if e.get("source") == "job" and e.get("event") == "state"
+        ]
+        assert states[0] == "queued"
+        assert states[-1] == "done"
+        assert "running" in states
+        assert any(e.get("event") == "sample" for e in events)
+        manifest_events = [e for e in events if e.get("source") == "manifest"]
+        assert any(e.get("event") == "start" for e in manifest_events)
+        assert any(e.get("event") == "done" for e in manifest_events)
+
+    def test_stream_of_finished_job_replays_and_terminates(self, service):
+        client, _ = service
+        receipt = _submit(client)
+        client.wait(receipt["job_id"])
+        events = list(client.events(receipt["job_id"]))  # must not hang
+        assert any(
+            e.get("event") == "state" and e.get("state") == "done"
+            for e in events
+        )
+
+
+class TestErrors:
+    def test_quota_denial_is_structured_429(self, service):
+        client, handle = service
+        handle.server.scheduler.quotas["acme"] = TenantQuota(max_cells_per_job=0)
+        with pytest.raises(ServiceError) as excinfo:
+            _submit(client)
+        assert excinfo.value.status == 429
+        assert excinfo.value.error_type == "quota_exceeded"
+        assert excinfo.value.payload["error"]["limit"] == 0
+
+    def test_unknown_job_is_404(self, service):
+        client, _ = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.job("job-nope")
+        assert excinfo.value.status == 404
+
+    def test_result_before_done_is_409(self, service):
+        client, handle = service
+        # Submit directly into the store (no scheduler pickup) so the job
+        # is stably queued when we ask for its result.
+        handle.server.scheduler.request_stop()
+        receipt = _submit(client)
+        with pytest.raises(ServiceError) as excinfo:
+            client.result(receipt["job_id"])
+        assert excinfo.value.status == 409
+
+    def test_bad_spec_is_400(self, service):
+        client, _ = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit("acme", ["no-such-benchmark"], _SCHEMES)
+        assert excinfo.value.status == 400
+
+    def test_unknown_route_is_404(self, service):
+        client, _ = service
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/v2/other")
+        assert excinfo.value.status == 404
+
+
+class TestCancelAndUsage:
+    def test_cancel_queued_job(self, service):
+        client, handle = service
+        handle.server.scheduler.request_stop()  # keep it queued
+        receipt = _submit(client)
+        cancelled = client.cancel(receipt["job_id"])
+        assert cancelled["state"] == "cancelled"
+
+    def test_usage_endpoint_sums_under_dedup(self, service):
+        client, _ = service
+        first = _submit(client, tenant="alice")
+        client.wait(first["job_id"])
+        second = _submit(client, tenant="bob")
+        client.wait(second["job_id"])
+        alice = client.usage("alice")
+        bob = client.usage("bob")
+        for usage in (alice, bob):
+            assert (
+                usage["cache_hits"] + usage["cells_computed"]
+                == usage["cells_total"]
+            )
+        assert alice["cells_computed"] == 1
+        assert bob["cache_hits"] == 1
+        assert bob["cells_computed"] == 0
+
+    def test_jobs_listing_filters_by_tenant(self, service):
+        client, _ = service
+        a = _submit(client, tenant="alice")
+        b = _submit(client, tenant="bob")
+        client.wait(a["job_id"])
+        client.wait(b["job_id"])
+        assert {r["job_id"] for r in client.jobs("alice")} == {a["job_id"]}
+        assert len(client.jobs()) == 2
+
+
+class TestRestartRecovery:
+    def test_killed_service_resumes_jobs_from_journal(self, tmp_path):
+        store_root = tmp_path / "service"
+        policy = SchedulerPolicy(
+            sample_interval_seconds=0.02, poll_interval_seconds=0.01
+        )
+
+        # Life 1: complete one job (warming the cache), leave another
+        # mid-flight by stopping the scheduler and forging "running".
+        handle = serve_in_thread(
+            ServiceScheduler(store=JobStore(store_root), policy=policy)
+        )
+        try:
+            client = ServiceClient(handle.url)
+            done = _submit(client, tenant="alice")
+            client.wait(done["job_id"])
+            handle.server.scheduler.request_stop()
+            interrupted = _submit(client, tenant="alice")
+            handle.server.scheduler.store.set_state(
+                interrupted["job_id"], "running"
+            )
+        finally:
+            handle.stop()
+
+        # Life 2: a fresh server over the same store. start() recovers
+        # the journal; the job must finish from cache without recompute.
+        handle = serve_in_thread(
+            ServiceScheduler(store=JobStore(store_root), policy=policy)
+        )
+        try:
+            client = ServiceClient(handle.url)
+            record = client.wait(interrupted["job_id"])
+            assert record["state"] == "done"
+            assert record["detail"]["resumed"] is True
+            assert record["detail"]["cache_hits"] == 1
+            assert record["detail"]["cells_computed"] == 0
+            assert json.loads(client.result_bytes(interrupted["job_id"]))
+        finally:
+            handle.stop()

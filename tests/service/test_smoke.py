@@ -1,0 +1,13 @@
+"""The CI smoke entry point, at test-suite scale (tiny reference count)."""
+
+from repro.service.smoke import run_service_smoke
+
+
+def test_service_smoke_passes_at_tiny_scale():
+    report = run_service_smoke(references=800)
+    assert report["ok"] is True
+    assert report["cold_identical"] is True
+    assert report["warm_identical"] is True
+    assert report["progress_samples"] >= 1
+    assert report["manifest_done_events"] == report["grid_cells"]
+    assert report["warm_cache_hits"] == report["grid_cells"]
