@@ -22,6 +22,9 @@ Examples::
     python -m repro bench --check BENCH_perf.json   # regression guard
     python -m repro trace swim --out trace.json     # chrome://tracing view
     python -m repro --emit-metrics m.json run swim oracle pred_regular
+    python -m repro top                       # live fleet dashboard
+    python -m repro jobs --watch              # refreshing jobs table
+    python -m repro trace --job job-ab12cd    # fleet-merged job trace
 
 Commands that run grid cells cache finished results under ``.repro-cache``
 (``--no-cache`` bypasses) and accept ``--jobs N`` worker processes
@@ -251,6 +254,21 @@ def _traced_cell(benchmark, scheme, machine, args):
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.job:
+        from repro.telemetry.fleet import fleet_trace
+
+        try:
+            payload = fleet_trace(args.job)
+        except KeyError:
+            print(f"error: unknown job {args.job!r}", file=sys.stderr)
+            return 1
+        atomic_write_json(args.out, payload)
+        print(f"fleet trace for {args.job} written to {args.out}")
+        print("open it at chrome://tracing or https://ui.perfetto.dev")
+        return 0
+    if args.benchmark is None:
+        print("error: a benchmark name (or --job) is required", file=sys.stderr)
+        return 2
     if args.benchmark not in KNOWN_BENCHMARKS:
         print(f"unknown benchmark {args.benchmark!r}", file=sys.stderr)
         return 2
@@ -635,9 +653,43 @@ def _watch_job(client, job_id: str, as_json: bool = False) -> int:
     return 0 if record["state"] == "done" else 1
 
 
+def _render_jobs(snapshot: dict) -> str:
+    """The ``repro jobs --watch`` screen: jobs only, from the disk fold."""
+    import time
+
+    from repro.telemetry.top import _fmt_age
+
+    stamp = time.strftime("%H:%M:%S", time.localtime(snapshot["now"]))
+    lines = [
+        f"repro jobs  {stamp}  queued: {snapshot['queue_depth']}",
+        "",
+        f"{'job':<18}{'tenant':<14}{'state':<11}{'age':>6}{'last ev':>9}"
+        f"{'cells':>12}",
+    ]
+    for job in snapshot["jobs"]:
+        cells = f"{job['cells_done']}/{job['cells_total']}"
+        if job["cells_failed"]:
+            cells += f" !{job['cells_failed']}"
+        lines.append(
+            f"{job['job_id']:<18}{job['tenant']:<14}{job['state']:<11}"
+            f"{_fmt_age(job['age']):>6}{_fmt_age(job['last_event_age']):>9}"
+            f"{cells:>12}"
+        )
+    if not snapshot["jobs"]:
+        lines.append("(no jobs)")
+    return "\n".join(lines)
+
+
 def _cmd_jobs(args: argparse.Namespace) -> int:
     from repro.service.client import ServiceClient, ServiceError
 
+    if args.watch:
+        from repro.telemetry.top import watch
+
+        # The watch loop folds the local job store directly (like ``repro
+        # top``), so it keeps working when the service itself is down.
+        watch(interval=args.interval, render=_render_jobs)
+        return 0
     client = ServiceClient(_service_url(args))
     try:
         if args.job:
@@ -660,6 +712,11 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     if not rows:
         print("no jobs")
         return 0
+    import time
+
+    from repro.telemetry.top import _fmt_age
+
+    now = time.time()
     for record in rows:
         spec = record["spec"]
         grid = f"{len(spec['benchmarks'])}x{len(spec['schemes'])}"
@@ -670,10 +727,22 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
                 f"  hits {detail.get('cache_hits', 0)}"
                 f"/{detail.get('cells_total', 0)}"
             )
+        submitted = record.get("submitted") or 0
+        last_event = record.get("last_event") or submitted
+        age = _fmt_age(max(0.0, now - submitted) if submitted else None)
+        last = _fmt_age(max(0.0, now - last_event) if last_event else None)
         print(
             f"{record['job_id']}  {record['state']:<9} "
-            f"{spec['tenant']:<12} {grid:<6} {spec['machine']}{extra}"
+            f"{spec['tenant']:<12} {grid:<6} age {age:<5} ev {last:<5} "
+            f"{spec['machine']}{extra}"
         )
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.telemetry.top import watch
+
+    watch(interval=args.interval, once=args.once)
     return 0
 
 
@@ -833,6 +902,11 @@ def build_parser() -> argparse.ArgumentParser:
              f"(default: ${BACKEND_ENV} or 'batched'; all backends "
              "produce bit-identical results)",
     )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured logs as JSONL on stderr "
+             "(level via $REPRO_LOG: debug/info/warning/error/off)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list benchmarks, schemes and figures").set_defaults(
@@ -873,10 +947,19 @@ def build_parser() -> argparse.ArgumentParser:
         "trace",
         help="capture a cycle-stamped event trace (Chrome trace_event JSON)",
     )
-    trace.add_argument("benchmark", help="benchmark name")
+    trace.add_argument(
+        "benchmark", nargs="?", default=None,
+        help="benchmark name (omit with --job)",
+    )
     trace.add_argument(
         "--scheme", default="pred_regular",
         help="scheme to trace (default pred_regular)",
+    )
+    trace.add_argument(
+        "--job", default=None, metavar="JOB_ID",
+        help="write the fleet-merged trace of one sweep-service job "
+             "(job journal + manifests + worker beacons, read from the "
+             "local job store) instead of capturing a new replay",
     )
     trace.add_argument(
         "--diff", nargs=2, default=None, metavar=("A", "B"),
@@ -1088,7 +1171,30 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_cmd.add_argument(
         "--json", action="store_true", help="machine-readable output"
     )
+    jobs_cmd.add_argument(
+        "--watch", action="store_true",
+        help="refreshing jobs table read from the local job store",
+    )
+    jobs_cmd.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="refresh interval for --watch (default 1.0)",
+    )
     jobs_cmd.set_defaults(func=_cmd_jobs)
+
+    top = sub.add_parser(
+        "top",
+        help="live fleet dashboard: jobs, workers, leases, tenants "
+             "(reads the shared cache root, no service required)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="refresh interval (default 1.0)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print a single snapshot and exit (scripts, CI)",
+    )
+    top.set_defaults(func=_cmd_top)
 
     watch = sub.add_parser(
         "watch", help="stream one sweep-service job's live events"
@@ -1158,6 +1264,10 @@ def main(argv: list[str] | None = None) -> int:
     exit instead of a traceback.
     """
     args = build_parser().parse_args(argv)
+    if args.log_json:
+        from repro.telemetry import log
+
+        log.configure(json_mode=True)
     if args.backend:
         # Environment, not plumbing: the selection must reach every replay
         # call site, including parallel sweep workers (which inherit the

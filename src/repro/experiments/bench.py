@@ -57,6 +57,7 @@ __all__ = [
     "BENCH_BENCHMARKS",
     "BENCH_SCHEMES",
     "REPLAY_SCHEMES",
+    "available_cpus",
     "crypto_bench",
     "otp_bench",
     "replay_bench",
@@ -83,6 +84,24 @@ REPLAY_SCHEMES = (
 )
 
 _MASK64 = (1 << 64) - 1
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the machine; a cgroup- or affinity-limited
+    CI runner may be pinned to a subset, and gating ``parallel_speedup >
+    1.0`` on the machine count would then demand a speedup the runner
+    physically cannot produce.  ``sched_getaffinity`` reports the real
+    budget where the platform has it (Linux); elsewhere fall back.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0)) or 1
+        except OSError:
+            pass
+    return os.cpu_count() or 1
 
 
 def _now() -> float:
@@ -326,7 +345,7 @@ def grid_bench(
     Runs against a private temporary cache directory so benchmarking never
     touches (or is helped by) the user's ``.repro-cache``.
     """
-    jobs = jobs or (os.cpu_count() or 1)
+    jobs = jobs or available_cpus()
     cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
     saved_env = os.environ.get(result_cache.CACHE_DIR_ENV)
     os.environ[result_cache.CACHE_DIR_ENV] = cache_dir
@@ -461,7 +480,11 @@ def service_bench(references: int = 1500, seed: int = 1, trials: int = 3) -> dic
                 receipt = client.submit(
                     tenant, benchmarks, schemes, references=references, seed=seed
                 )
-                client.wait(receipt["job_id"], timeout=300.0)
+                # The client's default 0.1s poll quantizes a ~10ms warm
+                # round trip into a coin flip between 0.01s and 0.11s;
+                # poll fast enough that the measurement is the service,
+                # not the poller.
+                client.wait(receipt["job_id"], timeout=300.0, poll=0.005)
                 data = client.result_bytes(receipt["job_id"])
                 return _now() - start, data
 
@@ -509,7 +532,7 @@ def run_bench(
         "environment": {
             "python": platform.python_version(),
             "numpy": numpy_version,
-            "cpus": os.cpu_count(),
+            "cpus": available_cpus(),
             "platform": platform.system().lower(),
         },
         "crypto": crypto_bench(),
@@ -542,6 +565,15 @@ _GUARDED_SPEEDUPS = (
 _GUARDED_LATENCIES = (
     ("service", "submit_to_result_sec"),
 )
+
+#: Additive slack on latency ceilings.  Sub-second baselines sit inside
+#: the scheduler/poller quantization noise (admission poll, sampler
+#: interval, thread wakeup), which is *additive* jitter — a 0.01s
+#: baseline can honestly measure 0.1s on the next run without any code
+#: regression.  A multiplicative band alone cannot absorb that, so the
+#: ceiling also gets this flat allowance; real regressions (an
+#: accidental sleep or lock on the service path) still blow through it.
+_LATENCY_SLACK_SEC = 0.25
 
 
 def check_regression(current: dict, baseline: dict, tolerance: float = 0.2) -> list[str]:
@@ -614,11 +646,12 @@ def check_regression(current: dict, baseline: dict, tolerance: float = 0.2) -> l
         actual = (current.get(section) or {}).get(field)
         if expected is None or actual is None:
             continue
-        ceiling = expected * (1.0 + 2.0 * tolerance)
+        ceiling = expected * (1.0 + 2.0 * tolerance) + _LATENCY_SLACK_SEC
         if actual > ceiling:
             violations.append(
                 f"{section}.{field}: {actual:.2f}s > {ceiling:.2f}s "
-                f"(baseline {expected:.2f}s, tolerance 2x{tolerance:.0%})"
+                f"(baseline {expected:.2f}s, tolerance 2x{tolerance:.0%} "
+                f"+ {_LATENCY_SLACK_SEC:.2f}s slack)"
             )
     return violations
 

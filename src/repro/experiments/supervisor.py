@@ -56,6 +56,8 @@ from repro.experiments.runner import (
     run_cell,
     run_cell_isolated,
 )
+from repro.telemetry.fleet import current_trace_context
+from repro.telemetry.log import get_logger
 
 __all__ = [
     "MANIFEST_SCHEMA",
@@ -80,6 +82,8 @@ CHAOS_KILL_EXIT = 43
 _MP = multiprocessing.get_context(
     "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
 )
+
+_LOG = get_logger("supervisor")
 
 
 @dataclass(frozen=True)
@@ -412,7 +416,18 @@ class SweepManifest:
             handle.flush()
 
     def record(self, event: str, key: str, cell: str, **extra) -> None:
-        record = {"event": event, "key": key, "cell": cell, **extra}
+        # Every line carries its wall clock, its writer's pid, and — when a
+        # service job is executing — the job's trace context, so the fleet
+        # trace can place the event on the right process lane and tell
+        # overlapping jobs sharing one manifest apart.  Replay only reads
+        # event/key, so the extra fields cost nothing to older consumers.
+        record = {
+            "event": event, "key": key, "cell": cell,
+            "ts": time.time(), "pid": os.getpid(), **extra,
+        }
+        trace = current_trace_context()
+        if trace is not None:
+            record["trace"] = trace.to_dict()
         if event == "done":
             self.failed.pop(key, None)
             self.done[key] = record
@@ -576,6 +591,11 @@ class _Supervisor:
     def _degrade(self, task: _CellTask) -> None:
         """Retries exhausted: run the cell in-process, where nothing dies."""
         self.stats.degraded_cells += 1
+        _LOG.warning(
+            "cell degraded to in-process execution after retries",
+            cell=task.cell, key=task.cell_key,
+            attempts=self.policy.max_retries + 1,
+        )
         self.manifest.record("degrade", task.cell_key, task.cell)
         if self.keep_going:
             outcome = run_cell_isolated(
@@ -613,6 +633,11 @@ class _Supervisor:
     def _record_failure(self, task: _CellTask, failure: RunFailure) -> None:
         self.failures.append(failure)
         self.stats.failures += 1
+        _LOG.error(
+            "cell failed with no result",
+            cell=task.cell, key=task.cell_key,
+            error_type=failure.error_type, error=failure.message,
+        )
         self.manifest.record(
             "failed", task.cell_key, task.cell,
             error=f"{failure.error_type}: {failure.message}",
@@ -710,6 +735,11 @@ class _Supervisor:
             self._reap(cell)
             if message is None:
                 self.stats.worker_deaths += 1
+                _LOG.warning(
+                    "worker died before reporting",
+                    cell=cell.task.cell, key=cell.task.cell_key,
+                    exitcode=cell.process.exitcode, attempt=cell.attempt,
+                )
                 return (
                     "died",
                     f"worker exited with code {cell.process.exitcode} "
@@ -718,10 +748,21 @@ class _Supervisor:
             if message[0] == "ok":
                 return ("ok", message[1])
             self.stats.worker_errors += 1
+            _LOG.warning(
+                "worker reported an exception",
+                cell=cell.task.cell, key=cell.task.cell_key,
+                error_type=message[1][0], error=message[1][1],
+                attempt=cell.attempt,
+            )
             return ("error", f"worker raised {message[1][0]}: {message[1][1]}")
         if not cell.process.is_alive():
             self._reap(cell)
             self.stats.worker_deaths += 1
+            _LOG.warning(
+                "worker died before reporting",
+                cell=cell.task.cell, key=cell.task.cell_key,
+                exitcode=cell.process.exitcode, attempt=cell.attempt,
+            )
             return (
                 "died",
                 f"worker exited with code {cell.process.exitcode} "
@@ -731,6 +772,12 @@ class _Supervisor:
             cell.process.terminate()
             self._reap(cell)
             self.stats.timeouts += 1
+            _LOG.warning(
+                "worker terminated at the cell timeout",
+                cell=cell.task.cell, key=cell.task.cell_key,
+                timeout_seconds=self.policy.cell_timeout_seconds,
+                attempt=cell.attempt,
+            )
             return (
                 "timeout",
                 f"cell exceeded {self.policy.cell_timeout_seconds:.1f}s timeout",

@@ -43,6 +43,7 @@ from repro.experiments.supervisor import (
 )
 from repro.fabric.lease import Lease, LeaseLost, LeaseManager, lease_root
 from repro.ioutil import atomic_write_json
+from repro.telemetry.log import get_logger
 
 __all__ = [
     "CHAOS_KILL_EXIT",
@@ -55,6 +56,8 @@ __all__ = [
 
 #: Exit code of a chaos-commanded mid-lease worker death.
 CHAOS_KILL_EXIT = 47
+
+_LOG = get_logger("fabric.worker")
 
 
 class LeaseDirUnavailable(OSError):
@@ -263,8 +266,14 @@ class FabricWorker:
                 },
                 sort_keys=True,
             )
-        except OSError:
-            pass
+        except OSError as error:
+            # Liveness reporting must never take the drain down, but a
+            # beacon that silently stops updating looks like a dead
+            # worker to every observer — say why it stopped.
+            _LOG.warning(
+                "worker beacon write failed",
+                owner=self.owner, state=state, error=str(error),
+            )
 
     # -- the drain loop --------------------------------------------------------
 
@@ -282,6 +291,11 @@ class FabricWorker:
             probe.write_text(str(os.getpid()))
             probe.unlink()
         except OSError as err:
+            _LOG.error(
+                "lease directory unusable; degrading to single-host mode",
+                owner=self.owner, lease_root=str(self.lease.root),
+                error=str(err),
+            )
             raise LeaseDirUnavailable(
                 f"lease directory {self.lease.root} unusable: {err}"
             ) from err
@@ -310,6 +324,11 @@ class FabricWorker:
                 if not pending:
                     break
                 if time.monotonic() > deadline:
+                    _LOG.error(
+                        "drain stalled: no progress before the deadline",
+                        owner=self.owner, pending=len(pending),
+                        timeout_seconds=self.policy.drain_timeout_seconds,
+                    )
                     raise DrainStalled(
                         f"{len(pending)} cell(s) still pending after "
                         f"{self.policy.drain_timeout_seconds:.0f}s"
@@ -427,6 +446,12 @@ class FabricWorker:
             # Zombie path: the lease moved on while we computed.  The new
             # owner recomputes and journals; we record nothing.
             self.stats.cells_fenced_out += 1
+            _LOG.warning(
+                "cell fenced out: lease moved on during computation",
+                owner=self.owner, cell=cell_name, key=cell_key,
+                lease_token=lease.token, lease_lost=pump.lost,
+                store_refused=not stored,
+            )
             return
         if cached is None:
             self.stats.stores += 1

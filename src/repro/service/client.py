@@ -119,11 +119,39 @@ class ServiceClient:
         finally:
             connection.close()
 
+    def trace(self, job_id: str) -> dict:
+        """The job's fleet-merged Chrome trace (journal + manifest + beacons)."""
+        return self._request("GET", f"/v1/jobs/{job_id}/trace")
+
     def cancel(self, job_id: str) -> dict:
         return self._request("DELETE", f"/v1/jobs/{job_id}")
 
     def usage(self, tenant: str) -> dict:
         return self._request("GET", f"/v1/tenants/{tenant}/usage")
+
+    # -- operations ------------------------------------------------------------
+
+    def metrics(self) -> str:
+        """The raw ``/metrics`` Prometheus text exposition."""
+        connection = self._connection()
+        try:
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            data = response.read()
+            if response.status >= 400:
+                raise ServiceError(
+                    response.status, {"raw": data.decode("utf-8", "replace")}
+                )
+            return data.decode("utf-8")
+        finally:
+            connection.close()
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def ready(self) -> dict:
+        """The ``/readyz`` verdict; raises :class:`ServiceError` on 503."""
+        return self._request("GET", "/readyz")
 
     def events(self, job_id: str):
         """Yield the job's live event stream (blocks until terminal).

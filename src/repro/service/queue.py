@@ -164,6 +164,9 @@ class JobRecord:
     submitted: float
     events: list[dict] = field(repr=False, default_factory=list)
     detail: dict = field(default_factory=dict)
+    #: Wall clock of the newest journal line — how an operator (or
+    #: ``repro jobs``) tells a progressing job from a stuck one.
+    last_event: float = 0.0
 
     @property
     def terminal(self) -> bool:
@@ -174,6 +177,7 @@ class JobRecord:
             "job_id": self.job_id,
             "state": self.state,
             "submitted": self.submitted,
+            "last_event": self.last_event,
             "spec": self.spec.to_dict(),
             "detail": dict(self.detail),
         }
@@ -255,6 +259,7 @@ class JobStore:
         events: list[dict] = []
         state = "queued"
         detail: dict = {}
+        last_event = submitted
         try:
             text = self.journal_path(job_id).read_text()
         except FileNotFoundError:
@@ -267,6 +272,9 @@ class JobStore:
             if record is None:
                 continue  # torn line from a crash mid-append
             events.append(record)
+            ts = record.get("ts")
+            if isinstance(ts, (int, float)) and ts > last_event:
+                last_event = ts
             if record.get("event") == "state":
                 state = record.get("state", state)
                 detail = {
@@ -281,6 +289,7 @@ class JobStore:
             submitted=submitted,
             events=events,
             detail=detail,
+            last_event=last_event,
         )
 
     def jobs(self, tenant: str | None = None) -> list[JobRecord]:

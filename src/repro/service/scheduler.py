@@ -31,6 +31,8 @@ from repro.experiments.supervisor import (
     run_grid_supervised,
 )
 from repro.service.queue import TERMINAL_STATES, JobRecord, JobSpec, JobStore
+from repro.telemetry.fleet import TraceContext, span_record
+from repro.telemetry.log import get_logger
 from repro.telemetry.registry import MetricRegistry
 from repro.telemetry.snapshot import MetricsSnapshot
 
@@ -95,6 +97,15 @@ def _tenant_slug(tenant: str) -> str:
     return re.sub(r"[^a-z0-9_]", "_", tenant.lower())
 
 
+#: Seconds buckets resolving both a warm all-cache-hits job (~10ms) and a
+#: cold multi-cell grid (minutes).
+LATENCY_BOUNDS_SECONDS = (
+    0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+)
+
+_LOG = get_logger("scheduler")
+
+
 class ServiceScheduler:
     """Admission + execution loop over a :class:`JobStore`.
 
@@ -121,20 +132,28 @@ class ServiceScheduler:
         self._active: dict[str, asyncio.Task] = {}
         self._cancelled: set[str] = set()
         self._denials: dict[str, int] = {}
+        #: Wall clock of the admission loop's last iteration — the
+        #: liveness signal behind ``GET /readyz``.
+        self.last_tick = 0.0
 
     # -- admission -------------------------------------------------------------
 
     def tenant_quota(self, tenant: str) -> TenantQuota:
         return self.quotas.get(tenant, self.quota)
 
-    def submit(self, spec: JobSpec) -> dict:
+    def submit(self, spec: JobSpec, origin: str = "scheduler") -> dict:
         """Admit one job or raise :class:`QuotaExceeded`.
 
-        Returns the submission receipt: job id, state, sweep key, and the
+        Returns the submission receipt: job id, state, sweep key, the
         dedup precheck — which of the grid's cache keys already resolve
         (possibly computed by *other* tenants; content addressing makes
         that indistinguishable from this tenant's own warm cache, which
-        is the point).
+        is the point) — and the job's freshly minted trace context.
+
+        ``origin`` names the layer that accepted the submission (the HTTP
+        front door passes ``"server"``); it becomes the role of the
+        ``submitted`` span, so the fleet trace renders the entry point as
+        its own process lane.
         """
         quota = self.tenant_quota(spec.tenant)
         cells = spec.cells()
@@ -156,19 +175,33 @@ class ServiceScheduler:
         disk = default_cache()
         cached = [key for _, _, key in cells if disk.lookup_cell(key) is not None]
         record = self.store.submit(spec)
+        root = TraceContext.mint(record.job_id)
+        self.store.append(
+            record.job_id,
+            span_record("submitted", origin, root, tenant=spec.tenant),
+        )
+        self.store.append(
+            record.job_id, span_record("admitted", "scheduler", root.child())
+        )
         self.registry.counter("service.jobs.admitted").inc()
         self._refresh_queue_depth()
+        _LOG.info(
+            "job admitted", job=record.job_id, tenant=spec.tenant,
+            cells=len(cells), cached=len(cached),
+        )
         return {
             "job_id": record.job_id,
             "state": record.state,
             "sweep_key": spec.sweep_key,
             "cells_total": len(cells),
             "cached_keys": cached,
+            "trace": root.to_dict(),
         }
 
     def _deny(self, tenant: str) -> None:
         self._denials[tenant] = self._denials.get(tenant, 0) + 1
         self.registry.counter("service.jobs.denied").inc()
+        _LOG.warning("submission denied by quota", tenant=tenant)
 
     def cancel(self, job_id: str) -> JobRecord:
         """Cancel a queued or running job (idempotent for terminal states)."""
@@ -195,6 +228,7 @@ class ServiceScheduler:
         self._stop = False  # a stop request only ends the run it interrupts
         try:
             while not self._stop:
+                self.last_tick = time.time()
                 self._admit_ready()
                 await asyncio.sleep(self.policy.poll_interval_seconds)
         finally:
@@ -240,18 +274,71 @@ class ServiceScheduler:
         )
         self.registry.gauge("service.queue.depth").set(depth)
 
+    # -- liveness --------------------------------------------------------------
+
+    def heartbeat_age(self) -> float | None:
+        """Seconds since the admission loop last ticked; None before it
+        ever ran (a started-but-not-yet-looping scheduler is not ready)."""
+        if not self.last_tick:
+            return None
+        return max(0.0, time.time() - self.last_tick)
+
+    def readiness(self) -> dict:
+        """The ``/readyz`` verdict: store writable + loop heartbeating.
+
+        A scheduler whose loop stalled (deadlocked executor, crashed
+        task) or whose store is unwritable (full/read-only disk) can
+        accept a POST but never run it — that is exactly the state a
+        load balancer must route away from.
+        """
+        checks: dict[str, dict] = {}
+        probe = self.store.root / f".readyz-probe.{id(self):x}"
+        try:
+            probe.parent.mkdir(parents=True, exist_ok=True)
+            probe.write_text(str(time.time()))
+            probe.unlink()
+            checks["store_writable"] = {"ok": True}
+        except OSError as error:
+            checks["store_writable"] = {"ok": False, "error": str(error)}
+        age = self.heartbeat_age()
+        limit = max(5 * self.policy.poll_interval_seconds, 2.0)
+        checks["scheduler_loop"] = {
+            "ok": age is not None and age < limit,
+            "heartbeat_age": age,
+            "limit_seconds": limit,
+        }
+        return {
+            "ready": all(check["ok"] for check in checks.values()),
+            "checks": checks,
+        }
+
     # -- execution -------------------------------------------------------------
+
+    def _job_trace(self, record: JobRecord) -> TraceContext:
+        """The job's root trace context, replayed from its journal."""
+        for event in record.events:
+            if event.get("event") == "span" and event.get("trace"):
+                try:
+                    return TraceContext.from_dict(event["trace"])
+                except (KeyError, TypeError):
+                    continue
+        return TraceContext.mint(record.job_id)
 
     async def _execute(self, job_id: str) -> None:
         record = self.store.job(job_id)
         spec = record.spec
+        trace = self._job_trace(record)
         resumed = bool(record.detail.get("recovered"))
+        running_ts = time.time()
         self.store.set_state(job_id, "running", sweep_key=spec.sweep_key)
+        self.store.append(
+            job_id, span_record("scheduled", "scheduler", trace.child())
+        )
         loop = asyncio.get_running_loop()
         sampler = asyncio.ensure_future(self._sample_progress(job_id, spec))
         try:
             sweep, accounting = await loop.run_in_executor(
-                None, self._run_job, spec
+                None, self._run_job, spec, trace.child()
             )
         except Exception as error:  # noqa: BLE001 — journalled, not raised
             sampler.cancel()
@@ -265,6 +352,10 @@ class ServiceScheduler:
                 message=str(error),
             )
             self.registry.counter("service.jobs.failed").inc()
+            _LOG.error(
+                "job failed", job=job_id, tenant=spec.tenant,
+                error_type=type(error).__name__, error=str(error),
+            )
             return
         sampler.cancel()
         await asyncio.gather(sampler, return_exceptions=True)
@@ -274,6 +365,10 @@ class ServiceScheduler:
             # terminal state stay "cancelled".
             return
         self.store.store_result(job_id, sweep.canonical_json())
+        done_ts = time.time()
+        self.store.append(
+            job_id, span_record("result_stored", "scheduler", trace.child())
+        )
         self.store.set_state(
             job_id,
             "done",
@@ -288,40 +383,119 @@ class ServiceScheduler:
             self.registry.gauge(f"service.tenant.{slug}.cache_hit_ratio").set(
                 accounting["cache_hits"] / total
             )
+        self._observe_latency(
+            job_id, spec, submitted=record.submitted or running_ts,
+            running_ts=running_ts, done_ts=done_ts,
+        )
+        _LOG.info(
+            "job done", job=job_id, tenant=spec.tenant,
+            seconds=round(done_ts - running_ts, 3), **accounting,
+        )
 
-    def _run_job(self, spec: JobSpec):
-        """Run one grid in a worker thread; returns (sweep, accounting)."""
+    # -- latency accounting ----------------------------------------------------
+
+    def _first_cell_ts(self, job_id: str, spec: JobSpec, floor: float) -> float:
+        """When this job's first cell started, per the sweep manifest.
+
+        Prefers lines tagged with the job's trace context; falls back to
+        the first ``start`` at or after the job began running (an
+        untagged line from a direct CLI drain of the same sweep).  A
+        fully warm resume writes no ``start`` at all — then the job's
+        "first cell" is the moment execution began.
+        """
+        from repro.experiments.supervisor import parse_manifest_line
+
+        best = None
+        try:
+            text = manifest_path(default_cache().root, spec.sweep_key).read_text()
+        except OSError:
+            return floor
+        for line in text.splitlines():
+            record = parse_manifest_line(line.strip()) if line.strip() else None
+            if record is None or record.get("event") != "start":
+                continue
+            ts = record.get("ts")
+            if not isinstance(ts, (int, float)):
+                continue
+            tagged = (record.get("trace") or {}).get("job_id")
+            if tagged is not None:
+                if tagged != job_id:
+                    continue
+            elif ts < floor:
+                continue
+            if best is None or ts < best:
+                best = ts
+        return best if best is not None else floor
+
+    def _observe_latency(
+        self, job_id: str, spec: JobSpec,
+        submitted: float, running_ts: float, done_ts: float,
+    ) -> None:
+        """Journal and export the submit→schedule→first-cell→result split."""
+        first_cell = self._first_cell_ts(job_id, spec, running_ts)
+        stages = {
+            "submit_to_schedule_sec": max(0.0, running_ts - submitted),
+            "schedule_to_first_cell_sec": max(0.0, first_cell - running_ts),
+            "first_cell_to_result_sec": max(0.0, done_ts - first_cell),
+            "submit_to_result_sec": max(0.0, done_ts - submitted),
+        }
+        slug = _tenant_slug(spec.tenant)
+        for name, seconds in stages.items():
+            for metric in (
+                f"service.latency.{name}",
+                f"service.tenant.{slug}.latency.{name}",
+            ):
+                self.registry.histogram(
+                    metric, bounds=LATENCY_BOUNDS_SECONDS
+                ).observe(seconds)
+        self.store.append(
+            job_id,
+            {"event": "latency", "ts": done_ts,
+             **{name: round(value, 6) for name, value in stages.items()}},
+        )
+
+    def _run_job(self, spec: JobSpec, trace: TraceContext | None = None):
+        """Run one grid in a worker thread; returns (sweep, accounting).
+
+        The job's trace context is activated around the run — thread-local
+        for the supervisor/manifest writes happening on this thread, and
+        via ``REPRO_TRACE`` for the worker processes forked below, so
+        every manifest line lands tagged with the job that caused it.
+        """
+        from contextlib import nullcontext
+
         disk = default_cache()
         cells = spec.cells()
         hits = sum(
             1 for _, _, key in cells if disk.lookup_cell(key) is not None
         )
-        if self.policy.executor == "fabric":
-            from repro.fabric.coordinator import SwarmSpec, drain_swarm
+        with trace.activate() if trace is not None else nullcontext():
+            if self.policy.executor == "fabric":
+                from repro.fabric.coordinator import SwarmSpec, drain_swarm
 
-            sweep = drain_swarm(
-                SwarmSpec(
-                    benchmarks=spec.benchmarks,
-                    schemes=spec.schemes,
-                    machine=spec.machine,
+                sweep = drain_swarm(
+                    SwarmSpec(
+                        benchmarks=spec.benchmarks,
+                        schemes=spec.schemes,
+                        machine=spec.machine,
+                        references=spec.references,
+                        seed=spec.seed,
+                    ),
+                    workers=self.policy.fabric_workers,
+                )
+            else:
+                sweep = run_grid_supervised(
+                    list(spec.benchmarks),
+                    list(spec.schemes),
+                    machine=spec.machine_config,
                     references=spec.references,
                     seed=spec.seed,
-                ),
-                workers=self.policy.fabric_workers,
-            )
-        else:
-            sweep = run_grid_supervised(
-                list(spec.benchmarks),
-                list(spec.schemes),
-                machine=spec.machine_config,
-                references=spec.references,
-                seed=spec.seed,
-                keep_going=True,
-                jobs=self.policy.cell_jobs,
-                use_cache=True,
-                resume=True,
-                policy=SupervisorPolicy(),
-            )
+                    keep_going=True,
+                    jobs=self.policy.cell_jobs,
+                    use_cache=True,
+                    resume=True,
+                    policy=SupervisorPolicy(),
+                )
         accounting = {
             "cells_total": len(cells),
             "cache_hits": hits,

@@ -3,7 +3,8 @@
 Routes (all JSON; errors are structured ``{"error": {...}}`` envelopes):
 
 * ``POST /v1/jobs`` — submit a grid spec; 200 with job id + dedup'd
-  cache keys, or 429 when the tenant's quota rejects it;
+  cache keys + the minted trace context, or 429 when the tenant's quota
+  rejects it;
 * ``GET /v1/jobs`` / ``GET /v1/jobs?tenant=t`` — list jobs;
 * ``GET /v1/jobs/{id}`` — status (journal replay);
 * ``GET /v1/jobs/{id}/events`` — chunked ``application/x-ndjson`` live
@@ -11,12 +12,17 @@ Routes (all JSON; errors are structured ``{"error": {...}}`` envelopes):
   with the sweep manifest (per-cell start/done/failed), until terminal;
 * ``GET /v1/jobs/{id}/result`` — the canonical result bytes (409 until
   the job is done);
+* ``GET /v1/jobs/{id}/trace`` — the fleet-merged Chrome trace (journal
+  + manifest + worker beacons, one lane per process);
 * ``DELETE /v1/jobs/{id}`` — cancel;
-* ``GET /v1/tenants/{id}/usage`` — dedup accounting.
+* ``GET /v1/tenants/{id}/usage`` — dedup accounting;
+* ``GET /metrics`` — Prometheus text exposition of the scheduler's
+  registry; ``GET /healthz`` — process liveness; ``GET /readyz`` —
+  store writable + scheduler loop heartbeating (503 when not).
 
 The HTTP layer is deliberately minimal — request line, headers,
 ``Content-Length`` bodies, chunked responses — because the only clients
-are :mod:`repro.service.client`, curl, and CI.
+are :mod:`repro.service.client`, curl, Prometheus, and CI.
 """
 
 from __future__ import annotations
@@ -31,6 +37,9 @@ from repro.experiments.cache import default_cache
 from repro.experiments.supervisor import ManifestTail, manifest_path
 from repro.service.queue import JobSpec
 from repro.service.scheduler import QuotaExceeded, ServiceScheduler
+from repro.telemetry.fleet import fleet_trace
+from repro.telemetry.log import get_logger
+from repro.telemetry.prometheus import encode_exposition
 
 __all__ = ["ServiceServer", "ServiceHandle", "serve_in_thread"]
 
@@ -54,7 +63,18 @@ _REASONS = {
     409: "Conflict",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
+
+_LOG = get_logger("server")
+
+
+def _job_id_from_path(path: str) -> str | None:
+    """Best-effort job id for error logs (``/v1/jobs/<id>...`` routes)."""
+    segments = [s for s in urlsplit(path).path.split("/") if s]
+    if segments[:2] == ["v1", "jobs"] and len(segments) >= 3:
+        return segments[2]
+    return None
 
 
 class ServiceServer:
@@ -98,14 +118,28 @@ class ServiceServer:
     # -- connection handling ---------------------------------------------------
 
     async def _handle_connection(self, reader, writer) -> None:
+        method = path = None
         try:
             method, path, body = await self._read_request(reader)
+            self.scheduler.registry.counter("service.http.requests").inc()
             await self._dispatch(writer, method, path, body)
         except _HttpError as error:
+            if error.status >= 500:
+                self.scheduler.registry.counter("service.http.errors").inc()
             await self._send_json(writer, error.status, error.payload)
         except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
             pass
         except Exception as error:  # noqa: BLE001 — fault barrier per connection
+            # The barrier keeps one bad handler from killing the accept
+            # loop, but a swallowed exception is an invisible 500: count
+            # it and say which request (and job) blew up.
+            self.scheduler.registry.counter("service.http.errors").inc()
+            _LOG.error(
+                "request handler failed",
+                method=method, path=path,
+                job=_job_id_from_path(path) if path else None,
+                error_type=type(error).__name__, error=str(error),
+            )
             try:
                 await self._send_json(
                     writer,
@@ -155,6 +189,15 @@ class ServiceServer:
         split = urlsplit(path)
         query = {k: v[0] for k, v in parse_qs(split.query).items()}
         segments = [s for s in split.path.split("/") if s]
+        if segments == ["metrics"] and method == "GET":
+            return await self._get_metrics(writer)
+        if segments == ["healthz"] and method == "GET":
+            return await self._send_json(writer, 200, {"ok": True})
+        if segments == ["readyz"] and method == "GET":
+            verdict = self.scheduler.readiness()
+            return await self._send_json(
+                writer, 200 if verdict["ready"] else 503, verdict
+            )
         if segments[:2] == ["v1", "jobs"]:
             if len(segments) == 2:
                 if method == "POST":
@@ -174,6 +217,8 @@ class ServiceServer:
                     return await self._stream_events(writer, job_id)
                 if segments[3] == "result":
                     return await self._get_result(writer, job_id)
+                if segments[3] == "trace":
+                    return await self._get_trace(writer, job_id)
         elif (
             segments[:2] == ["v1", "tenants"]
             and len(segments) == 4
@@ -194,11 +239,28 @@ class ServiceServer:
         except (ValueError, KeyError, TypeError) as error:
             raise _HttpError(400, "bad_spec", str(error)) from None
         try:
-            receipt = self.scheduler.submit(spec)
+            receipt = self.scheduler.submit(spec, origin="server")
         except QuotaExceeded as error:
             await self._send_json(writer, error.status, error.to_dict())
             return
         await self._send_json(writer, 200, receipt)
+
+    async def _get_metrics(self, writer) -> None:
+        registry = self.scheduler.registry
+        text = encode_exposition(registry.values(), registry.kinds())
+        await self._send_raw(
+            writer, 200, "text/plain; version=0.0.4; charset=utf-8",
+            text.encode("utf-8"),
+        )
+
+    async def _get_trace(self, writer, job_id: str) -> None:
+        record = self._job_record(job_id)  # 404 before the folding work
+        del record
+        loop = asyncio.get_running_loop()
+        payload = await loop.run_in_executor(
+            None, fleet_trace, job_id, self.scheduler.store
+        )
+        await self._send_json(writer, 200, payload)
 
     def _job_record(self, job_id: str):
         try:

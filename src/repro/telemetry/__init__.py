@@ -20,9 +20,23 @@ instrument rack that makes those arguments checkable on any run:
 * :mod:`repro.telemetry.profile` — wall-time ``perf_counter`` scopes
   around the hot paths (batch AES, pad memo, hierarchy simulation) that
   collapse to a shared no-op object while profiling is off.
+* :mod:`repro.telemetry.fleet` — cross-process job tracing: the
+  :class:`~repro.telemetry.fleet.TraceContext` minted at job submission
+  and carried (thread-local + ``REPRO_TRACE``) into scheduler, supervisor
+  and fabric workers, plus the fold of journal + manifest + beacons into
+  one Chrome trace (``repro trace --job``).
+* :mod:`repro.telemetry.prometheus` — Prometheus text exposition over the
+  registry (``GET /metrics``) and the pure-python linter CI scrapes with.
+* :mod:`repro.telemetry.log` — structured (JSONL-capable) operational
+  logging with bound job/tenant/lease fields, adopted by every fleet
+  component's failure paths.
+* :mod:`repro.telemetry.top` — the ``repro top`` fleet dashboard, folded
+  entirely from durable on-disk state.
 
-The package deliberately imports nothing from the rest of ``repro`` so any
-layer — crypto, memory, secure, experiments — can depend on it.
+The package deliberately imports nothing from the rest of ``repro`` at
+module level, so any layer — crypto, memory, secure, experiments — can
+depend on it (``fleet``/``top`` reach into the service and fabric layers
+lazily, inside their folding functions only).
 """
 
 from repro.telemetry.events import (
@@ -33,7 +47,20 @@ from repro.telemetry.events import (
     merge_chrome_traces,
     validate_chrome_trace,
 )
+from repro.telemetry.fleet import (
+    TraceContext,
+    current_trace_context,
+    fleet_trace,
+    span_record,
+)
+from repro.telemetry.log import StructuredLogger, get_logger
 from repro.telemetry.profile import PROFILER, Profiler, profile_scope
+from repro.telemetry.prometheus import (
+    check_monotone_counters,
+    encode_exposition,
+    lint_exposition,
+    parse_exposition,
+)
 from repro.telemetry.registry import (
     NULL_REGISTRY,
     Counter,
@@ -65,4 +92,14 @@ __all__ = [
     "Profiler",
     "PROFILER",
     "profile_scope",
+    "TraceContext",
+    "current_trace_context",
+    "fleet_trace",
+    "span_record",
+    "StructuredLogger",
+    "get_logger",
+    "encode_exposition",
+    "parse_exposition",
+    "lint_exposition",
+    "check_monotone_counters",
 ]

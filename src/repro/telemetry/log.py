@@ -1,0 +1,180 @@
+"""Structured logging: one line per operational event, fleet-wide.
+
+Every process in the fleet — HTTP server, scheduler, supervisor, fabric
+workers — emits operational events (worker deaths, lease losses, handler
+exceptions, job failures) through one logger so an operator can grep a
+single stream by ``job`` / ``tenant`` / ``component`` instead of
+reconstructing failures from silent ``pass`` branches.
+
+Two output formats over the same records:
+
+* **human** (default) — ``2026-08-07T12:00:00Z WARN supervisor worker
+  died job=job-ab12 cell=gzip/oracle`` — readable in a terminal;
+* **JSONL** (``--log-json`` or ``REPRO_LOG_JSON=1``) — one JSON object
+  per line with ``ts``/``level``/``component``/``message`` plus every
+  bound field, machine-foldable next to the job journals.
+
+The level comes from ``REPRO_LOG`` (``debug``/``info``/``warning``/
+``error``/``off``; default ``warning`` so failure paths are visible but
+happy paths stay quiet).  :func:`configure` overrides the environment for
+the current process (the CLI's ``--log-json`` flag and tests use it).
+
+Loggers are cheap: a disabled level costs one dict lookup and an integer
+compare, so instrumented failure paths can log unconditionally.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+__all__ = [
+    "LOG_LEVEL_ENV",
+    "LOG_JSON_ENV",
+    "LEVELS",
+    "StructuredLogger",
+    "configure",
+    "reset",
+    "get_logger",
+]
+
+LOG_LEVEL_ENV = "REPRO_LOG"
+LOG_JSON_ENV = "REPRO_LOG_JSON"
+
+#: Severity ranks; ``off`` suppresses everything.
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40, "off": 100}
+
+_DEFAULT_LEVEL = "warning"
+
+
+class _LogConfig:
+    """Process-wide sink configuration (level, format, stream)."""
+
+    def __init__(self):
+        self.level_override: str | None = None
+        self.json_override: bool | None = None
+        self.stream = None  # None -> sys.stderr at emit time
+
+    @property
+    def threshold(self) -> int:
+        level = self.level_override
+        if level is None:
+            level = os.environ.get(LOG_LEVEL_ENV, _DEFAULT_LEVEL).lower()
+        return LEVELS.get(level, LEVELS[_DEFAULT_LEVEL])
+
+    @property
+    def json_mode(self) -> bool:
+        if self.json_override is not None:
+            return self.json_override
+        return os.environ.get(LOG_JSON_ENV, "") not in ("", "0", "false")
+
+
+_CONFIG = _LogConfig()
+
+
+def configure(
+    level: str | None = None,
+    json_mode: bool | None = None,
+    stream=None,
+) -> None:
+    """Override environment-derived logging settings for this process.
+
+    ``level`` of ``None`` keeps the current override; the CLI calls
+    ``configure(json_mode=True)`` for ``--log-json``.  Tests pass a
+    ``stream`` to capture output.
+    """
+    if level is not None:
+        if level not in LEVELS:
+            raise ValueError(
+                f"unknown log level {level!r}; choose from {', '.join(LEVELS)}"
+            )
+        _CONFIG.level_override = level
+    if json_mode is not None:
+        _CONFIG.json_override = json_mode
+    if stream is not None:
+        _CONFIG.stream = stream
+
+
+def reset() -> None:
+    """Drop every override (back to ``REPRO_LOG``/``REPRO_LOG_JSON``)."""
+    _CONFIG.level_override = None
+    _CONFIG.json_override = None
+    _CONFIG.stream = None
+
+
+def _render_human(record: dict) -> str:
+    stamp = time.strftime(
+        "%Y-%m-%dT%H:%M:%SZ", time.gmtime(record["ts"])
+    )
+    head = (
+        f"{stamp} {record['level'].upper():<7} "
+        f"{record['component']} {record['message']}"
+    )
+    fields = " ".join(
+        f"{key}={record[key]}"
+        for key in sorted(record)
+        if key not in ("ts", "level", "component", "message")
+    )
+    return f"{head} {fields}" if fields else head
+
+
+class StructuredLogger:
+    """One component's logger, with bound correlation fields.
+
+    ``bind`` returns a child logger carrying extra fields (``job``,
+    ``tenant``, ``lease_token``...) that land on every record it emits —
+    the trace-context discipline applied to logs.
+    """
+
+    __slots__ = ("component", "fields")
+
+    def __init__(self, component: str, fields: dict | None = None):
+        self.component = component
+        self.fields = dict(fields or {})
+
+    def bind(self, **fields) -> "StructuredLogger":
+        return StructuredLogger(self.component, {**self.fields, **fields})
+
+    def enabled(self, level: str) -> bool:
+        return LEVELS.get(level, 100) >= _CONFIG.threshold
+
+    def log(self, level: str, message: str, **fields) -> None:
+        if not self.enabled(level):
+            return
+        record = {
+            "ts": time.time(),
+            "level": level,
+            "component": self.component,
+            "message": message,
+            **self.fields,
+            **{k: v for k, v in fields.items() if v is not None},
+        }
+        if _CONFIG.json_mode:
+            line = json.dumps(record, sort_keys=True, default=str)
+        else:
+            line = _render_human(record)
+        stream = _CONFIG.stream or sys.stderr
+        try:
+            stream.write(line + "\n")
+            stream.flush()
+        except (OSError, ValueError):
+            pass  # a dead stderr must never take the job down with it
+
+    def debug(self, message: str, **fields) -> None:
+        self.log("debug", message, **fields)
+
+    def info(self, message: str, **fields) -> None:
+        self.log("info", message, **fields)
+
+    def warning(self, message: str, **fields) -> None:
+        self.log("warning", message, **fields)
+
+    def error(self, message: str, **fields) -> None:
+        self.log("error", message, **fields)
+
+
+def get_logger(component: str, **fields) -> StructuredLogger:
+    """A logger named for one component, optionally with bound fields."""
+    return StructuredLogger(component, fields or None)

@@ -1,0 +1,370 @@
+"""Prometheus text exposition over the typed metric registry.
+
+:func:`encode_exposition` renders a :class:`~repro.telemetry.registry.
+MetricRegistry` (or a raw ``values``/``kinds`` pair, e.g. from a stored
+snapshot) in the Prometheus *text exposition format 0.0.4* — the format
+``GET /metrics`` must serve for any off-the-shelf scraper:
+
+* dotted registry names are mangled to underscores under a ``repro_``
+  prefix: ``service.jobs.submitted`` → ``repro_service_jobs_submitted``;
+* counters get the conventional ``_total`` suffix;
+* histograms expand to cumulative ``_bucket{le="..."}`` series plus
+  ``_sum`` / ``_count`` (the registry's per-bucket counts are
+  *non*-cumulative, so the encoder prefix-sums them);
+* per-tenant metrics named ``service.tenant.<slug>.<rest>`` fold into
+  one family ``repro_service_tenant_<rest>{tenant="<slug>"}`` so a
+  scraper can aggregate across tenants, and label values are escaped
+  per spec (``\\``, ``\"``, ``\n``).
+
+:func:`parse_exposition` / :func:`lint_exposition` are the pure-python
+inverse used by tests and the CI ``metrics-smoke`` job: they check
+HELP/TYPE discipline, name/label syntax, histogram bucket invariants,
+and (given two successive scrapes) counter monotonicity — without
+needing a real Prometheus binary in the container.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+__all__ = [
+    "encode_exposition",
+    "parse_exposition",
+    "lint_exposition",
+    "check_monotone_counters",
+]
+
+#: Prometheus metric-name and label-name grammar (no leading digit).
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Registry names matching this fold the slug into a ``tenant`` label.
+_TENANT_RE = re.compile(r"^service\.tenant\.([a-z0-9_]+)\.([a-z0-9_.]+)$")
+
+_PREFIX = "repro_"
+
+
+def _mangle(name: str) -> str:
+    return _PREFIX + name.replace(".", "_")
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return repr(float(value))
+
+
+def _labels_text(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _split_tenant(name: str) -> tuple[str, dict[str, str]]:
+    """Fold ``service.tenant.<slug>.<rest>`` into a labeled family."""
+    match = _TENANT_RE.match(name)
+    if match is None:
+        return name, {}
+    slug, rest = match.groups()
+    return f"service.tenant.{rest}", {"tenant": slug}
+
+
+def encode_exposition(
+    values: dict,
+    kinds: dict,
+    help_text: dict[str, str] | None = None,
+) -> str:
+    """Render registry export data as Prometheus text format.
+
+    ``values`` / ``kinds`` are the registry's ``values()`` / ``kinds()``
+    maps (or a snapshot's).  Families sharing a mangled name after
+    tenant folding emit one HELP/TYPE header followed by every labeled
+    sample; mixed kinds under one family raise, since that would be an
+    unscrapeable exposition.
+    """
+    help_text = help_text or {}
+    # family name -> {"kind": ..., "help": ..., "samples": [(labels, value)]}
+    families: dict[str, dict] = {}
+    for name in sorted(values):
+        kind = kinds.get(name, "gauge")
+        family, labels = _split_tenant(name)
+        entry = families.setdefault(
+            family,
+            {"kind": kind, "help": help_text.get(family, ""), "samples": []},
+        )
+        if entry["kind"] != kind:
+            raise ValueError(
+                f"metric family {family!r} mixes kinds "
+                f"{entry['kind']!r} and {kind!r}"
+            )
+        entry["samples"].append((labels, values[name]))
+
+    lines: list[str] = []
+    for family in sorted(families):
+        entry = families[family]
+        kind = entry["kind"]
+        base = _mangle(family)
+        if kind == "counter":
+            base += "_total"
+        help_line = entry["help"] or f"repro metric {family}"
+        lines.append(f"# HELP {base} {help_line}")
+        lines.append(f"# TYPE {base} {kind}")
+        for labels, value in entry["samples"]:
+            if kind == "histogram":
+                _encode_histogram(lines, base, labels, value)
+            else:
+                lines.append(
+                    f"{base}{_labels_text(labels)} {_format_value(value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def _encode_histogram(
+    lines: list[str], base: str, labels: dict[str, str], export: dict
+) -> None:
+    bounds = export["bounds"]
+    counts = export["counts"]
+    cumulative = 0
+    for bound, bucket in zip(bounds, counts):
+        cumulative += bucket
+        bucket_labels = {**labels, "le": _format_value(bound)}
+        lines.append(
+            f"{base}_bucket{_labels_text(bucket_labels)} {cumulative}"
+        )
+    cumulative += counts[len(bounds)]
+    inf_labels = {**labels, "le": "+Inf"}
+    lines.append(f"{base}_bucket{_labels_text(inf_labels)} {cumulative}")
+    lines.append(
+        f"{base}_sum{_labels_text(labels)} {_format_value(export['sum'])}"
+    )
+    lines.append(f"{base}_count{_labels_text(labels)} {export['count']}")
+
+
+# --------------------------------------------------------------------------
+# Parsing / linting (the smoke job's stand-in for a real scraper)
+# --------------------------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<ts>-?\d+))?\s*$"
+)
+_LABEL_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+
+
+def _unescape_label_value(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def parse_exposition(text: str) -> dict:
+    """Parse exposition text into ``{family: {...}}``; raise on bad syntax.
+
+    Returns, per family name (base name without ``_bucket``/``_sum``/
+    ``_count`` suffixes for histograms): ``{"type": ..., "help": ...,
+    "samples": {sample_name: {labels_key: value}}}`` where ``labels_key``
+    is the sorted ``(name, value)`` tuple of the sample's labels.
+    """
+    families: dict[str, dict] = {}
+    typed: dict[str, str] = {}
+
+    def family_for(sample_name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            trimmed = sample_name.removesuffix(suffix)
+            if trimmed != sample_name and typed.get(trimmed) == "histogram":
+                return trimmed
+        return sample_name
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 3:
+                raise ValueError(f"line {lineno}: malformed HELP line")
+            name = parts[2]
+            families.setdefault(
+                name, {"type": None, "help": None, "samples": {}}
+            )["help"] = parts[3] if len(parts) > 3 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE line")
+            _, _, name, kind = parts
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {lineno}: unknown TYPE {kind!r}")
+            families.setdefault(
+                name, {"type": None, "help": None, "samples": {}}
+            )["type"] = kind
+            typed[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # free comment
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: unparseable sample: {line!r}")
+        sample_name = match.group("name")
+        labels_blob = match.group("labels")
+        labels: dict[str, str] = {}
+        if labels_blob is not None:
+            consumed = 0
+            for label in _LABEL_RE.finditer(labels_blob):
+                labels[label.group("name")] = _unescape_label_value(
+                    label.group("value")
+                )
+                consumed = label.end()
+            remainder = labels_blob[consumed:].strip().strip(",")
+            if remainder:
+                raise ValueError(
+                    f"line {lineno}: malformed labels: {labels_blob!r}"
+                )
+        value = _parse_value(match.group("value"))
+        family = families.setdefault(
+            family_for(sample_name), {"type": None, "help": None, "samples": {}}
+        )
+        labels_key = tuple(sorted(labels.items()))
+        family["samples"].setdefault(sample_name, {})[labels_key] = value
+    return families
+
+
+def lint_exposition(text: str) -> list[str]:
+    """Check scraper-facing invariants; return human-readable problems.
+
+    An empty list means the exposition is well-formed: every family has
+    HELP and TYPE before its samples, names and labels match the
+    grammar, counters are finite and non-negative, and histogram bucket
+    series are cumulative with a ``+Inf`` bucket equal to ``_count``.
+    """
+    problems: list[str] = []
+    try:
+        families = parse_exposition(text)
+    except ValueError as error:
+        return [str(error)]
+    if not families:
+        return ["exposition is empty"]
+
+    for name in sorted(families):
+        entry = families[name]
+        if not _METRIC_NAME_RE.match(name):
+            problems.append(f"{name}: invalid metric name")
+        if entry["type"] is None:
+            problems.append(f"{name}: missing # TYPE line")
+        if entry["help"] is None:
+            problems.append(f"{name}: missing # HELP line")
+        if not entry["samples"]:
+            problems.append(f"{name}: family declared but has no samples")
+        for sample_name, series in entry["samples"].items():
+            for labels_key, value in series.items():
+                for label_name, _ in labels_key:
+                    if not _LABEL_NAME_RE.match(label_name):
+                        problems.append(
+                            f"{sample_name}: invalid label name {label_name!r}"
+                        )
+                if entry["type"] == "counter" and (
+                    math.isnan(value) or value < 0
+                ):
+                    problems.append(
+                        f"{sample_name}: counter value {value} not >= 0"
+                    )
+        if entry["type"] == "counter" and not name.endswith("_total"):
+            problems.append(f"{name}: counter family should end in _total")
+        if entry["type"] == "histogram":
+            problems.extend(_lint_histogram(name, entry["samples"]))
+    return problems
+
+
+def _lint_histogram(name: str, samples: dict) -> list[str]:
+    problems: list[str] = []
+    buckets = samples.get(f"{name}_bucket", {})
+    counts = samples.get(f"{name}_count", {})
+    if not buckets:
+        problems.append(f"{name}: histogram without _bucket samples")
+        return problems
+    # Group bucket samples by their non-le labels.
+    grouped: dict[tuple, list[tuple[float, float]]] = {}
+    for labels_key, value in buckets.items():
+        le = dict(labels_key).get("le")
+        if le is None:
+            problems.append(f"{name}: bucket sample missing le label")
+            continue
+        rest = tuple(kv for kv in labels_key if kv[0] != "le")
+        grouped.setdefault(rest, []).append((_parse_value(le), value))
+    for rest, series in grouped.items():
+        series.sort(key=lambda pair: pair[0])
+        last = -math.inf
+        for bound, value in series:
+            if value < last:
+                problems.append(
+                    f"{name}: bucket counts not cumulative at le={bound}"
+                )
+            last = value
+        if not series or not math.isinf(series[-1][0]):
+            problems.append(f"{name}: histogram missing le=+Inf bucket")
+        elif rest in counts or () in counts:
+            total = counts.get(rest, counts.get(()))
+            if total is not None and series[-1][1] != total:
+                problems.append(
+                    f"{name}: +Inf bucket {series[-1][1]} != _count {total}"
+                )
+    return problems
+
+
+def check_monotone_counters(before: str, after: str) -> list[str]:
+    """Compare two successive scrapes; counters must never decrease."""
+    problems: list[str] = []
+    first = parse_exposition(before)
+    second = parse_exposition(after)
+    for name, entry in first.items():
+        if entry["type"] not in ("counter", "histogram"):
+            continue
+        later = second.get(name)
+        if later is None:
+            problems.append(f"{name}: counter family vanished between scrapes")
+            continue
+        for sample_name, series in entry["samples"].items():
+            for labels_key, value in series.items():
+                new_value = later["samples"].get(sample_name, {}).get(
+                    labels_key
+                )
+                if new_value is None:
+                    problems.append(
+                        f"{sample_name}{dict(labels_key)}: sample vanished"
+                    )
+                elif new_value < value:
+                    problems.append(
+                        f"{sample_name}{dict(labels_key)}: "
+                        f"decreased {value} -> {new_value}"
+                    )
+    return problems

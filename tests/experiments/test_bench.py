@@ -4,6 +4,7 @@ import pytest
 
 from repro.experiments.bench import (
     REPLAY_SCHEMES,
+    available_cpus,
     check_regression,
     render_report,
     replay_bench,
@@ -31,6 +32,32 @@ def _report(vector=4.0, otp=2.0, warm=10.0, parallel=2.5,
     if cpus is not None:
         report["environment"] = {"cpus": cpus}
     return report
+
+
+class TestAvailableCpus:
+    def test_positive_and_bounded_by_machine(self):
+        import os
+
+        cpus = available_cpus()
+        assert cpus >= 1
+        assert cpus <= (os.cpu_count() or cpus)
+
+    def test_respects_affinity_mask(self, monkeypatch):
+        # A cgroup/affinity-limited runner must report its real budget,
+        # not the machine's — that is what the speedup gate keys on.
+        monkeypatch.setattr(
+            "os.sched_getaffinity", lambda pid: {0, 1}, raising=False
+        )
+        assert available_cpus() == 2
+
+    def test_falls_back_when_affinity_unavailable(self, monkeypatch):
+        def broken(pid):
+            raise OSError("not supported")
+
+        monkeypatch.setattr("os.sched_getaffinity", broken, raising=False)
+        import os
+
+        assert available_cpus() == (os.cpu_count() or 1)
 
 
 class TestCheckRegression:
@@ -249,9 +276,16 @@ class TestServiceLatencyGuard:
 
     def test_latency_over_ceiling_fails(self):
         baseline = self._with_service(_report(), latency=0.2)
-        current = self._with_service(_report(), latency=0.5)
+        current = self._with_service(_report(), latency=0.6)
         violations = check_regression(current, baseline, tolerance=0.2)
         assert any("service.submit_to_result_sec" in v for v in violations)
+
+    def test_small_baselines_get_additive_jitter_slack(self):
+        # A 0.01s baseline is inside scheduler-poll quantization noise;
+        # a 0.1s measurement next run is jitter, not a regression.
+        baseline = self._with_service(_report(), latency=0.01)
+        current = self._with_service(_report(), latency=0.11)
+        assert check_regression(current, baseline, tolerance=0.2) == []
 
     def test_latency_improvements_always_pass(self):
         baseline = self._with_service(_report(), latency=0.5)

@@ -1,0 +1,147 @@
+"""Structured logging: levels, formats, binding, and failure tolerance."""
+
+import io
+import json
+
+import pytest
+
+from repro.telemetry import log
+from repro.telemetry.log import LEVELS, StructuredLogger, get_logger
+
+
+@pytest.fixture(autouse=True)
+def _clean_config(monkeypatch):
+    """Every test starts from environment defaults and ends reset."""
+    monkeypatch.delenv(log.LOG_LEVEL_ENV, raising=False)
+    monkeypatch.delenv(log.LOG_JSON_ENV, raising=False)
+    log.reset()
+    yield
+    log.reset()
+
+
+def _capture(level="debug", json_mode=False):
+    stream = io.StringIO()
+    log.configure(level=level, json_mode=json_mode, stream=stream)
+    return stream
+
+
+class TestLevels:
+    def test_default_threshold_is_warning(self):
+        stream = io.StringIO()
+        log.configure(stream=stream)  # level stays env-derived (warning)
+        logger = get_logger("test")
+        logger.info("quiet")
+        logger.warning("loud")
+        assert "quiet" not in stream.getvalue()
+        assert "loud" in stream.getvalue()
+
+    def test_env_level_is_honored(self, monkeypatch):
+        monkeypatch.setenv(log.LOG_LEVEL_ENV, "error")
+        stream = io.StringIO()
+        log.configure(stream=stream)
+        logger = get_logger("test")
+        logger.warning("suppressed")
+        logger.error("emitted")
+        assert "suppressed" not in stream.getvalue()
+        assert "emitted" in stream.getvalue()
+
+    def test_off_suppresses_everything(self):
+        stream = _capture(level="off")
+        get_logger("test").error("nothing")
+        assert stream.getvalue() == ""
+
+    def test_configure_rejects_unknown_level(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            log.configure(level="verbose")
+
+    def test_enabled_is_cheap_predicate(self):
+        _capture(level="warning")
+        logger = get_logger("test")
+        assert not logger.enabled("debug")
+        assert logger.enabled("error")
+
+    def test_level_ranks_are_ordered(self):
+        assert (
+            LEVELS["debug"] < LEVELS["info"] < LEVELS["warning"]
+            < LEVELS["error"] < LEVELS["off"]
+        )
+
+
+class TestFormats:
+    def test_json_lines_are_machine_parseable(self):
+        stream = _capture(json_mode=True)
+        get_logger("scheduler").error("job failed", job="job-1", code=3)
+        record = json.loads(stream.getvalue())
+        assert record["component"] == "scheduler"
+        assert record["level"] == "error"
+        assert record["message"] == "job failed"
+        assert record["job"] == "job-1"
+        assert record["code"] == 3
+        assert isinstance(record["ts"], float)
+
+    def test_json_env_flag_switches_format(self, monkeypatch):
+        monkeypatch.setenv(log.LOG_JSON_ENV, "1")
+        stream = io.StringIO()
+        log.configure(level="debug", stream=stream)
+        get_logger("test").info("hello")
+        assert json.loads(stream.getvalue())["message"] == "hello"
+
+    def test_human_line_carries_fields_sorted(self):
+        stream = _capture()
+        get_logger("worker").warning("cell fenced out", owner="w1", cell="gzip")
+        line = stream.getvalue().strip()
+        assert "WARNING" in line
+        assert "worker cell fenced out" in line
+        assert line.endswith("cell=gzip owner=w1")
+
+    def test_unserializable_fields_degrade_to_str(self):
+        stream = _capture(json_mode=True)
+        get_logger("test").error("boom", error=ValueError("bad"))
+        assert json.loads(stream.getvalue())["error"] == "bad"
+
+
+class TestBinding:
+    def test_bound_fields_land_on_every_record(self):
+        stream = _capture(json_mode=True)
+        logger = get_logger("fabric.worker").bind(owner="w2", job="job-9")
+        logger.error("lease lost")
+        record = json.loads(stream.getvalue())
+        assert record["owner"] == "w2"
+        assert record["job"] == "job-9"
+
+    def test_bind_returns_new_logger(self):
+        base = get_logger("c")
+        child = base.bind(job="x")
+        assert base.fields == {}
+        assert child.fields == {"job": "x"}
+
+    def test_call_site_fields_override_bound(self):
+        stream = _capture(json_mode=True)
+        get_logger("c").bind(job="old").error("m", job="new")
+        assert json.loads(stream.getvalue())["job"] == "new"
+
+    def test_none_fields_are_dropped(self):
+        stream = _capture(json_mode=True)
+        get_logger("c").error("m", job=None, cell="a")
+        record = json.loads(stream.getvalue())
+        assert "job" not in record
+        assert record["cell"] == "a"
+
+
+class TestFailureTolerance:
+    def test_dead_stream_never_raises(self):
+        class Dead:
+            def write(self, _):
+                raise OSError("broken pipe")
+
+            def flush(self):
+                raise OSError("broken pipe")
+
+        log.configure(level="debug", stream=Dead())
+        get_logger("test").error("does not raise")
+
+    def test_logger_is_plain_object(self):
+        logger = StructuredLogger("x")
+        assert logger.component == "x"
+        with pytest.raises(AttributeError):
+            logger.arbitrary = 1  # __slots__: no per-record allocations

@@ -1,0 +1,189 @@
+"""Prometheus exposition: encoding, parsing, linting, monotonicity."""
+
+import math
+
+import pytest
+
+from repro.telemetry.prometheus import (
+    check_monotone_counters,
+    encode_exposition,
+    lint_exposition,
+    parse_exposition,
+)
+from repro.telemetry.registry import MetricRegistry
+
+
+def _registry():
+    registry = MetricRegistry()
+    registry.counter("service.jobs.admitted").inc(3)
+    registry.gauge("service.queue.depth").set(2)
+    registry.histogram(
+        "service.latency.submit_to_result_sec", bounds=(0.1, 1.0)
+    ).observe(0.5)
+    return registry
+
+
+class TestEncode:
+    def test_counter_gets_total_suffix_and_headers(self):
+        text = encode_exposition({"service.jobs.admitted": 3},
+                                 {"service.jobs.admitted": "counter"})
+        assert "# HELP repro_service_jobs_admitted_total" in text
+        assert "# TYPE repro_service_jobs_admitted_total counter" in text
+        assert "\nrepro_service_jobs_admitted_total 3\n" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = _registry()
+        text = encode_exposition(registry.values(), registry.kinds())
+        base = "repro_service_latency_submit_to_result_sec"
+        # Registry counts are per-bucket (0, 1, 0); exposition must be
+        # the running sum with an +Inf bucket equal to _count.
+        assert f'{base}_bucket{{le="0.1"}} 0' in text
+        assert f'{base}_bucket{{le="1.0"}} 1' in text
+        assert f'{base}_bucket{{le="+Inf"}} 1' in text
+        assert f"{base}_count 1" in text
+        assert f"{base}_sum 0.5" in text
+
+    def test_tenant_names_fold_into_labels(self):
+        values = {
+            "service.tenant.alice.cache_hit_ratio": 0.5,
+            "service.tenant.bob.cache_hit_ratio": 1.0,
+        }
+        kinds = dict.fromkeys(values, "gauge")
+        text = encode_exposition(values, kinds)
+        # One family, two labeled samples — aggregatable across tenants.
+        assert text.count("# TYPE repro_service_tenant_cache_hit_ratio") == 1
+        assert 'repro_service_tenant_cache_hit_ratio{tenant="alice"} 0.5' in text
+        assert 'repro_service_tenant_cache_hit_ratio{tenant="bob"} 1.0' in text
+
+    def test_mixed_kinds_in_one_family_raise(self):
+        values = {
+            "service.tenant.a.latency": 1.0,
+            "service.tenant.b.latency": 2.0,
+        }
+        kinds = {
+            "service.tenant.a.latency": "gauge",
+            "service.tenant.b.latency": "counter",
+        }
+        with pytest.raises(ValueError, match="mixes kinds"):
+            encode_exposition(values, kinds)
+
+    def test_special_float_values(self):
+        text = encode_exposition(
+            {"a": math.inf, "b": -math.inf, "c": math.nan},
+            {"a": "gauge", "b": "gauge", "c": "gauge"},
+        )
+        assert "repro_a +Inf" in text
+        assert "repro_b -Inf" in text
+        assert "repro_c NaN" in text
+
+    def test_exposition_ends_with_newline(self):
+        assert encode_exposition({"a": 1}, {"a": "gauge"}).endswith("\n")
+
+
+class TestParseRoundtrip:
+    def test_registry_roundtrips_through_text(self):
+        registry = _registry()
+        families = parse_exposition(
+            encode_exposition(registry.values(), registry.kinds())
+        )
+        counter = families["repro_service_jobs_admitted_total"]
+        assert counter["type"] == "counter"
+        assert counter["samples"]["repro_service_jobs_admitted_total"][()] == 3
+        hist = families["repro_service_latency_submit_to_result_sec"]
+        assert hist["type"] == "histogram"
+        count = hist["samples"][
+            "repro_service_latency_submit_to_result_sec_count"
+        ]
+        assert count[()] == 1
+
+    def test_labels_parse_with_escapes(self):
+        text = encode_exposition(
+            {"service.tenant.t_1.hits": 2},
+            {"service.tenant.t_1.hits": "counter"},
+        )
+        families = parse_exposition(text)
+        samples = families["repro_service_tenant_hits_total"]["samples"]
+        assert samples["repro_service_tenant_hits_total"][
+            (("tenant", "t_1"),)
+        ] == 2
+
+    def test_bad_syntax_raises(self):
+        with pytest.raises(ValueError):
+            parse_exposition("not a metric line at all{{{\n")
+
+
+class TestLint:
+    def test_clean_registry_exposition_passes(self):
+        registry = _registry()
+        text = encode_exposition(registry.values(), registry.kinds())
+        assert lint_exposition(text) == []
+
+    def test_missing_type_is_flagged(self):
+        problems = lint_exposition("repro_x_total 3\n")
+        assert any("TYPE" in p for p in problems)
+
+    def test_counter_without_total_suffix_is_flagged(self):
+        text = (
+            "# HELP repro_x repro metric x\n"
+            "# TYPE repro_x counter\n"
+            "repro_x 3\n"
+        )
+        assert any("_total" in p for p in lint_exposition(text))
+
+    def test_negative_counter_is_flagged(self):
+        text = (
+            "# HELP repro_x_total repro metric x\n"
+            "# TYPE repro_x_total counter\n"
+            "repro_x_total -1\n"
+        )
+        assert any("not >= 0" in p for p in lint_exposition(text))
+
+    def test_noncumulative_histogram_is_flagged(self):
+        text = (
+            "# HELP repro_h repro metric h\n"
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="0.1"} 2\n'
+            'repro_h_bucket{le="1.0"} 1\n'
+            'repro_h_bucket{le="+Inf"} 2\n'
+            "repro_h_sum 1.0\n"
+            "repro_h_count 2\n"
+        )
+        assert any("cumulative" in p for p in lint_exposition(text))
+
+    def test_histogram_missing_inf_bucket_is_flagged(self):
+        text = (
+            "# HELP repro_h repro metric h\n"
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="0.1"} 1\n'
+            "repro_h_sum 1.0\n"
+            "repro_h_count 1\n"
+        )
+        assert any("+Inf" in p for p in lint_exposition(text))
+
+
+class TestMonotonicity:
+    def test_growing_counters_pass(self):
+        registry = _registry()
+        before = encode_exposition(registry.values(), registry.kinds())
+        registry.counter("service.jobs.admitted").inc()
+        registry.histogram(
+            "service.latency.submit_to_result_sec", bounds=(0.1, 1.0)
+        ).observe(0.2)
+        after = encode_exposition(registry.values(), registry.kinds())
+        assert check_monotone_counters(before, after) == []
+
+    def test_decreasing_counter_is_flagged(self):
+        before = encode_exposition({"a.b": 3}, {"a.b": "counter"})
+        after = encode_exposition({"a.b": 2}, {"a.b": "counter"})
+        problems = check_monotone_counters(before, after)
+        assert any("decreased" in p for p in problems)
+
+    def test_vanished_family_is_flagged(self):
+        before = encode_exposition({"a.b": 3}, {"a.b": "counter"})
+        after = encode_exposition({"c.d": 1}, {"c.d": "counter"})
+        assert any("vanished" in p for p in check_monotone_counters(before, after))
+
+    def test_gauges_may_decrease(self):
+        before = encode_exposition({"g": 5}, {"g": "gauge"})
+        after = encode_exposition({"g": 1}, {"g": "gauge"})
+        assert check_monotone_counters(before, after) == []
